@@ -1,0 +1,66 @@
+// Experiment F5 — StructureFirst's budget split between structure (eps_s)
+// and counts (eps_c), for both exponential-mechanism score functions.
+//
+// Expected shape: an interior optimum — too little structure budget yields
+// random cuts (approximation error), too much starves the bucket counts
+// (noise error). The absolute-cost score (sensitivity 2) tolerates small
+// structure budgets far better than the capped-squared score (sensitivity
+// 2C+1), which is the ablation motivating the default.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/bench_util/experiment.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions(8);
+  const dphist::Dataset dataset = dphist_bench::Suite()[1];  // nettrace
+  const std::size_t n = dataset.histogram.size();
+  const double epsilon = 0.05;
+
+  dphist::Rng workload_rng(13);
+  auto queries = dphist::RandomRangeWorkload(n, 400, workload_rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload failed\n");
+    return 1;
+  }
+
+  std::printf("== F5: SF budget split on %s (n=%zu, eps=%g, reps=%zu) ==\n\n",
+              dataset.name.c_str(), n, epsilon, reps);
+  dphist::TablePrinter table(
+      {"eps_s/eps", "mae(absolute)", "mae(squared,cap=1e4)"});
+  for (double ratio : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    dphist::StructureFirst::Options abs_options;
+    abs_options.structure_budget_ratio = ratio;
+    dphist::StructureFirst::Options sq_options;
+    sq_options.structure_budget_ratio = ratio;
+    sq_options.cost_kind = dphist::CostKind::kSquared;
+    sq_options.count_cap = 1.0e4;
+    auto abs_cell = dphist::RunCell(dphist::StructureFirst(abs_options),
+                                    dataset.histogram, queries.value(),
+                                    epsilon, reps,
+                                    7000 + static_cast<std::uint64_t>(
+                                               ratio * 100));
+    auto sq_cell = dphist::RunCell(dphist::StructureFirst(sq_options),
+                                   dataset.histogram, queries.value(),
+                                   epsilon, reps,
+                                   8000 + static_cast<std::uint64_t>(
+                                              ratio * 100));
+    if (!abs_cell.ok() || !sq_cell.ok()) {
+      std::fprintf(stderr, "cell failed\n");
+      return 1;
+    }
+    table.AddRow({dphist::TablePrinter::FormatDouble(ratio, 2),
+                  dphist::TablePrinter::FormatDouble(
+                      abs_cell.value().workload_mae.mean, 4),
+                  dphist::TablePrinter::FormatDouble(
+                      sq_cell.value().workload_mae.mean, 4)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef DPHIST_BENCH_BENCH_COMMON_H_
+#define DPHIST_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the figure/table harnesses in bench/. Every harness
+// uses the same dataset suite and seeds so results are comparable across
+// binaries, and honors DPHIST_BENCH_REPS to trade runtime for variance.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dphist/data/generators.h"
+
+namespace dphist_bench {
+
+/// Trace-dataset domain size shared by the harnesses (Age is fixed at 100
+/// bins by construction).
+inline constexpr std::size_t kTraceDomain = 1024;
+
+/// Root seed for the synthetic suite (fixed: the figures are reproducible).
+inline constexpr std::uint64_t kSuiteSeed = 42;
+
+/// Repetitions per cell; override with DPHIST_BENCH_REPS=<n>.
+inline std::size_t Repetitions(std::size_t fallback = 5) {
+  const char* env = std::getenv("DPHIST_BENCH_REPS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+/// The paper's dataset suite at the bench scale.
+inline std::vector<dphist::Dataset> Suite() {
+  return dphist::MakePaperSuite(kTraceDomain, kSuiteSeed);
+}
+
+}  // namespace dphist_bench
+
+#endif  // DPHIST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,30 @@
+// Experiment T1 — dataset statistics table (the evaluation-setup table of
+// the paper, regenerated for the synthetic stand-in suite).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/data/dataset.h"
+
+int main() {
+  std::printf("== T1: dataset statistics (synthetic stand-ins, seed %llu) ==\n\n",
+              static_cast<unsigned long long>(dphist_bench::kSuiteSeed));
+  dphist::TablePrinter table(
+      {"dataset", "bins", "records", "nonzero", "max", "mean"});
+  for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
+    const dphist::DatasetStats stats = dphist::ComputeStats(dataset);
+    table.AddRow({dataset.name, std::to_string(stats.domain_size),
+                  dphist::TablePrinter::FormatDouble(stats.total_records, 6),
+                  std::to_string(stats.nonzero_bins),
+                  dphist::TablePrinter::FormatDouble(stats.max_count, 6),
+                  dphist::TablePrinter::FormatDouble(stats.mean_count, 4)});
+  }
+  table.Print();
+  std::printf("\nProvenance:\n");
+  for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
+    std::printf("  %-11s %s\n", dataset.name.c_str(),
+                dataset.description.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Experiment F1 — mean absolute error of random range queries vs epsilon,
+// for the full algorithm suite on every dataset (the paper's headline
+// accuracy figure).
+//
+// Expected shape: all errors fall ~1/epsilon; NF/SF dominate Dwork at
+// small epsilon; Boost/Privelet sit between; orderings tighten (and can
+// flip toward Dwork) as epsilon grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/bench_util/experiment.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions();
+  const std::vector<double> epsilons = {0.01, 0.05, 0.1, 0.5, 1.0};
+  const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
+
+  std::printf(
+      "== F1: MAE of 500 random range queries vs epsilon (reps=%zu) ==\n",
+      reps);
+  for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
+    dphist::Rng workload_rng(7);
+    auto queries =
+        dphist::RandomRangeWorkload(dataset.histogram.size(), 500,
+                                    workload_rng);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n",
+                   queries.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n-- dataset: %s (n=%zu) --\n", dataset.name.c_str(),
+                dataset.histogram.size());
+    std::vector<std::string> headers = {"epsilon"};
+    for (const auto& publisher : publishers) {
+      headers.push_back(publisher->name());
+    }
+    dphist::TablePrinter table(headers);
+    for (double epsilon : epsilons) {
+      std::vector<std::string> row = {
+          dphist::TablePrinter::FormatDouble(epsilon, 3)};
+      for (const auto& publisher : publishers) {
+        auto cell = dphist::RunCell(*publisher, dataset.histogram,
+                                    queries.value(), epsilon, reps,
+                                    /*seed=*/1000 + static_cast<std::uint64_t>(
+                                                        epsilon * 1e4));
+        if (!cell.ok()) {
+          std::fprintf(stderr, "cell failed: %s\n",
+                       cell.status().ToString().c_str());
+          return 1;
+        }
+        row.push_back(dphist::TablePrinter::FormatDouble(
+            cell.value().workload_mae.mean, 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment F2 — mean absolute error vs query length (the crossover
+// figure: NoiseFirst favours short queries, StructureFirst long ones, with
+// the regime shifting with epsilon).
+//
+// Each algorithm publishes once per repetition; every length-workload is
+// then evaluated against the same release, exactly as the paper evaluates
+// one noisy histogram across query sizes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions();
+  const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
+  // The network trace shows the crossover most clearly.
+  const dphist::Dataset dataset = dphist_bench::Suite()[1];
+  const std::size_t n = dataset.histogram.size();
+
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = 1; len <= n / 2; len *= 4) {
+    lengths.push_back(len);
+  }
+  lengths.push_back(n / 2);
+
+  // Pre-generate one fixed workload per length.
+  dphist::Rng workload_rng(11);
+  std::vector<std::vector<dphist::RangeQuery>> workloads;
+  for (std::size_t len : lengths) {
+    auto queries = dphist::FixedLengthWorkload(n, len, 300, workload_rng);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload failed\n");
+      return 1;
+    }
+    workloads.push_back(std::move(queries).value());
+  }
+
+  std::printf("== F2: MAE vs query length on %s (n=%zu, reps=%zu) ==\n",
+              dataset.name.c_str(), n, reps);
+  for (double epsilon : {0.01, 0.1}) {
+    std::printf("\n-- epsilon = %g --\n", epsilon);
+    std::vector<std::string> headers = {"length"};
+    for (const auto& publisher : publishers) {
+      headers.push_back(publisher->name());
+    }
+    dphist::TablePrinter table(headers);
+
+    // errors[algo][length_index] accumulated over repetitions.
+    std::vector<std::vector<double>> errors(
+        publishers.size(), std::vector<double>(lengths.size(), 0.0));
+    for (std::size_t a = 0; a < publishers.size(); ++a) {
+      dphist::Rng rng(2000 + a + static_cast<std::uint64_t>(epsilon * 1e4));
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        dphist::Rng run = rng.Fork();
+        auto released =
+            publishers[a]->Publish(dataset.histogram, epsilon, run);
+        if (!released.ok()) {
+          std::fprintf(stderr, "publish failed: %s\n",
+                       released.status().ToString().c_str());
+          return 1;
+        }
+        for (std::size_t l = 0; l < lengths.size(); ++l) {
+          auto error = dphist::EvaluateWorkload(
+              dataset.histogram, released.value(), workloads[l]);
+          if (!error.ok()) {
+            std::fprintf(stderr, "evaluate failed\n");
+            return 1;
+          }
+          errors[a][l] += error.value().mean_absolute;
+        }
+      }
+    }
+    for (std::size_t l = 0; l < lengths.size(); ++l) {
+      std::vector<std::string> row = {std::to_string(lengths[l])};
+      for (std::size_t a = 0; a < publishers.size(); ++a) {
+        row.push_back(dphist::TablePrinter::FormatDouble(
+            errors[a][l] / static_cast<double>(reps), 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment F7 (library extension) — the paper suite compared against the
+// related algorithms added by this library (geometric baseline, EFPA,
+// MWEM) on two contrasting datasets.
+//
+// Expected shape: the geometric baseline tracks Dwork (slightly better
+// variance at equal epsilon); EFPA wins on smooth/periodic data and loses
+// on spiky data; MWEM only pays off when the workload is narrow relative
+// to the domain.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/bench_util/experiment.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions();
+  const std::vector<double> epsilons = {0.01, 0.1, 1.0};
+  const auto publishers = dphist::PublisherRegistry::MakeAll();
+
+  // Age (smooth: EFPA's home turf) and NetTrace (spiky: its worst case).
+  std::vector<dphist::Dataset> datasets;
+  datasets.push_back(dphist_bench::Suite()[0]);
+  datasets.push_back(dphist_bench::Suite()[1]);
+
+  std::printf("== F7: extended algorithm comparison, MAE of 500 random "
+              "ranges (reps=%zu) ==\n", reps);
+  for (const dphist::Dataset& dataset : datasets) {
+    dphist::Rng workload_rng(31);
+    auto queries = dphist::RandomRangeWorkload(dataset.histogram.size(), 500,
+                                               workload_rng);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload failed\n");
+      return 1;
+    }
+    std::printf("\n-- dataset: %s (n=%zu) --\n", dataset.name.c_str(),
+                dataset.histogram.size());
+    std::vector<std::string> headers = {"epsilon"};
+    for (const auto& publisher : publishers) {
+      headers.push_back(publisher->name());
+    }
+    dphist::TablePrinter table(headers);
+    for (double epsilon : epsilons) {
+      std::vector<std::string> row = {
+          dphist::TablePrinter::FormatDouble(epsilon, 3)};
+      for (const auto& publisher : publishers) {
+        auto cell = dphist::RunCell(
+            *publisher, dataset.histogram, queries.value(), epsilon, reps,
+            /*seed=*/11000 + static_cast<std::uint64_t>(epsilon * 1e4));
+        if (!cell.ok()) {
+          std::fprintf(stderr, "cell failed: %s\n",
+                       cell.status().ToString().c_str());
+          return 1;
+        }
+        row.push_back(dphist::TablePrinter::FormatDouble(
+            cell.value().workload_mae.mean, 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Experiment F4 + T2 — the effect of the bucket count k.
+//
+// F4: unit-bin MAE of StructureFirst and NoiseFirst as k is fixed across a
+// sweep: U-shape with an interior optimum (too few buckets = approximation
+// error, too many = noise error / wasted structure budget).
+//
+// T2: quality of NoiseFirst's k* estimator — the estimator values versus
+// the realized squared error across k, plus the chosen k* of the paper
+// estimator and the bias-corrected extension.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/noise_first.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/bench_util/experiment.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions();
+  // Search logs: bursty with real structure at several scales.
+  const dphist::Dataset dataset = dphist_bench::Suite()[2];
+  const std::size_t n = dataset.histogram.size();
+  const double epsilon = 0.1;
+  const std::vector<dphist::RangeQuery> unit = dphist::AllUnitWorkload(n);
+
+  std::printf("== F4: unit-bin MAE vs fixed bucket count k on %s "
+              "(n=%zu, eps=%g, reps=%zu) ==\n\n",
+              dataset.name.c_str(), n, epsilon, reps);
+  dphist::TablePrinter table({"k", "noise_first", "structure_first"});
+  for (std::size_t k = 2; k <= n / 2; k *= 2) {
+    dphist::NoiseFirst::Options nf_options;
+    nf_options.fixed_buckets = k;
+    dphist::NoiseFirst nf(nf_options);
+    dphist::StructureFirst::Options sf_options;
+    sf_options.num_buckets = k;
+    dphist::StructureFirst sf(sf_options);
+    auto nf_cell = dphist::RunCell(nf, dataset.histogram, unit, epsilon,
+                                   reps, 4000 + k);
+    auto sf_cell = dphist::RunCell(sf, dataset.histogram, unit, epsilon,
+                                   reps, 5000 + k);
+    if (!nf_cell.ok() || !sf_cell.ok()) {
+      std::fprintf(stderr, "cell failed\n");
+      return 1;
+    }
+    table.AddRow({std::to_string(k),
+                  dphist::TablePrinter::FormatDouble(
+                      nf_cell.value().workload_mae.mean, 4),
+                  dphist::TablePrinter::FormatDouble(
+                      sf_cell.value().workload_mae.mean, 4)});
+  }
+  table.Print();
+
+  std::printf("\n== T2: NoiseFirst k* estimator vs realized error "
+              "(eps=%g) ==\n\n", epsilon);
+  dphist::NoiseFirst paper_nf;
+  dphist::Rng rng(6000);
+  dphist::NoiseFirst::Details details;
+  auto released =
+      paper_nf.PublishWithDetails(dataset.histogram, epsilon, rng, &details);
+  if (!released.ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+  dphist::TablePrinter estimator_table({"k", "estimated_err", "realized_err"});
+  // Realized error for each k on the same noisy counts (post-processing,
+  // so this is a legitimate diagnostic).
+  for (std::size_t k = 1; k <= details.estimated_errors.size(); k *= 2) {
+    dphist::NoiseFirst::Options fixed;
+    fixed.fixed_buckets = k;
+    dphist::Rng replay(6000);  // same noise stream as the details run
+    auto fixed_release = dphist::NoiseFirst(fixed).Publish(dataset.histogram,
+                                                           epsilon, replay);
+    if (!fixed_release.ok()) {
+      std::fprintf(stderr, "publish failed\n");
+      return 1;
+    }
+    double realized = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = fixed_release.value().count(i) -
+                       dataset.histogram.count(i);
+      realized += d * d;
+    }
+    estimator_table.AddRow(
+        {std::to_string(k),
+         dphist::TablePrinter::FormatDouble(details.estimated_errors[k - 1],
+                                            5),
+         dphist::TablePrinter::FormatDouble(realized, 5)});
+  }
+  estimator_table.Print();
+  std::printf("\npaper estimator chose k* = %zu\n", details.chosen_buckets);
+
+  dphist::NoiseFirst::Options corrected_options;
+  corrected_options.bias_corrected_selection = true;
+  dphist::Rng corrected_rng(6000);
+  dphist::NoiseFirst::Details corrected_details;
+  auto corrected = dphist::NoiseFirst(corrected_options)
+                       .PublishWithDetails(dataset.histogram, epsilon,
+                                           corrected_rng, &corrected_details);
+  if (!corrected.ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+  std::printf("bias-corrected extension chose k* = %zu\n",
+              corrected_details.chosen_buckets);
+
+  // T2b: does the bias correction pay off end-to-end? Unit-bin MAE of the
+  // paper's estimator vs the corrected one across the suite.
+  std::printf("\n== T2b: NoiseFirst selection ablation "
+              "(unit-bin MAE, reps=%zu) ==\n\n", reps);
+  dphist::TablePrinter ablation(
+      {"dataset", "epsilon", "paper k*", "corrected k*"});
+  dphist::NoiseFirst::Options corrected_opts;
+  corrected_opts.bias_corrected_selection = true;
+  dphist::NoiseFirst nf_corrected(corrected_opts);
+  for (const dphist::Dataset& suite_dataset : dphist_bench::Suite()) {
+    const std::vector<dphist::RangeQuery> units =
+        dphist::AllUnitWorkload(suite_dataset.histogram.size());
+    for (double eps : {0.01, 0.1}) {
+      auto paper_cell = dphist::RunCell(paper_nf, suite_dataset.histogram,
+                                        units, eps, reps,
+                                        13000 + static_cast<std::uint64_t>(
+                                                    eps * 1e4));
+      auto corrected_cell = dphist::RunCell(
+          nf_corrected, suite_dataset.histogram, units, eps, reps,
+          14000 + static_cast<std::uint64_t>(eps * 1e4));
+      if (!paper_cell.ok() || !corrected_cell.ok()) {
+        return 1;
+      }
+      ablation.AddRow(
+          {suite_dataset.name, dphist::TablePrinter::FormatDouble(eps, 3),
+           dphist::TablePrinter::FormatDouble(
+               paper_cell.value().workload_mae.mean, 4),
+           dphist::TablePrinter::FormatDouble(
+               corrected_cell.value().workload_mae.mean, 4)});
+    }
+  }
+  ablation.Print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Experiment F3 — Kullback-Leibler divergence between the true and the
+// released histogram (as distributions) vs epsilon: the paper's
+// distribution-approximation figure.
+//
+// Expected shape: KL falls monotonically with epsilon for every algorithm;
+// the merging algorithms (NF/SF) dominate at small epsilon because the
+// per-bin noise that dominates KL is averaged away inside buckets.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/bench_util/experiment.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/query/workload.h"
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions();
+  const std::vector<double> epsilons = {0.01, 0.05, 0.1, 0.5, 1.0};
+  const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
+
+  std::printf("== F3: KL(true || released) vs epsilon (reps=%zu) ==\n", reps);
+  for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
+    std::printf("\n-- dataset: %s (n=%zu) --\n", dataset.name.c_str(),
+                dataset.histogram.size());
+    std::vector<std::string> headers = {"epsilon"};
+    for (const auto& publisher : publishers) {
+      headers.push_back(publisher->name());
+    }
+    dphist::TablePrinter table(headers);
+    // RunCell computes KL alongside workload error; reuse it with a
+    // minimal unit workload.
+    const std::vector<dphist::RangeQuery> unit = {{0, 1}};
+    for (double epsilon : epsilons) {
+      std::vector<std::string> row = {
+          dphist::TablePrinter::FormatDouble(epsilon, 3)};
+      for (const auto& publisher : publishers) {
+        auto cell = dphist::RunCell(
+            *publisher, dataset.histogram, unit, epsilon, reps,
+            /*seed=*/3000 + static_cast<std::uint64_t>(epsilon * 1e4));
+        if (!cell.ok()) {
+          std::fprintf(stderr, "cell failed: %s\n",
+                       cell.status().ToString().c_str());
+          return 1;
+        }
+        row.push_back(dphist::TablePrinter::FormatDouble(
+            cell.value().kl_divergence.mean, 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Experiment M1 — microbenchmarks of the mechanisms and transforms
+// (google-benchmark). These are throughput sanity checks for the
+// substrates, not paper figures.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "dphist/hist/fenwick.h"
+#include "dphist/hist/interval_cost.h"
+#include "dphist/hist/vopt_dp.h"
+#include "dphist/privacy/exponential_mechanism.h"
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+#include "dphist/transform/haar_wavelet.h"
+#include "dphist/transform/interval_tree.h"
+
+namespace {
+
+std::vector<double> RandomCounts(std::size_t n) {
+  dphist::Rng rng(1);
+  std::vector<double> counts(n);
+  for (double& c : counts) {
+    c = static_cast<double>(dphist::SampleUniformInt(rng, 0, 1000));
+  }
+  return counts;
+}
+
+void BM_SampleLaplace(benchmark::State& state) {
+  dphist::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dphist::SampleLaplace(rng, 1.0));
+  }
+}
+BENCHMARK(BM_SampleLaplace);
+
+void BM_SampleTwoSidedGeometric(benchmark::State& state) {
+  dphist::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dphist::SampleTwoSidedGeometric(rng, 0.9));
+  }
+}
+BENCHMARK(BM_SampleTwoSidedGeometric);
+
+void BM_ExponentialMechanismSelect(benchmark::State& state) {
+  const std::size_t candidates = static_cast<std::size_t>(state.range(0));
+  auto em = dphist::ExponentialMechanism::Create(0.1, 2.0);
+  dphist::Rng rng(4);
+  std::vector<double> utilities(candidates);
+  for (std::size_t i = 0; i < candidates; ++i) {
+    utilities[i] = -static_cast<double>(i % 97);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em.value().Select(utilities, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(candidates));
+}
+BENCHMARK(BM_ExponentialMechanismSelect)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_HaarForwardInverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomCounts(n);
+  for (auto _ : state) {
+    auto c = dphist::HaarWavelet::Forward(x);
+    auto back = dphist::HaarWavelet::Inverse(c.value());
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HaarForwardInverse)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_TreeConstrainedInference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto tree = dphist::IntervalTree::Create(n, 2);
+  auto sums = tree.value().NodeSums(RandomCounts(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.value().ConstrainedInference(sums.value()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeConstrainedInference)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FenwickInsertQuery(benchmark::State& state) {
+  const std::size_t ranks = 4096;
+  dphist::RankedFenwick tree(ranks);
+  dphist::Rng rng(5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tree.Insert(i % ranks, 1.0);
+    benchmark::DoNotOptimize(tree.SumUpTo((i * 7) % ranks));
+    ++i;
+  }
+}
+BENCHMARK(BM_FenwickInsertQuery);
+
+void BM_IntervalCostBuildAbsolute(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> counts = RandomCounts(n);
+  dphist::IntervalCostTable::Options options;
+  options.kind = dphist::CostKind::kAbsolute;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dphist::IntervalCostTable::Create(counts, options));
+  }
+}
+BENCHMARK(BM_IntervalCostBuildAbsolute)->Arg(256)->Arg(1024);
+
+void BM_VOptSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> counts = RandomCounts(n);
+  dphist::IntervalCostTable::Options options;
+  auto table = dphist::IntervalCostTable::Create(counts, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dphist::VOptSolver::Solve(table.value(), 64));
+  }
+}
+BENCHMARK(BM_VOptSolve)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Experiment F8 (library extension) — how much free accuracy does
+// post-processing with public knowledge buy? Clamping at zero, rescaling
+// to a public total, and isotonic projection (for the monotone degree
+// distribution) are all privacy-free, and the paper's discussion of
+// exploiting constraints motivates quantifying them.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/postprocess.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+namespace {
+
+double UnitMae(const dphist::Histogram& truth,
+               const dphist::Histogram& released) {
+  auto error = dphist::MeanAbsoluteError(truth.counts(), released.counts());
+  return error.ok() ? error.value() : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions(10);
+  // Social network: non-negative, monotone(ish) tail, public total — the
+  // dataset where every post-processing step applies.
+  const dphist::Dataset dataset = dphist_bench::Suite()[3];
+  const dphist::Histogram& truth = dataset.histogram;
+  const double total = truth.Total();
+
+  std::printf("== F8: post-processing gains on %s (unit-bin MAE, "
+              "reps=%zu) ==\n\n", dataset.name.c_str(), reps);
+  dphist::TablePrinter table(
+      {"epsilon", "algorithm", "raw", "+clamp", "+normalize", "+isotonic"});
+  for (double epsilon : {0.01, 0.1}) {
+    for (const char* name : {"dwork", "noise_first"}) {
+      auto publisher = dphist::PublisherRegistry::Make(name);
+      if (!publisher.ok()) {
+        return 1;
+      }
+      double raw = 0.0;
+      double clamped = 0.0;
+      double normalized = 0.0;
+      double isotonic = 0.0;
+      dphist::Rng rng(12000 + static_cast<std::uint64_t>(epsilon * 1e4));
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        dphist::Rng run = rng.Fork();
+        auto released = publisher.value()->Publish(truth, epsilon, run);
+        if (!released.ok()) {
+          return 1;
+        }
+        const dphist::Histogram clamp =
+            dphist::ClampNonNegative(released.value());
+        const dphist::Histogram norm =
+            dphist::NormalizeTotal(released.value(), total);
+        const dphist::Histogram iso = dphist::IsotonicNonIncreasing(clamp);
+        raw += UnitMae(truth, released.value());
+        clamped += UnitMae(truth, clamp);
+        normalized += UnitMae(truth, norm);
+        isotonic += UnitMae(truth, iso);
+      }
+      const double r = static_cast<double>(reps);
+      table.AddRow({dphist::TablePrinter::FormatDouble(epsilon, 3), name,
+                    dphist::TablePrinter::FormatDouble(raw / r, 4),
+                    dphist::TablePrinter::FormatDouble(clamped / r, 4),
+                    dphist::TablePrinter::FormatDouble(normalized / r, 4),
+                    dphist::TablePrinter::FormatDouble(isotonic / r, 4)});
+    }
+  }
+  table.Print();
+  std::printf("\nNote: the isotonic column applies the non-increasing\n"
+              "projection, valid only because this degree distribution is\n"
+              "publicly known to be (near-)monotone; it is free accuracy\n"
+              "where the prior holds and a modeling error where it does\n"
+              "not.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Experiment F6 — publication wall time vs domain size for every
+// algorithm, plus the exact-vs-grid-coarsened dynamic-program ablation.
+//
+// Expected shape: Dwork/Privelet/Boost are (near-)linear in n; the
+// DP-based algorithms are quadratic in the number of boundary candidates,
+// so the grid-coarsened mode (the default beyond 2048 bins) restores
+// near-linear scaling at a small accuracy cost.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/algorithms/noise_first.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/data/generators.h"
+#include "dphist/random/rng.h"
+
+namespace {
+
+double TimePublishMs(const dphist::HistogramPublisher& publisher,
+                     const dphist::Histogram& truth, double epsilon,
+                     std::size_t reps, std::uint64_t seed) {
+  dphist::Rng rng(seed);
+  double total_ms = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    dphist::Rng run = rng.Fork();
+    const auto start = std::chrono::steady_clock::now();
+    auto released = publisher.Publish(truth, epsilon, run);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!released.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   released.status().ToString().c_str());
+      std::exit(1);
+    }
+    total_ms +=
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+  return total_ms / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions(3);
+  const double epsilon = 0.1;
+  const std::vector<std::size_t> sizes = {256, 512, 1024, 2048, 4096};
+  const auto publishers = dphist::PublisherRegistry::MakeAll();
+
+  std::printf("== F6: publish wall time (ms) vs domain size "
+              "(eps=%g, reps=%zu) ==\n\n", epsilon, reps);
+  std::vector<std::string> headers = {"n"};
+  for (const auto& publisher : publishers) {
+    headers.push_back(publisher->name());
+  }
+  dphist::TablePrinter table(headers);
+  for (std::size_t n : sizes) {
+    const dphist::Dataset dataset = dphist::MakeNetTrace(n, 21);
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto& publisher : publishers) {
+      row.push_back(dphist::TablePrinter::FormatDouble(
+          TimePublishMs(*publisher, dataset.histogram, epsilon, reps,
+                        9000 + n),
+          4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\n== F6b: exact vs grid-coarsened structure search "
+              "(NoiseFirst / StructureFirst, ms) ==\n\n");
+  dphist::TablePrinter ablation(
+      {"n", "nf exact", "nf grid8", "sf exact", "sf grid8"});
+  for (std::size_t n : {256, 512, 1024, 2048}) {
+    const dphist::Dataset dataset = dphist::MakeNetTrace(n, 22);
+    dphist::NoiseFirst::Options nf_exact;
+    nf_exact.grid_step = 1;
+    dphist::NoiseFirst::Options nf_grid;
+    nf_grid.grid_step = 8;
+    dphist::StructureFirst::Options sf_exact;
+    sf_exact.grid_step = 1;
+    dphist::StructureFirst::Options sf_grid;
+    sf_grid.grid_step = 8;
+    ablation.AddRow(
+        {std::to_string(n),
+         dphist::TablePrinter::FormatDouble(
+             TimePublishMs(dphist::NoiseFirst(nf_exact), dataset.histogram,
+                           epsilon, reps, 9100 + n),
+             4),
+         dphist::TablePrinter::FormatDouble(
+             TimePublishMs(dphist::NoiseFirst(nf_grid), dataset.histogram,
+                           epsilon, reps, 9200 + n),
+             4),
+         dphist::TablePrinter::FormatDouble(
+             TimePublishMs(dphist::StructureFirst(sf_exact),
+                           dataset.histogram, epsilon, reps, 9300 + n),
+             4),
+         dphist::TablePrinter::FormatDouble(
+             TimePublishMs(dphist::StructureFirst(sf_grid), dataset.histogram,
+                           epsilon, reps, 9400 + n),
+             4)});
+  }
+  ablation.Print();
+  return 0;
+}

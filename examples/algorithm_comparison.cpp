@@ -1,0 +1,76 @@
+// Scenario: pick the best publication algorithm for *your* histogram by
+// running the full suite (Dwork, Boost, Privelet, NoiseFirst,
+// StructureFirst) on your data and workload.
+//
+// Usage:
+//   algorithm_comparison [histogram.csv] [epsilon]
+// Without arguments it compares on the synthetic social-network degree
+// distribution at epsilon = 0.1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dphist/algorithms/registry.h"
+#include "dphist/bench_util/experiment.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/data/csv.h"
+#include "dphist/data/generators.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+int main(int argc, char** argv) {
+  dphist::Histogram truth;
+  std::string source = "synthetic social-network degree distribution";
+  if (argc > 1) {
+    auto loaded = dphist::LoadHistogramCsv(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    truth = std::move(loaded).value();
+    source = argv[1];
+  } else {
+    truth = dphist::MakeSocialNetwork(512, 3).histogram;
+  }
+  const double epsilon = argc > 2 ? std::atof(argv[2]) : 0.1;
+  if (!(epsilon > 0.0)) {
+    std::fprintf(stderr, "epsilon must be positive\n");
+    return 1;
+  }
+
+  dphist::Rng workload_rng(5);
+  auto queries =
+      dphist::RandomRangeWorkload(truth.size(), 500, workload_rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload failed\n");
+    return 1;
+  }
+
+  std::printf("data: %s (n=%zu), epsilon=%g, 500 random range queries, "
+              "20 repetitions\n\n",
+              source.c_str(), truth.size(), epsilon);
+  dphist::TablePrinter table(
+      {"algorithm", "mae", "+/-", "kl", "publish ms"});
+  for (const auto& publisher : dphist::PublisherRegistry::MakeAll()) {
+    auto cell = dphist::RunCell(*publisher, truth, queries.value(), epsilon,
+                                /*repetitions=*/20, /*seed=*/11);
+    if (!cell.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", publisher->name().c_str(),
+                   cell.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({publisher->name(),
+                  dphist::TablePrinter::FormatDouble(
+                      cell.value().workload_mae.mean, 4),
+                  dphist::TablePrinter::FormatDouble(
+                      cell.value().workload_mae.std_error, 2),
+                  dphist::TablePrinter::FormatDouble(
+                      cell.value().kl_divergence.mean, 3),
+                  dphist::TablePrinter::FormatDouble(
+                      cell.value().publish_ms.mean, 3)});
+  }
+  table.Print();
+  return 0;
+}

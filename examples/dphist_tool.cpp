@@ -1,0 +1,211 @@
+// dphist_tool — command-line front end for the library, so the algorithms
+// can be used on real CSV histograms without writing C++.
+//
+// Subcommands:
+//   generate <age|nettrace|searchlogs|social> <out.csv> [--n N] [--seed S]
+//   publish  <algorithm> <epsilon> <in.csv> <out.csv> [--seed S]
+//   evaluate <truth.csv> <released.csv> [--queries Q] [--seed S]
+//   list
+//
+// Exit code 0 on success; errors go to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dphist/algorithms/registry.h"
+#include "dphist/data/csv.h"
+#include "dphist/data/generators.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+namespace {
+
+struct Flags {
+  std::size_t n = 1024;
+  std::uint64_t seed = 42;
+  std::size_t queries = 500;
+};
+
+// Parses trailing --n/--seed/--queries flags from argv[start..).
+bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
+  for (int i = start; i < argc; ++i) {
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--n") == 0) {
+      const char* value = need_value("--n");
+      if (value == nullptr) return false;
+      flags->n = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* value = need_value("--seed");
+      if (value == nullptr) return false;
+      flags->seed = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      const char* value = need_value("--queries");
+      if (value == nullptr) return false;
+      flags->queries =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dphist_tool generate <age|nettrace|searchlogs|social> <out.csv>"
+      " [--n N] [--seed S]\n"
+      "  dphist_tool publish <algorithm> <epsilon> <in.csv> <out.csv>"
+      " [--seed S]\n"
+      "  dphist_tool evaluate <truth.csv> <released.csv> [--queries Q]"
+      " [--seed S]\n"
+      "  dphist_tool list\n");
+  return 2;
+}
+
+int RunGenerate(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 4, &flags)) {
+    return 2;
+  }
+  const std::string kind = argv[2];
+  dphist::Dataset dataset;
+  if (kind == "age") {
+    dataset = dphist::MakeAge(flags.seed);
+  } else if (kind == "nettrace") {
+    dataset = dphist::MakeNetTrace(flags.n, flags.seed);
+  } else if (kind == "searchlogs") {
+    dataset = dphist::MakeSearchLogs(flags.n, flags.seed);
+  } else if (kind == "social") {
+    dataset = dphist::MakeSocialNetwork(flags.n, flags.seed);
+  } else {
+    std::fprintf(stderr, "unknown dataset kind: %s\n", kind.c_str());
+    return 2;
+  }
+  const dphist::Status status =
+      dphist::SaveHistogramCsv(dataset.histogram, argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bins, %s)\n", argv[3], dataset.histogram.size(),
+              dataset.description.c_str());
+  return 0;
+}
+
+int RunPublish(int argc, char** argv) {
+  if (argc < 6) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 6, &flags)) {
+    return 2;
+  }
+  const double epsilon = std::atof(argv[3]);
+  auto publisher = dphist::PublisherRegistry::Make(argv[2]);
+  if (!publisher.ok()) {
+    std::fprintf(stderr, "%s\n", publisher.status().ToString().c_str());
+    return 1;
+  }
+  auto truth = dphist::LoadHistogramCsv(argv[4]);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  dphist::Rng rng(flags.seed);
+  auto released = publisher.value()->Publish(truth.value(), epsilon, rng);
+  if (!released.ok()) {
+    std::fprintf(stderr, "%s\n", released.status().ToString().c_str());
+    return 1;
+  }
+  const dphist::Status status =
+      dphist::SaveHistogramCsv(released.value(), argv[5]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("published %s with %s at epsilon=%g -> %s\n", argv[4],
+              publisher.value()->name().c_str(), epsilon, argv[5]);
+  return 0;
+}
+
+int RunEvaluate(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 4, &flags)) {
+    return 2;
+  }
+  auto truth = dphist::LoadHistogramCsv(argv[2]);
+  auto released = dphist::LoadHistogramCsv(argv[3]);
+  if (!truth.ok() || !released.ok()) {
+    std::fprintf(stderr, "failed to load inputs\n");
+    return 1;
+  }
+  dphist::Rng rng(flags.seed);
+  auto queries = dphist::RandomRangeWorkload(truth.value().size(),
+                                             flags.queries, rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  auto error = dphist::EvaluateWorkload(truth.value(), released.value(),
+                                        queries.value());
+  if (!error.ok()) {
+    std::fprintf(stderr, "%s\n", error.status().ToString().c_str());
+    return 1;
+  }
+  auto kl = dphist::KlDivergence(truth.value(), released.value());
+  std::printf("random-range workload (%zu queries):\n", flags.queries);
+  std::printf("  mae = %.4f\n  mse = %.4f\n  max = %.4f\n",
+              error.value().mean_absolute, error.value().mean_squared,
+              error.value().max_absolute);
+  std::printf("  kl(true || released) = %.6f\n", kl.value_or(-1.0));
+  return 0;
+}
+
+int RunList() {
+  std::printf("available algorithms:\n");
+  for (const std::string& name : dphist::PublisherRegistry::BuiltinNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "generate") {
+    return RunGenerate(argc, argv);
+  }
+  if (command == "publish") {
+    return RunPublish(argc, argv);
+  }
+  if (command == "evaluate") {
+    return RunEvaluate(argc, argv);
+  }
+  if (command == "list") {
+    return RunList();
+  }
+  return Usage();
+}

@@ -1,0 +1,74 @@
+// Scenario: a network operator releases a private histogram of per-host
+// connection counts so analysts can run arbitrary range queries later
+// (e.g., "how many connections hit subnet [a, b)?") without further
+// privacy cost.
+//
+// Demonstrates: choosing between NoiseFirst and StructureFirst by the
+// expected query profile, and measuring both against the true trace.
+
+#include <cstdio>
+#include <vector>
+
+#include "dphist/algorithms/noise_first.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/data/generators.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+namespace {
+
+void Report(const char* label, const dphist::Histogram& truth,
+            const dphist::Histogram& released,
+            const std::vector<dphist::RangeQuery>& queries) {
+  auto error = dphist::EvaluateWorkload(truth, released, queries);
+  if (!error.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return;
+  }
+  std::printf("  %-16s mae=%10.2f  mse=%14.2f  max=%10.2f\n", label,
+              error.value().mean_absolute, error.value().mean_squared,
+              error.value().max_absolute);
+}
+
+}  // namespace
+
+int main() {
+  const dphist::Dataset trace = dphist::MakeNetTrace(2048, /*seed=*/99);
+  const std::size_t n = trace.histogram.size();
+  const double epsilon = 0.05;
+
+  dphist::Rng rng(17);
+  dphist::NoiseFirst noise_first;
+  dphist::StructureFirst structure_first;
+
+  dphist::Rng nf_rng = rng.Fork();
+  dphist::Rng sf_rng = rng.Fork();
+  auto nf_release = noise_first.Publish(trace.histogram, epsilon, nf_rng);
+  auto sf_release = structure_first.Publish(trace.histogram, epsilon, sf_rng);
+  if (!nf_release.ok() || !sf_release.ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+
+  dphist::Rng workload_rng(23);
+  auto short_queries =
+      dphist::FixedLengthWorkload(n, 4, 500, workload_rng).value_or({});
+  auto long_queries =
+      dphist::FixedLengthWorkload(n, n / 4, 500, workload_rng).value_or({});
+
+  std::printf("network trace: n=%zu hosts, epsilon=%g\n\n", n, epsilon);
+  std::printf("short queries (4 hosts):\n");
+  Report("noise_first", trace.histogram, nf_release.value(), short_queries);
+  Report("structure_first", trace.histogram, sf_release.value(),
+         short_queries);
+  std::printf("\nlong queries (%zu hosts):\n", n / 4);
+  Report("noise_first", trace.histogram, nf_release.value(), long_queries);
+  Report("structure_first", trace.histogram, sf_release.value(),
+         long_queries);
+
+  std::printf("\nrule of thumb from the paper: prefer NoiseFirst when the\n"
+              "workload is dominated by short ranges or epsilon is large;\n"
+              "prefer StructureFirst for long ranges at strict budgets.\n");
+  return 0;
+}

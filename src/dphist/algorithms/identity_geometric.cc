@@ -1,0 +1,30 @@
+#include "dphist/algorithms/identity_geometric.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "dphist/privacy/geometric_mechanism.h"
+
+namespace dphist {
+
+Result<Histogram> IdentityGeometric::Publish(const Histogram& histogram,
+                                             double epsilon,
+                                             Rng& rng) const {
+  DPHIST_RETURN_IF_ERROR(ValidatePublishArgs(histogram, epsilon));
+  auto mechanism = GeometricMechanism::Create(epsilon, /*sensitivity=*/1);
+  if (!mechanism.ok()) {
+    return mechanism.status();
+  }
+  std::vector<double> out;
+  out.reserve(histogram.size());
+  for (double count : histogram.counts()) {
+    const std::int64_t integral =
+        static_cast<std::int64_t>(std::llround(count));
+    out.push_back(
+        static_cast<double>(mechanism.value().Perturb(integral, rng)));
+  }
+  return Histogram(std::move(out));
+}
+
+}  // namespace dphist

@@ -1,0 +1,35 @@
+#ifndef DPHIST_ALGORITHMS_IDENTITY_GEOMETRIC_H_
+#define DPHIST_ALGORITHMS_IDENTITY_GEOMETRIC_H_
+
+#include <string>
+
+#include "dphist/algorithms/publisher.h"
+
+namespace dphist {
+
+/// \brief Integer-valued Dwork baseline: add two-sided geometric (discrete
+/// Laplace) noise to every unit-bin count (library extension).
+///
+/// Same privacy argument as IdentityLaplace (sensitivity-1 counts,
+/// parallel composition over disjoint bins), but the release stays
+/// integral — useful when downstream consumers require genuine counts —
+/// and the sampler involves no floating-point inverse CDF, avoiding the
+/// Mironov-style side channel of textbook Laplace sampling. The geometric
+/// mechanism is also universally utility-maximizing for count queries
+/// (Ghosh, Roughgarden & Sundararajan).
+///
+/// Input counts are rounded to the nearest integer before perturbation
+/// (true histograms are integral by definition).
+class IdentityGeometric final : public HistogramPublisher {
+ public:
+  IdentityGeometric() = default;
+
+  std::string name() const override { return "geometric"; }
+
+  Result<Histogram> Publish(const Histogram& histogram, double epsilon,
+                            Rng& rng) const override;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_ALGORITHMS_IDENTITY_GEOMETRIC_H_

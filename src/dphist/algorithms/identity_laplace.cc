@@ -1,0 +1,17 @@
+#include "dphist/algorithms/identity_laplace.h"
+
+#include "dphist/privacy/laplace_mechanism.h"
+
+namespace dphist {
+
+Result<Histogram> IdentityLaplace::Publish(const Histogram& histogram,
+                                           double epsilon, Rng& rng) const {
+  DPHIST_RETURN_IF_ERROR(ValidatePublishArgs(histogram, epsilon));
+  auto mechanism = LaplaceMechanism::Create(epsilon, /*sensitivity=*/1.0);
+  if (!mechanism.ok()) {
+    return mechanism.status();
+  }
+  return Histogram(mechanism.value().PerturbVector(histogram.counts(), rng));
+}
+
+}  // namespace dphist

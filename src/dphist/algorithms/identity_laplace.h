@@ -1,0 +1,33 @@
+#ifndef DPHIST_ALGORITHMS_IDENTITY_LAPLACE_H_
+#define DPHIST_ALGORITHMS_IDENTITY_LAPLACE_H_
+
+#include <string>
+
+#include "dphist/algorithms/publisher.h"
+
+namespace dphist {
+
+/// \brief The Dwork et al. baseline: add Lap(1/epsilon) noise to every
+/// unit-bin count independently.
+///
+/// Privacy: one record changes exactly one unit-bin count by 1, so the
+/// count vector has L1 sensitivity 1 and the release is epsilon-DP
+/// (equivalently, the bins partition the data, so per-bin mechanisms
+/// compose in parallel).
+///
+/// Error: every unit bin carries noise variance 2/epsilon^2; a range query
+/// of length r accumulates variance 2r/epsilon^2. This data-independent
+/// profile is the yardstick both of the paper's algorithms improve on.
+class IdentityLaplace final : public HistogramPublisher {
+ public:
+  IdentityLaplace() = default;
+
+  std::string name() const override { return "dwork"; }
+
+  Result<Histogram> Publish(const Histogram& histogram, double epsilon,
+                            Rng& rng) const override;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_ALGORITHMS_IDENTITY_LAPLACE_H_

@@ -1,0 +1,99 @@
+#include "dphist/algorithms/postprocess.h"
+
+#include <cmath>
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+
+Histogram ClampNonNegative(const Histogram& histogram) {
+  std::vector<double> counts = histogram.counts();
+  for (double& v : counts) {
+    if (v < 0.0) {
+      v = 0.0;
+    }
+  }
+  return Histogram(std::move(counts));
+}
+
+Histogram RoundToIntegers(const Histogram& histogram) {
+  std::vector<double> counts = histogram.counts();
+  for (double& v : counts) {
+    v = std::nearbyint(v);
+  }
+  return Histogram(std::move(counts));
+}
+
+Histogram NormalizeTotal(const Histogram& histogram, double known_total) {
+  std::vector<double> counts = histogram.counts();
+  KahanSum positive_total;
+  for (double& v : counts) {
+    if (v < 0.0) {
+      v = 0.0;
+    }
+    positive_total.Add(v);
+  }
+  if (counts.empty()) {
+    return Histogram(std::move(counts));
+  }
+  if (positive_total.Total() <= 0.0) {
+    const double uniform = known_total / static_cast<double>(counts.size());
+    for (double& v : counts) {
+      v = uniform;
+    }
+    return Histogram(std::move(counts));
+  }
+  const double factor = known_total / positive_total.Total();
+  for (double& v : counts) {
+    v *= factor;
+  }
+  return Histogram(std::move(counts));
+}
+
+namespace {
+
+// Pool-adjacent-violators for the non-decreasing case; the non-increasing
+// case reverses the input, solves, and reverses back.
+std::vector<double> PavNonDecreasing(const std::vector<double>& values) {
+  struct Block {
+    double sum;
+    std::size_t count;
+    double mean() const { return sum / static_cast<double>(count); }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(values.size());
+  for (double v : values) {
+    blocks.push_back(Block{v, 1});
+    // Merge backwards while the monotonicity constraint is violated.
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].mean() > blocks.back().mean()) {
+      const Block last = blocks.back();
+      blocks.pop_back();
+      blocks.back().sum += last.sum;
+      blocks.back().count += last.count;
+    }
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Block& block : blocks) {
+    for (std::size_t i = 0; i < block.count; ++i) {
+      out.push_back(block.mean());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram IsotonicNonDecreasing(const Histogram& histogram) {
+  return Histogram(PavNonDecreasing(histogram.counts()));
+}
+
+Histogram IsotonicNonIncreasing(const Histogram& histogram) {
+  std::vector<double> reversed(histogram.counts().rbegin(),
+                               histogram.counts().rend());
+  std::vector<double> fitted = PavNonDecreasing(reversed);
+  return Histogram(std::vector<double>(fitted.rbegin(), fitted.rend()));
+}
+
+}  // namespace dphist

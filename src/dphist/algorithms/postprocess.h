@@ -1,0 +1,42 @@
+#ifndef DPHIST_ALGORITHMS_POSTPROCESS_H_
+#define DPHIST_ALGORITHMS_POSTPROCESS_H_
+
+#include <vector>
+
+#include "dphist/hist/histogram.h"
+
+namespace dphist {
+
+/// \brief Privacy-free post-processing of released histograms.
+///
+/// Every function here consumes only already-published (noisy) data, so by
+/// the post-processing property of differential privacy none of them affect
+/// the privacy guarantee. They can, however, improve accuracy by folding in
+/// public knowledge about the true data (non-negativity, integrality, a
+/// known total).
+
+/// Clamps every count at zero. When the true counts are non-negative this
+/// never increases, and typically decreases, the L2 error.
+Histogram ClampNonNegative(const Histogram& histogram);
+
+/// Rounds every count to the nearest integer (true counts are integers).
+Histogram RoundToIntegers(const Histogram& histogram);
+
+/// Rescales the histogram so its total equals `known_total` (useful when
+/// the dataset's cardinality is public). If the clamped counts sum to zero
+/// the mass is spread uniformly.
+Histogram NormalizeTotal(const Histogram& histogram, double known_total);
+
+/// Projects the counts onto the closest (in L2) non-increasing sequence,
+/// via the pool-adjacent-violators algorithm. When the true histogram is
+/// known to be non-increasing (e.g. a degree distribution's tail), this is
+/// free post-processing that never increases the L2 error.
+Histogram IsotonicNonIncreasing(const Histogram& histogram);
+
+/// Projects onto the closest non-decreasing sequence (mirror of the
+/// above, e.g. for CDF-like releases).
+Histogram IsotonicNonDecreasing(const Histogram& histogram);
+
+}  // namespace dphist
+
+#endif  // DPHIST_ALGORITHMS_POSTPROCESS_H_

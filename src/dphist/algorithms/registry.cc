@@ -1,0 +1,95 @@
+#include "dphist/algorithms/registry.h"
+
+#include "dphist/algorithms/ahp.h"
+#include "dphist/algorithms/boost_tree.h"
+#include "dphist/algorithms/efpa.h"
+#include "dphist/algorithms/grouping_smoothing.h"
+#include "dphist/algorithms/identity_geometric.h"
+#include "dphist/algorithms/identity_laplace.h"
+#include "dphist/algorithms/mwem.h"
+#include "dphist/algorithms/noise_first.h"
+#include "dphist/algorithms/p_hp.h"
+#include "dphist/algorithms/privelet.h"
+#include "dphist/algorithms/structure_first.h"
+
+namespace dphist {
+
+std::vector<std::string> PublisherRegistry::PaperNames() {
+  return {"dwork", "boost", "privelet", "noise_first", "structure_first"};
+}
+
+std::vector<std::string> PublisherRegistry::BuiltinNames() {
+  std::vector<std::string> names = PaperNames();
+  names.push_back("geometric");
+  names.push_back("efpa");
+  names.push_back("mwem");
+  names.push_back("p_hp");
+  names.push_back("ahp");
+  names.push_back("gs");
+  return names;
+}
+
+Result<std::unique_ptr<HistogramPublisher>> PublisherRegistry::Make(
+    std::string_view name) {
+  if (name == "dwork") {
+    return std::unique_ptr<HistogramPublisher>(new IdentityLaplace());
+  }
+  if (name == "boost") {
+    return std::unique_ptr<HistogramPublisher>(new BoostTree());
+  }
+  if (name == "privelet") {
+    return std::unique_ptr<HistogramPublisher>(new Privelet());
+  }
+  if (name == "noise_first") {
+    return std::unique_ptr<HistogramPublisher>(new NoiseFirst());
+  }
+  if (name == "structure_first") {
+    return std::unique_ptr<HistogramPublisher>(new StructureFirst());
+  }
+  if (name == "geometric") {
+    return std::unique_ptr<HistogramPublisher>(new IdentityGeometric());
+  }
+  if (name == "efpa") {
+    return std::unique_ptr<HistogramPublisher>(new Efpa());
+  }
+  if (name == "mwem") {
+    return std::unique_ptr<HistogramPublisher>(new Mwem());
+  }
+  if (name == "p_hp") {
+    return std::unique_ptr<HistogramPublisher>(new PHPartition());
+  }
+  if (name == "ahp") {
+    return std::unique_ptr<HistogramPublisher>(new Ahp());
+  }
+  if (name == "gs") {
+    return std::unique_ptr<HistogramPublisher>(new GroupingSmoothing());
+  }
+  return Status::NotFound("unknown publisher: " + std::string(name));
+}
+
+namespace {
+
+std::vector<std::unique_ptr<HistogramPublisher>> MakeSuite(
+    const std::vector<std::string>& names) {
+  std::vector<std::unique_ptr<HistogramPublisher>> suite;
+  for (const std::string& name : names) {
+    auto made = PublisherRegistry::Make(name);
+    if (made.ok()) {
+      suite.push_back(std::move(made).value());
+    }
+  }
+  return suite;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<HistogramPublisher>>
+PublisherRegistry::MakePaperSuite() {
+  return MakeSuite(PaperNames());
+}
+
+std::vector<std::unique_ptr<HistogramPublisher>> PublisherRegistry::MakeAll() {
+  return MakeSuite(BuiltinNames());
+}
+
+}  // namespace dphist

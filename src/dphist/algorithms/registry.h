@@ -1,0 +1,44 @@
+#ifndef DPHIST_ALGORITHMS_REGISTRY_H_
+#define DPHIST_ALGORITHMS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dphist/algorithms/publisher.h"
+#include "dphist/common/result.h"
+
+namespace dphist {
+
+/// \brief Factory for the built-in publishers, so examples and benches can
+/// enumerate the algorithm suites uniformly.
+///
+/// Paper suite (the algorithms in the ICDE'12 evaluation):
+///   "dwork", "boost", "privelet", "noise_first", "structure_first".
+/// Extensions (related algorithms added by this library):
+///   "geometric", "efpa", "mwem", "p_hp", "ahp", "gs".
+/// Each factory call returns a fresh instance with the library defaults
+/// (customize by constructing the concrete class directly).
+class PublisherRegistry {
+ public:
+  /// The paper's algorithm names, in presentation order.
+  static std::vector<std::string> PaperNames();
+
+  /// All built-in names: the paper suite followed by the extensions.
+  static std::vector<std::string> BuiltinNames();
+
+  /// Creates a publisher by name; NotFound for unknown names.
+  static Result<std::unique_ptr<HistogramPublisher>> Make(
+      std::string_view name);
+
+  /// Creates the paper suite, in PaperNames() order.
+  static std::vector<std::unique_ptr<HistogramPublisher>> MakePaperSuite();
+
+  /// Creates every built-in publisher, in BuiltinNames() order.
+  static std::vector<std::unique_ptr<HistogramPublisher>> MakeAll();
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_ALGORITHMS_REGISTRY_H_

@@ -1,0 +1,81 @@
+#include "dphist/bench_util/experiment.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+
+Aggregate ComputeAggregate(const std::vector<double>& samples) {
+  Aggregate agg;
+  agg.repetitions = samples.size();
+  if (samples.empty()) {
+    return agg;
+  }
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  agg.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (double s : samples) {
+      const double d = s - agg.mean;
+      ss += d * d;
+    }
+    const double variance = ss / static_cast<double>(samples.size() - 1);
+    agg.std_error =
+        std::sqrt(variance / static_cast<double>(samples.size()));
+  }
+  return agg;
+}
+
+Result<CellResult> RunCell(const HistogramPublisher& publisher,
+                           const Histogram& truth,
+                           const std::vector<RangeQuery>& queries,
+                           double epsilon, std::size_t repetitions,
+                           std::uint64_t seed) {
+  if (repetitions == 0) {
+    return Status::InvalidArgument("RunCell requires repetitions >= 1");
+  }
+  Rng root(seed);
+  std::vector<double> maes;
+  std::vector<double> mses;
+  std::vector<double> kls;
+  std::vector<double> times;
+  maes.reserve(repetitions);
+  mses.reserve(repetitions);
+  kls.reserve(repetitions);
+  times.reserve(repetitions);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    Rng rng = root.Fork();
+    const auto start = std::chrono::steady_clock::now();
+    auto released = publisher.Publish(truth, epsilon, rng);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!released.ok()) {
+      return released.status();
+    }
+    times.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    auto workload = EvaluateWorkload(truth, released.value(), queries);
+    if (!workload.ok()) {
+      return workload.status();
+    }
+    maes.push_back(workload.value().mean_absolute);
+    mses.push_back(workload.value().mean_squared);
+    auto kl = KlDivergence(truth, released.value());
+    if (!kl.ok()) {
+      return kl.status();
+    }
+    kls.push_back(kl.value());
+  }
+  CellResult cell;
+  cell.workload_mae = ComputeAggregate(maes);
+  cell.workload_mse = ComputeAggregate(mses);
+  cell.kl_divergence = ComputeAggregate(kls);
+  cell.publish_ms = ComputeAggregate(times);
+  return cell;
+}
+
+}  // namespace dphist

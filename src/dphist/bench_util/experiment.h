@@ -1,0 +1,49 @@
+#ifndef DPHIST_BENCH_UTIL_EXPERIMENT_H_
+#define DPHIST_BENCH_UTIL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dphist/algorithms/publisher.h"
+#include "dphist/common/result.h"
+#include "dphist/hist/histogram.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/range_query.h"
+
+namespace dphist {
+
+/// \brief Mean and standard error of a repeated measurement.
+struct Aggregate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  std::size_t repetitions = 0;
+};
+
+/// Aggregates raw per-repetition samples into mean and standard error.
+Aggregate ComputeAggregate(const std::vector<double>& samples);
+
+/// \brief Result of running one (publisher, dataset, epsilon) cell.
+struct CellResult {
+  Aggregate workload_mae;
+  Aggregate workload_mse;
+  Aggregate kl_divergence;
+  /// Wall time per publication, in milliseconds.
+  Aggregate publish_ms;
+};
+
+/// \brief Runs `publisher` on `truth` `repetitions` times (fresh noise each
+/// time, derived deterministically from `seed`) and evaluates each release
+/// on `queries`.
+///
+/// This is the inner loop of every figure harness: one call = one point of
+/// a paper figure.
+Result<CellResult> RunCell(const HistogramPublisher& publisher,
+                           const Histogram& truth,
+                           const std::vector<RangeQuery>& queries,
+                           double epsilon, std::size_t repetitions,
+                           std::uint64_t seed);
+
+}  // namespace dphist
+
+#endif  // DPHIST_BENCH_UTIL_EXPERIMENT_H_

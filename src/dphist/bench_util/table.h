@@ -1,0 +1,37 @@
+#ifndef DPHIST_BENCH_UTIL_TABLE_H_
+#define DPHIST_BENCH_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dphist {
+
+/// \brief Fixed-width ASCII table printer for the benchmark harnesses,
+/// producing the rows the paper's tables/figures report.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells print empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant digits (helper for
+  /// callers building rows).
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Renders the table (headers, separator, rows) as a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_BENCH_UTIL_TABLE_H_

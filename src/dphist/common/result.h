@@ -1,0 +1,90 @@
+#ifndef DPHIST_COMMON_RESULT_H_
+#define DPHIST_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// The usual usage pattern is:
+/// \code
+///   Result<Histogram> r = LoadHistogramCsv(path);
+///   if (!r.ok()) { /* handle r.status() */ }
+///   Histogram h = std::move(r).value();
+/// \endcode
+///
+/// Accessing `value()` on an error result aborts the process; callers must
+/// check `ok()` first (the same contract as RocksDB's `Status`-guarded
+/// out-parameters and Arrow's `Result`).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors Arrow.
+      : value_(std::move(value)) {}
+
+  /// Constructs an error result from a non-OK status. Aborts if `status`
+  /// is OK, since an OK result must carry a value.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if `!ok()`.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+
+  /// Moves the held value out; aborts if `!ok()`.
+  T value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+}  // namespace dphist
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, returning the
+/// error status from the enclosing function when the result is an error.
+#define DPHIST_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto dphist_result_tmp_##__LINE__ = (expr);       \
+  if (!dphist_result_tmp_##__LINE__.ok()) {         \
+    return dphist_result_tmp_##__LINE__.status();   \
+  }                                                 \
+  lhs = std::move(dphist_result_tmp_##__LINE__).value()
+
+#endif  // DPHIST_COMMON_RESULT_H_

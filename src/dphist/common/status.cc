@@ -1,0 +1,47 @@
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+Status Status::InvalidArgument(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, message);
+}
+
+Status Status::Internal(std::string_view message) {
+  return Status(StatusCode::kInternal, message);
+}
+
+Status Status::NotFound(std::string_view message) {
+  return Status(StatusCode::kNotFound, message);
+}
+
+Status Status::ParseError(std::string_view message) {
+  return Status(StatusCode::kParseError, message);
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+}  // namespace dphist

@@ -1,0 +1,83 @@
+#ifndef DPHIST_COMMON_STATUS_H_
+#define DPHIST_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace dphist {
+
+/// \brief Error codes used across the dphist API.
+///
+/// dphist does not throw exceptions across public API boundaries; fallible
+/// operations return a `Status` (or a `Result<T>`, see result.h) in the
+/// style of RocksDB / Arrow.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument violated the function contract
+  /// (e.g., non-positive epsilon, empty histogram, k > n).
+  kInvalidArgument = 1,
+  /// An internal invariant failed; indicates a bug in dphist itself.
+  kInternal = 2,
+  /// A referenced entity (file, registered algorithm, ...) was not found.
+  kNotFound = 3,
+  /// Input data could not be parsed (CSV loader).
+  kParseError = 4,
+};
+
+/// \brief Lightweight status object carrying a code and a human-readable
+/// message. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string_view message);
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string_view message);
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string_view message);
+  /// Returns a ParseError status with the given message.
+  static Status ParseError(std::string_view message);
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace dphist
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DPHIST_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::dphist::Status dphist_status_tmp_ = (expr);     \
+    if (!dphist_status_tmp_.ok()) {                   \
+      return dphist_status_tmp_;                      \
+    }                                                 \
+  } while (false)
+
+#endif  // DPHIST_COMMON_STATUS_H_

@@ -1,0 +1,102 @@
+#include "dphist/data/csv.h"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dphist {
+
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t' ||
+                         s[begin] == '\r' || s[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r' || s[end - 1] == '\n')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(const std::string& token, std::size_t line_no) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) {
+      return Status::ParseError("trailing characters on line " +
+                                std::to_string(line_no));
+    }
+    return value;
+  } catch (...) {
+    return Status::ParseError("not a number on line " +
+                              std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+Result<Histogram> LoadHistogramCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::vector<double> counts;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    const std::size_t comma = trimmed.find(',');
+    if (comma == std::string::npos) {
+      auto value = ParseDouble(trimmed, line_no);
+      if (!value.ok()) {
+        return value.status();
+      }
+      counts.push_back(value.value());
+    } else {
+      auto index = ParseDouble(Trim(trimmed.substr(0, comma)), line_no);
+      if (!index.ok()) {
+        return index.status();
+      }
+      if (index.value() != static_cast<double>(counts.size())) {
+        return Status::ParseError("indices must be dense and in order (line " +
+                                  std::to_string(line_no) + ")");
+      }
+      auto value = ParseDouble(Trim(trimmed.substr(comma + 1)), line_no);
+      if (!value.ok()) {
+        return value.status();
+      }
+      counts.push_back(value.value());
+    }
+  }
+  if (counts.empty()) {
+    return Status::ParseError("no counts found in " + path);
+  }
+  return Histogram(std::move(counts));
+}
+
+Status SaveHistogramCsv(const Histogram& histogram, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    out << i << "," << histogram.count(i) << "\n";
+  }
+  if (!out) {
+    return Status::Internal("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dphist

@@ -1,0 +1,24 @@
+#include "dphist/data/dataset.h"
+
+#include <algorithm>
+
+namespace dphist {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.domain_size = dataset.histogram.size();
+  for (double count : dataset.histogram.counts()) {
+    stats.total_records += count;
+    if (count != 0.0) {
+      ++stats.nonzero_bins;
+    }
+    stats.max_count = std::max(stats.max_count, count);
+  }
+  if (stats.domain_size > 0) {
+    stats.mean_count =
+        stats.total_records / static_cast<double>(stats.domain_size);
+  }
+  return stats;
+}
+
+}  // namespace dphist

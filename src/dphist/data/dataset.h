@@ -1,0 +1,37 @@
+#ifndef DPHIST_DATA_DATASET_H_
+#define DPHIST_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "dphist/hist/histogram.h"
+
+namespace dphist {
+
+/// \brief A named histogram dataset used in the evaluation.
+struct Dataset {
+  /// Short identifier ("age", "nettrace", ...).
+  std::string name;
+  /// One-line provenance note (what the paper used; what this stands in
+  /// for).
+  std::string description;
+  /// The true unit-bin counts.
+  Histogram histogram;
+};
+
+/// \brief Summary statistics for the dataset table (experiment T1).
+struct DatasetStats {
+  std::size_t domain_size = 0;
+  double total_records = 0.0;
+  /// Number of non-zero bins.
+  std::size_t nonzero_bins = 0;
+  double max_count = 0.0;
+  double mean_count = 0.0;
+};
+
+/// Computes summary statistics of a dataset's histogram.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace dphist
+
+#endif  // DPHIST_DATA_DATASET_H_

@@ -1,0 +1,190 @@
+#include "dphist/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dphist/random/distributions.h"
+
+namespace dphist {
+
+namespace {
+
+// Gaussian bump helper for density mixtures.
+double Bump(double x, double center, double width) {
+  const double z = (x - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+
+// Turns a non-negative density into integer counts totalling roughly
+// `total_records`, with per-bin Poisson-like jitter so the histogram looks
+// like sampled data rather than an analytic curve.
+std::vector<double> DensityToCounts(const std::vector<double>& density,
+                                    double total_records, Rng& rng) {
+  double mass = 0.0;
+  for (double d : density) {
+    mass += d;
+  }
+  std::vector<double> counts(density.size(), 0.0);
+  if (mass <= 0.0) {
+    return counts;
+  }
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    const double expected = total_records * density[i] / mass;
+    // Gaussian approximation to Poisson jitter (cheap, deterministic).
+    const double u1 = SampleUniformDoublePositive(rng);
+    const double u2 = SampleUniformDouble(rng);
+    const double normal =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double jittered = expected + normal * std::sqrt(expected);
+    counts[i] = std::max(0.0, std::round(jittered));
+  }
+  return counts;
+}
+
+}  // namespace
+
+Dataset MakeAge(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 100;
+  std::vector<double> density(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    // Age pyramid: broad child/young-adult mass, a boomer bump, a smooth
+    // decline past retirement age.
+    density[i] = 0.9 * Bump(x, 10.0, 12.0) + 1.0 * Bump(x, 35.0, 14.0) +
+                 0.8 * Bump(x, 55.0, 10.0) + 0.25 * Bump(x, 75.0, 9.0);
+  }
+  Dataset dataset;
+  dataset.name = "age";
+  dataset.description =
+      "synthetic stand-in for US Census (IPUMS) ages: smooth multi-modal "
+      "pyramid, 100 bins, ~1M records";
+  dataset.histogram = Histogram(DensityToCounts(density, 1.0e6, rng));
+  return dataset;
+}
+
+Dataset MakeNetTrace(std::size_t domain_size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(domain_size, 0.0);
+  // Sparse background: ~20% of bins hold a few connections.
+  for (std::size_t i = 0; i < domain_size; ++i) {
+    if (SampleUniformDouble(rng) < 0.2) {
+      counts[i] = static_cast<double>(1 + SampleGeometric(rng, 0.4));
+    }
+  }
+  // Hot hosts: power-law spike magnitudes at random positions.
+  const std::size_t num_spikes = std::max<std::size_t>(4, domain_size / 64);
+  for (std::size_t s = 0; s < num_spikes; ++s) {
+    const std::size_t pos = SampleIndex(rng, domain_size);
+    const double u = SampleUniformDoublePositive(rng);
+    // Pareto tail with exponent ~1.2, capped for sanity.
+    const double magnitude = std::min(50000.0, 50.0 * std::pow(u, -1.2));
+    counts[pos] += std::round(magnitude);
+  }
+  Dataset dataset;
+  dataset.name = "nettrace";
+  dataset.description =
+      "synthetic stand-in for an IP-level network trace: sparse background "
+      "with heavy power-law spikes";
+  dataset.histogram = Histogram(std::move(counts));
+  return dataset;
+}
+
+Dataset MakeSearchLogs(std::size_t domain_size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(domain_size, 0.0);
+  // Piecewise epochs whose levels follow a log-normal, modulated by a
+  // mild periodic (daily) factor.
+  std::size_t i = 0;
+  while (i < domain_size) {
+    const std::size_t epoch_len = static_cast<std::size_t>(
+        SampleUniformInt(rng, 16, 96));
+    const double u1 = SampleUniformDoublePositive(rng);
+    const double u2 = SampleUniformDouble(rng);
+    const double normal =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double level = std::exp(3.0 + 1.2 * normal);
+    for (std::size_t j = 0; j < epoch_len && i < domain_size; ++j, ++i) {
+      const double period =
+          1.0 + 0.4 * std::sin(2.0 * 3.141592653589793 *
+                               static_cast<double>(i) / 24.0);
+      const double noise = 0.7 + 0.6 * SampleUniformDouble(rng);
+      counts[i] = std::round(level * period * noise);
+    }
+  }
+  Dataset dataset;
+  dataset.name = "searchlogs";
+  dataset.description =
+      "synthetic stand-in for keyword-frequency-over-time search logs: "
+      "bursty log-normal epochs with daily periodicity";
+  dataset.histogram = Histogram(std::move(counts));
+  return dataset;
+}
+
+Dataset MakeSocialNetwork(std::size_t domain_size, std::uint64_t seed) {
+  Rng rng(seed);
+  const double num_nodes = 2.0e5;
+  std::vector<double> density(domain_size, 0.0);
+  for (std::size_t d = 0; d < domain_size; ++d) {
+    density[d] = std::pow(static_cast<double>(d) + 1.0, -2.5);
+  }
+  Dataset dataset;
+  dataset.name = "social";
+  dataset.description =
+      "synthetic stand-in for a social-graph degree distribution: "
+      "power-law decay with exponent 2.5";
+  dataset.histogram = Histogram(DensityToCounts(density, num_nodes, rng));
+  return dataset;
+}
+
+Dataset MakeUniform(std::size_t domain_size, double level,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(domain_size, 0.0);
+  for (double& c : counts) {
+    // Small integer jitter around the level.
+    c = std::max(0.0, std::round(level + static_cast<double>(SampleUniformInt(
+                                              rng, -2, 2))));
+  }
+  Dataset dataset;
+  dataset.name = "uniform";
+  dataset.description = "near-uniform histogram (merging-friendly regime)";
+  dataset.histogram = Histogram(std::move(counts));
+  return dataset;
+}
+
+Dataset MakePiecewiseConstant(std::size_t domain_size,
+                              std::size_t num_segments, double max_level,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(domain_size, 0.0);
+  const std::size_t segments = std::max<std::size_t>(1, num_segments);
+  const std::size_t base_len = std::max<std::size_t>(1, domain_size / segments);
+  std::size_t i = 0;
+  while (i < domain_size) {
+    const double level =
+        std::round(max_level * SampleUniformDouble(rng));
+    const std::size_t len = std::min(base_len, domain_size - i);
+    for (std::size_t j = 0; j < len; ++j, ++i) {
+      counts[i] = level;
+    }
+  }
+  Dataset dataset;
+  dataset.name = "piecewise";
+  dataset.description = "piecewise-constant histogram with a known structure";
+  dataset.histogram = Histogram(std::move(counts));
+  return dataset;
+}
+
+std::vector<Dataset> MakePaperSuite(std::size_t trace_domain_size,
+                                    std::uint64_t seed) {
+  std::vector<Dataset> suite;
+  suite.push_back(MakeAge(seed + 1));
+  suite.push_back(MakeNetTrace(trace_domain_size, seed + 2));
+  suite.push_back(MakeSearchLogs(trace_domain_size, seed + 3));
+  suite.push_back(MakeSocialNetwork(
+      std::max<std::size_t>(64, trace_domain_size / 4), seed + 4));
+  return suite;
+}
+
+}  // namespace dphist

@@ -1,0 +1,57 @@
+#ifndef DPHIST_DATA_GENERATORS_H_
+#define DPHIST_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dphist/data/dataset.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+
+/// \brief Synthetic stand-ins for the paper's evaluation datasets.
+///
+/// The original evaluation used real traces (US Census ages, an IP-level
+/// network trace, search-keyword frequencies over time, and a social-graph
+/// degree distribution) that are not available offline. Each generator
+/// below reproduces the *shape* that drives the algorithms' relative
+/// behaviour — smoothness, sparsity, burstiness, tail decay — at a
+/// comparable scale, deterministically from a seed. See DESIGN.md for the
+/// substitution rationale per dataset.
+
+/// Census-age-like histogram: a smooth multi-modal age pyramid.
+/// Domain: 100 unit bins (ages 0-99); ~1M records.
+Dataset MakeAge(std::uint64_t seed);
+
+/// Network-trace-like histogram: sparse background with heavy power-law
+/// spikes (hot hosts). `domain_size` defaults to 4096 in callers.
+Dataset MakeNetTrace(std::size_t domain_size, std::uint64_t seed);
+
+/// Search-log-like histogram: bursty piecewise epochs with a mild daily
+/// periodicity, as in keyword-frequency-over-time traces.
+Dataset MakeSearchLogs(std::size_t domain_size, std::uint64_t seed);
+
+/// Social-network-like histogram: power-law degree distribution
+/// (count(d) ~ (d+1)^-2.5), monotone with a long flat tail.
+Dataset MakeSocialNetwork(std::size_t domain_size, std::uint64_t seed);
+
+/// Uniform histogram (every bin near `level`): the regime where merging is
+/// free and NoiseFirst's advantage over Dwork is largest. Used by tests.
+Dataset MakeUniform(std::size_t domain_size, double level,
+                    std::uint64_t seed);
+
+/// Piecewise-constant histogram with `num_segments` random plateaus: ground
+/// truth with a known ideal structure. Used by tests.
+Dataset MakePiecewiseConstant(std::size_t domain_size,
+                              std::size_t num_segments, double max_level,
+                              std::uint64_t seed);
+
+/// The paper's four-dataset suite at the given trace domain size (Age is
+/// always 100 bins).
+std::vector<Dataset> MakePaperSuite(std::size_t trace_domain_size,
+                                    std::uint64_t seed);
+
+}  // namespace dphist
+
+#endif  // DPHIST_DATA_GENERATORS_H_

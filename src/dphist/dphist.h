@@ -1,0 +1,56 @@
+#ifndef DPHIST_DPHIST_H_
+#define DPHIST_DPHIST_H_
+
+/// \file
+/// \brief Umbrella header: pulls in the whole public dphist API.
+///
+/// Most users only need a publisher, a histogram, and an Rng:
+/// \code
+///   #include "dphist/dphist.h"
+///   dphist::Histogram truth({3, 1, 4, 1, 5});
+///   dphist::Rng rng(42);
+///   auto released = dphist::NoiseFirst().Publish(truth, 0.5, rng);
+/// \endcode
+/// Individual headers compile faster; include them directly in larger
+/// projects.
+
+#include "dphist/algorithms/ahp.h"
+#include "dphist/algorithms/boost_tree.h"
+#include "dphist/algorithms/efpa.h"
+#include "dphist/algorithms/grouping_smoothing.h"
+#include "dphist/algorithms/identity_geometric.h"
+#include "dphist/algorithms/identity_laplace.h"
+#include "dphist/algorithms/mwem.h"
+#include "dphist/algorithms/noise_first.h"
+#include "dphist/algorithms/p_hp.h"
+#include "dphist/algorithms/postprocess.h"
+#include "dphist/algorithms/privelet.h"
+#include "dphist/algorithms/publisher.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/common/math_util.h"
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/data/csv.h"
+#include "dphist/data/dataset.h"
+#include "dphist/data/generators.h"
+#include "dphist/hist/bucketization.h"
+#include "dphist/hist/fenwick.h"
+#include "dphist/hist/histogram.h"
+#include "dphist/hist/interval_cost.h"
+#include "dphist/hist/vopt_dp.h"
+#include "dphist/metrics/analytic.h"
+#include "dphist/metrics/metrics.h"
+#include "dphist/privacy/budget.h"
+#include "dphist/privacy/exponential_mechanism.h"
+#include "dphist/privacy/geometric_mechanism.h"
+#include "dphist/privacy/laplace_mechanism.h"
+#include "dphist/query/range_query.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+#include "dphist/transform/fourier.h"
+#include "dphist/transform/haar_wavelet.h"
+#include "dphist/transform/interval_tree.h"
+
+#endif  // DPHIST_DPHIST_H_

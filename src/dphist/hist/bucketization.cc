@@ -1,0 +1,116 @@
+#include "dphist/hist/bucketization.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+
+Result<Bucketization> Bucketization::SingleBucket(std::size_t domain_size) {
+  return FromCuts(domain_size, {});
+}
+
+Result<Bucketization> Bucketization::Identity(std::size_t domain_size) {
+  std::vector<std::size_t> cuts;
+  cuts.reserve(domain_size > 0 ? domain_size - 1 : 0);
+  for (std::size_t i = 1; i < domain_size; ++i) {
+    cuts.push_back(i);
+  }
+  return FromCuts(domain_size, std::move(cuts));
+}
+
+Result<Bucketization> Bucketization::FromCuts(std::size_t domain_size,
+                                              std::vector<std::size_t> cuts) {
+  if (domain_size == 0) {
+    return Status::InvalidArgument("Bucketization requires domain_size >= 1");
+  }
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    if (cuts[i] == 0 || cuts[i] >= domain_size) {
+      return Status::InvalidArgument(
+          "Bucketization cuts must lie strictly inside (0, domain_size)");
+    }
+    if (i > 0 && cuts[i] <= cuts[i - 1]) {
+      return Status::InvalidArgument(
+          "Bucketization cuts must be strictly increasing");
+    }
+  }
+  return Bucketization(domain_size, std::move(cuts));
+}
+
+Result<Bucketization> Bucketization::EquiWidth(std::size_t domain_size,
+                                               std::size_t num_buckets) {
+  if (num_buckets == 0 || num_buckets > domain_size) {
+    return Status::InvalidArgument(
+        "EquiWidth requires 1 <= num_buckets <= domain_size");
+  }
+  const std::size_t width = domain_size / num_buckets;
+  std::vector<std::size_t> cuts;
+  cuts.reserve(num_buckets - 1);
+  for (std::size_t b = 1; b < num_buckets; ++b) {
+    cuts.push_back(b * width);
+  }
+  return FromCuts(domain_size, std::move(cuts));
+}
+
+Bucket Bucketization::bucket(std::size_t i) const {
+  Bucket b;
+  b.begin = (i == 0) ? 0 : cuts_[i - 1];
+  b.end = (i == cuts_.size()) ? domain_size_ : cuts_[i];
+  return b;
+}
+
+std::size_t Bucketization::BucketOf(std::size_t bin) const {
+  // First cut strictly greater than `bin` determines the bucket index.
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), bin);
+  return static_cast<std::size_t>(it - cuts_.begin());
+}
+
+Result<std::vector<Bucket>> Bucketization::Apply(
+    const std::vector<double>& unit_counts) const {
+  if (unit_counts.size() != domain_size_) {
+    return Status::InvalidArgument(
+        "Bucketization::Apply: counts size must equal domain size");
+  }
+  std::vector<Bucket> buckets;
+  buckets.reserve(num_buckets());
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    Bucket b = bucket(i);
+    KahanSum sum;
+    for (std::size_t j = b.begin; j < b.end; ++j) {
+      sum.Add(unit_counts[j]);
+    }
+    b.mean = sum.Total() / static_cast<double>(b.length());
+    buckets.push_back(b);
+  }
+  return buckets;
+}
+
+Result<std::vector<double>> Bucketization::Expand(
+    const std::vector<double>& bucket_means) const {
+  if (bucket_means.size() != num_buckets()) {
+    return Status::InvalidArgument(
+        "Bucketization::Expand: need one mean per bucket");
+  }
+  std::vector<double> unit(domain_size_, 0.0);
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    const Bucket b = bucket(i);
+    for (std::size_t j = b.begin; j < b.end; ++j) {
+      unit[j] = bucket_means[i];
+    }
+  }
+  return unit;
+}
+
+std::string Bucketization::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    const Bucket b = bucket(i);
+    out << (i == 0 ? "" : " ") << "[" << b.begin << "," << b.end << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace dphist

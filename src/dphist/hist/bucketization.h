@@ -1,0 +1,91 @@
+#ifndef DPHIST_HIST_BUCKETIZATION_H_
+#define DPHIST_HIST_BUCKETIZATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief A contiguous bucket [begin, end) over unit bins, with the value
+/// assigned to every unit bin inside it (the bucket's published mean).
+struct Bucket {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  double mean = 0.0;
+
+  /// Number of unit bins covered.
+  std::size_t length() const { return end - begin; }
+};
+
+/// \brief A partition of the domain [0, n) into contiguous buckets.
+///
+/// Both NoiseFirst and StructureFirst produce a `Bucketization`: the
+/// "structure" of the merged histogram. Invariants (validated at
+/// construction): boundaries are strictly increasing interior cut points in
+/// (0, n); the implied buckets tile [0, n) exactly.
+class Bucketization {
+ public:
+  /// Creates the trivial single-bucket structure over a domain of size n.
+  /// Requires n >= 1 (returns InvalidArgument otherwise).
+  static Result<Bucketization> SingleBucket(std::size_t domain_size);
+
+  /// Creates the identity structure: every unit bin its own bucket.
+  static Result<Bucketization> Identity(std::size_t domain_size);
+
+  /// Creates a structure from interior cut points. `cuts` must be strictly
+  /// increasing values in (0, domain_size); bucket i spans
+  /// [cuts[i-1], cuts[i]) with cuts[-1] = 0 and cuts[k-1] = domain_size
+  /// implied. An empty `cuts` yields the single-bucket structure.
+  static Result<Bucketization> FromCuts(std::size_t domain_size,
+                                        std::vector<std::size_t> cuts);
+
+  /// Creates an equi-width structure with `num_buckets` buckets (the last
+  /// bucket absorbs the remainder). Requires 1 <= num_buckets <= domain_size.
+  static Result<Bucketization> EquiWidth(std::size_t domain_size,
+                                         std::size_t num_buckets);
+
+  /// Domain size n.
+  std::size_t domain_size() const { return domain_size_; }
+
+  /// Number of buckets (cuts.size() + 1).
+  std::size_t num_buckets() const { return cuts_.size() + 1; }
+
+  /// The interior cut points, strictly increasing, in (0, n).
+  const std::vector<std::size_t>& cuts() const { return cuts_; }
+
+  /// Returns bucket `i`'s [begin, end) span (mean is 0; use Apply to fill).
+  Bucket bucket(std::size_t i) const;
+
+  /// Returns the index of the bucket containing unit bin `bin`.
+  /// Requires bin < domain_size().
+  std::size_t BucketOf(std::size_t bin) const;
+
+  /// Computes each bucket's mean of `unit_counts` and returns the filled
+  /// buckets. Returns InvalidArgument if unit_counts.size() != domain_size.
+  Result<std::vector<Bucket>> Apply(
+      const std::vector<double>& unit_counts) const;
+
+  /// Expands per-bucket means back to a unit-bin vector of length n:
+  /// every unit bin receives its bucket's mean. `bucket_means` must have
+  /// num_buckets() entries.
+  Result<std::vector<double>> Expand(
+      const std::vector<double>& bucket_means) const;
+
+  /// Debug string like "{[0,3) [3,7) [7,10)}".
+  std::string ToString() const;
+
+ private:
+  Bucketization(std::size_t domain_size, std::vector<std::size_t> cuts)
+      : domain_size_(domain_size), cuts_(std::move(cuts)) {}
+
+  std::size_t domain_size_ = 0;
+  std::vector<std::size_t> cuts_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_HIST_BUCKETIZATION_H_

@@ -1,0 +1,55 @@
+#ifndef DPHIST_HIST_FENWICK_H_
+#define DPHIST_HIST_FENWICK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dphist {
+
+/// \brief A Fenwick (binary indexed) tree over value ranks, tracking both
+/// the number and the sum of inserted values per rank.
+///
+/// Used by the absolute-error interval-cost builder: while scanning an
+/// interval we insert each count at its value rank, and can then answer
+/// "how many inserted values are <= t, and what is their sum" in O(log R)
+/// — exactly what evaluating sum_i |x_i - mu| around a mean mu needs.
+class RankedFenwick {
+ public:
+  /// Creates a tree over `num_ranks` ranks (0 .. num_ranks-1).
+  explicit RankedFenwick(std::size_t num_ranks);
+
+  /// Number of ranks.
+  std::size_t num_ranks() const { return size_; }
+
+  /// Inserts one occurrence of `value` at `rank`. Requires rank < num_ranks.
+  void Insert(std::size_t rank, double value);
+
+  /// Removes one occurrence of `value` at `rank` (inverse of Insert).
+  void Remove(std::size_t rank, double value);
+
+  /// Resets the tree to empty without reallocating.
+  void Clear();
+
+  /// Number of inserted values with rank <= `rank`. A rank of
+  /// num_ranks()-1 returns the total insert count.
+  std::int64_t CountUpTo(std::size_t rank) const;
+
+  /// Sum of inserted values with rank <= `rank`.
+  double SumUpTo(std::size_t rank) const;
+
+  /// Total number of inserted values.
+  std::int64_t TotalCount() const;
+
+  /// Total sum of inserted values.
+  double TotalSum() const;
+
+ private:
+  std::size_t size_;
+  std::vector<std::int64_t> count_;
+  std::vector<double> sum_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_HIST_FENWICK_H_

@@ -1,0 +1,75 @@
+#include "dphist/hist/histogram.h"
+
+#include <utility>
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+
+Histogram::Histogram(std::vector<double> counts)
+    : counts_(std::move(counts)) {}
+
+Histogram Histogram::Zeros(std::size_t num_bins) {
+  return Histogram(std::vector<double>(num_bins, 0.0));
+}
+
+void Histogram::set_count(std::size_t i, double value) {
+  counts_[i] = value;
+  prefix_valid_ = false;
+}
+
+void Histogram::Add(std::size_t i, double delta) {
+  counts_[i] += delta;
+  prefix_valid_ = false;
+}
+
+double Histogram::Total() const {
+  EnsurePrefix();
+  return prefix_.back();
+}
+
+Result<double> Histogram::RangeSum(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > counts_.size()) {
+    return Status::InvalidArgument("RangeSum: invalid range");
+  }
+  return RangeSumUnchecked(begin, end);
+}
+
+double Histogram::RangeSumUnchecked(std::size_t begin,
+                                    std::size_t end) const {
+  EnsurePrefix();
+  return prefix_[end] - prefix_[begin];
+}
+
+std::vector<double> Histogram::ToDistribution() const {
+  std::vector<double> dist(counts_.size(), 0.0);
+  KahanSum total;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    dist[i] = counts_[i] > 0.0 ? counts_[i] : 0.0;
+    total.Add(dist[i]);
+  }
+  if (dist.empty()) {
+    return dist;
+  }
+  if (total.Total() <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(dist.size());
+    for (double& p : dist) {
+      p = uniform;
+    }
+    return dist;
+  }
+  for (double& p : dist) {
+    p /= total.Total();
+  }
+  return dist;
+}
+
+void Histogram::EnsurePrefix() const {
+  if (prefix_valid_) {
+    return;
+  }
+  prefix_ = PrefixSums(counts_);
+  prefix_valid_ = true;
+}
+
+}  // namespace dphist

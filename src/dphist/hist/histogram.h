@@ -1,0 +1,74 @@
+#ifndef DPHIST_HIST_HISTOGRAM_H_
+#define DPHIST_HIST_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief A one-dimensional histogram over an ordered domain of unit bins.
+///
+/// This is the object the paper publishes: `counts()[i]` is the (possibly
+/// noisy) number of records whose attribute falls in the i-th unit bin of
+/// the domain. Range sums are answered in O(1) from a prefix table, which is
+/// rebuilt lazily after mutation.
+class Histogram {
+ public:
+  /// Creates an empty histogram (zero bins).
+  Histogram() = default;
+
+  /// Creates a histogram with the given unit-bin counts. Counts may be
+  /// fractional or negative (noisy histograms are both).
+  explicit Histogram(std::vector<double> counts);
+
+  /// Creates a zeroed histogram with `num_bins` bins.
+  static Histogram Zeros(std::size_t num_bins);
+
+  /// Number of unit bins.
+  std::size_t size() const { return counts_.size(); }
+  /// True iff the histogram has no bins.
+  bool empty() const { return counts_.empty(); }
+
+  /// The unit-bin counts.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// The count of bin `i`. Requires i < size().
+  double count(std::size_t i) const { return counts_[i]; }
+
+  /// Sets the count of bin `i` and invalidates the prefix table.
+  void set_count(std::size_t i, double value);
+
+  /// Adds `delta` to bin `i` and invalidates the prefix table.
+  void Add(std::size_t i, double delta);
+
+  /// Sum of all counts.
+  double Total() const;
+
+  /// Sum of counts in the half-open range [begin, end).
+  /// Returns InvalidArgument unless begin <= end <= size().
+  Result<double> RangeSum(std::size_t begin, std::size_t end) const;
+
+  /// Like RangeSum but with unchecked bounds (for hot loops where the
+  /// workload was validated up front). Requires begin <= end <= size().
+  double RangeSumUnchecked(std::size_t begin, std::size_t end) const;
+
+  /// Returns counts normalized to sum to 1, after clamping negatives to 0.
+  /// If every clamped count is zero, returns the uniform distribution.
+  /// Useful for distribution-level metrics (KL divergence).
+  std::vector<double> ToDistribution() const;
+
+ private:
+  void EnsurePrefix() const;
+
+  std::vector<double> counts_;
+  // Lazily built prefix sums: prefix_[i] = sum of counts_[0..i).
+  mutable std::vector<double> prefix_;
+  mutable bool prefix_valid_ = false;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_HIST_HISTOGRAM_H_

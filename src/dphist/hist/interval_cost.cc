@@ -1,0 +1,128 @@
+#include "dphist/hist/interval_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dphist/common/math_util.h"
+#include "dphist/hist/fenwick.h"
+
+namespace dphist {
+
+const char* CostKindName(CostKind kind) {
+  switch (kind) {
+    case CostKind::kSquared:
+      return "squared";
+    case CostKind::kAbsolute:
+      return "absolute";
+  }
+  return "unknown";
+}
+
+Result<IntervalCostTable> IntervalCostTable::Create(
+    const std::vector<double>& counts, const Options& options) {
+  if (counts.empty()) {
+    return Status::InvalidArgument(
+        "IntervalCostTable requires a non-empty histogram");
+  }
+  if (options.grid_step == 0) {
+    return Status::InvalidArgument("grid_step must be >= 1");
+  }
+  IntervalCostTable table;
+  table.domain_size_ = counts.size();
+  table.kind_ = options.kind;
+  table.grid_step_ = options.grid_step;
+  for (std::size_t p = 0; p < counts.size(); p += options.grid_step) {
+    table.positions_.push_back(p);
+  }
+  table.positions_.push_back(counts.size());
+  table.sums_ = PrefixSums(counts);
+  table.squares_ = PrefixSumsOfSquares(counts);
+  if (options.kind == CostKind::kAbsolute) {
+    const std::size_t m = table.positions_.size();
+    if (m * m > options.max_table_cells) {
+      return Status::InvalidArgument(
+          "absolute-cost matrix would exceed max_table_cells; "
+          "increase grid_step");
+    }
+    table.BuildAbsoluteMatrix(counts);
+  }
+  return table;
+}
+
+double IntervalCostTable::CostBetween(std::size_t a, std::size_t b) const {
+  if (kind_ == CostKind::kAbsolute) {
+    return AbsoluteAt(a, b);
+  }
+  return SquaredCostOf(positions_[a], positions_[b]);
+}
+
+double IntervalCostTable::MeanOf(std::size_t begin, std::size_t end) const {
+  const double length = static_cast<double>(end - begin);
+  return (sums_[end] - sums_[begin]) / length;
+}
+
+double IntervalCostTable::SquaredCostOf(std::size_t begin,
+                                        std::size_t end) const {
+  const double length = static_cast<double>(end - begin);
+  const double sum = sums_[end] - sums_[begin];
+  const double sum_sq = squares_[end] - squares_[begin];
+  // SSE = sum of squares - (sum)^2 / L; clamp tiny negative values caused
+  // by cancellation.
+  const double sse = sum_sq - sum * sum / length;
+  return sse > 0.0 ? sse : 0.0;
+}
+
+void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts) {
+  const std::size_t m = positions_.size();
+  absolute_costs_.assign(m * m, 0.0);
+
+  // Rank every distinct count value so a Fenwick tree over ranks can answer
+  // "count and sum of inserted values <= mu" queries.
+  std::vector<double> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<std::size_t> rank_of(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    rank_of[i] = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), counts[i]) -
+        sorted.begin());
+  }
+
+  RankedFenwick fenwick(sorted.size());
+  // For each candidate end position, sweep the start leftwards, inserting
+  // one unit bin at a time; at every candidate start, evaluate the cost of
+  // the interval currently held in the Fenwick tree.
+  for (std::size_t b = 1; b < m; ++b) {
+    fenwick.Clear();
+    const std::size_t end = positions_[b];
+    std::size_t a = b;  // index of the next candidate start to the left
+    for (std::size_t j = end; j-- > 0;) {
+      fenwick.Insert(rank_of[j], counts[j]);
+      if (a > 0 && positions_[a - 1] == j) {
+        --a;
+        const std::size_t begin = positions_[a];
+        const double length = static_cast<double>(end - begin);
+        const double total = fenwick.TotalSum();
+        const double mu = total / length;
+        // Largest rank whose value is <= mu.
+        const auto it =
+            std::upper_bound(sorted.begin(), sorted.end(), mu);
+        double below_sum = 0.0;
+        double below_count = 0.0;
+        if (it != sorted.begin()) {
+          const std::size_t rank =
+              static_cast<std::size_t>(it - sorted.begin()) - 1;
+          below_sum = fenwick.SumUpTo(rank);
+          below_count = static_cast<double>(fenwick.CountUpTo(rank));
+        }
+        const double above_sum = total - below_sum;
+        const double above_count = length - below_count;
+        const double cost =
+            (mu * below_count - below_sum) + (above_sum - mu * above_count);
+        absolute_costs_[a * m + b] = cost > 0.0 ? cost : 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace dphist

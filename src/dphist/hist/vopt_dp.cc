@@ -1,0 +1,86 @@
+#include "dphist/hist/vopt_dp.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dphist {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
+                                     std::size_t max_buckets) {
+  const std::size_t m = costs.num_candidates();
+  if (m == 0) {
+    return Status::InvalidArgument("VOptSolver: no candidate intervals");
+  }
+  std::size_t cap = max_buckets == 0 ? m : std::min(max_buckets, m);
+
+  VOptSolver solver;
+  solver.max_buckets_ = cap;
+  solver.num_candidates_ = m;
+  solver.domain_size_ = costs.domain_size();
+  solver.positions_ = costs.positions();
+  const std::size_t width = m + 1;
+  solver.table_.assign((cap + 1) * width, kInfinity);
+  solver.parent_.assign((cap + 1) * width, -1);
+
+  // Base row: one bucket covering the prefix.
+  for (std::size_t i = 1; i <= m; ++i) {
+    solver.table_[1 * width + i] = costs.CostBetween(0, i);
+    solver.parent_[1 * width + i] = 0;
+  }
+
+  for (std::size_t k = 2; k <= cap; ++k) {
+    const double* prev = &solver.table_[(k - 1) * width];
+    double* curr = &solver.table_[k * width];
+    std::int32_t* par = &solver.parent_[k * width];
+    for (std::size_t i = k; i <= m; ++i) {
+      double best = kInfinity;
+      std::int32_t best_j = -1;
+      for (std::size_t j = k - 1; j < i; ++j) {
+        if (prev[j] == kInfinity) {
+          continue;
+        }
+        const double candidate = prev[j] + costs.CostBetween(j, i);
+        if (candidate < best) {
+          best = candidate;
+          best_j = static_cast<std::int32_t>(j);
+        }
+      }
+      curr[i] = best;
+      par[i] = best_j;
+    }
+  }
+  return solver;
+}
+
+double VOptSolver::PrefixCost(std::size_t k, std::size_t i) const {
+  if (k == 0 || k > max_buckets_ || i > num_candidates_ || i < k) {
+    return kInfinity;
+  }
+  return table_[k * (num_candidates_ + 1) + i];
+}
+
+Result<Bucketization> VOptSolver::Traceback(std::size_t k) const {
+  if (k == 0 || k > max_buckets_) {
+    return Status::InvalidArgument("Traceback: k out of range");
+  }
+  const std::size_t width = num_candidates_ + 1;
+  std::vector<std::size_t> cuts;
+  cuts.reserve(k - 1);
+  std::size_t i = num_candidates_;
+  for (std::size_t level = k; level > 1; --level) {
+    const std::int32_t j = parent_[level * width + i];
+    if (j <= 0) {
+      return Status::Internal("Traceback: corrupt parent table");
+    }
+    cuts.push_back(positions_[static_cast<std::size_t>(j)]);
+    i = static_cast<std::size_t>(j);
+  }
+  std::reverse(cuts.begin(), cuts.end());
+  return Bucketization::FromCuts(domain_size_, std::move(cuts));
+}
+
+}  // namespace dphist

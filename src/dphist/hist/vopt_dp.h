@@ -1,0 +1,77 @@
+#ifndef DPHIST_HIST_VOPT_DP_H_
+#define DPHIST_HIST_VOPT_DP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/hist/bucketization.h"
+#include "dphist/hist/interval_cost.h"
+
+namespace dphist {
+
+/// \brief The v-optimal histogram dynamic program (Jagadish et al.,
+/// VLDB'98), generalized to an arbitrary interval-cost measure.
+///
+/// Given candidate cut positions p_0=0 < ... < p_m=n and an interval cost
+/// `c`, the solver computes, for every k <= max_buckets and every candidate
+/// prefix i,
+///
+///   T[k][i] = min over structures of [p_0, p_i) with exactly k buckets of
+///             the total cost,
+///
+/// in O(max_buckets * m^2) time with O(1) cost lookups. The full table is
+/// retained because both of the paper's algorithms consume it beyond the
+/// optimum: NoiseFirst scans T[k][m] over k to pick k*, and StructureFirst
+/// samples boundaries from the suffix costs T[k][j] + c(p_j, p_end).
+class VOptSolver {
+ public:
+  /// Runs the dynamic program for up to `max_buckets` buckets.
+  /// `max_buckets` is clamped to the number of candidate intervals m;
+  /// passing 0 means "up to m". Fails only on m == 0 (cannot happen for a
+  /// valid cost table).
+  static Result<VOptSolver> Solve(const IntervalCostTable& costs,
+                                  std::size_t max_buckets);
+
+  /// Largest bucket count the table covers.
+  std::size_t max_buckets() const { return max_buckets_; }
+
+  /// Number of candidate intervals m.
+  std::size_t num_candidates() const { return num_candidates_; }
+
+  /// Minimum total cost of a k-bucket structure over the whole domain.
+  /// Requires 1 <= k <= max_buckets().
+  double MinCost(std::size_t k) const {
+    return PrefixCost(k, num_candidates_);
+  }
+
+  /// T[k][i]: minimum cost of splitting the candidate prefix [p_0, p_i)
+  /// into exactly k buckets. Requires k <= max_buckets() and k <= i <= m;
+  /// returns +infinity for infeasible (i < k) combinations.
+  double PrefixCost(std::size_t k, std::size_t i) const;
+
+  /// Reconstructs the optimal k-bucket structure over the whole domain.
+  /// Requires 1 <= k <= max_buckets().
+  Result<Bucketization> Traceback(std::size_t k) const;
+
+  /// The candidate cut positions (copied from the cost table).
+  const std::vector<std::size_t>& positions() const { return positions_; }
+
+ private:
+  VOptSolver() = default;
+
+  std::size_t max_buckets_ = 0;
+  std::size_t num_candidates_ = 0;
+  std::size_t domain_size_ = 0;
+  std::vector<std::size_t> positions_;
+  // Row-major (max_buckets+1) x (m+1); row 0 unused.
+  std::vector<double> table_;
+  // Argmin predecessor index for traceback; same layout.
+  std::vector<std::int32_t> parent_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_HIST_VOPT_DP_H_

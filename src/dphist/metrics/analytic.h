@@ -1,0 +1,44 @@
+#ifndef DPHIST_METRICS_ANALYTIC_H_
+#define DPHIST_METRICS_ANALYTIC_H_
+
+#include <cstddef>
+
+#include "dphist/common/result.h"
+#include "dphist/query/range_query.h"
+
+namespace dphist {
+
+/// \brief Closed-form error models for the analytically tractable
+/// mechanisms.
+///
+/// These formulas serve two purposes: they are the yardsticks the paper's
+/// analysis compares against, and they verify the implementation — the
+/// tests check the *empirical* variance of each mechanism against these
+/// expressions, which catches mis-scaled noise that accuracy-ordering
+/// tests might miss.
+
+/// Variance of a length-`len` range query under the Dwork baseline:
+/// each bin contributes an independent Lap(1/eps), so 2*len/eps^2.
+/// Requires eps > 0.
+Result<double> DworkRangeVariance(std::size_t length, double epsilon);
+
+/// Variance of a range query under Privelet on a domain padded to n
+/// (power of two): the query answer is a fixed linear combination of the
+/// independent noisy coefficients. The overall-average coefficient
+/// contributes with weight len(q); a detail coefficient at heap node t
+/// contributes with weight |q ∩ left(t)| - |q ∩ right(t)| (zero whenever
+/// the node lies entirely inside or outside q, so only boundary-straddling
+/// nodes matter). Each coefficient carries variance 2*(rho/(eps*W))^2.
+/// Requires a power-of-two domain, a non-empty in-range query, eps > 0.
+Result<double> PriveletRangeVariance(std::size_t domain_size,
+                                     const RangeQuery& query,
+                                     double epsilon);
+
+/// Per-unit-bin variance under grouping-and-smoothing with group width w:
+/// the group sum carries Lap(1/eps) and is divided by w, so 2/(w^2 eps^2).
+/// Requires w >= 1 and eps > 0.
+Result<double> GroupedBinVariance(std::size_t group_width, double epsilon);
+
+}  // namespace dphist
+
+#endif  // DPHIST_METRICS_ANALYTIC_H_

@@ -1,0 +1,133 @@
+#include "dphist/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+
+namespace {
+
+Status CheckPaired(const std::vector<double>& truth,
+                   const std::vector<double>& estimate) {
+  if (truth.size() != estimate.size()) {
+    return Status::InvalidArgument("metric inputs must have equal size");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("metric inputs must be non-empty");
+  }
+  return Status::Ok();
+}
+
+// Clamp-negatives-and-smooth normalization shared by KL.
+std::vector<double> SmoothedDistribution(const std::vector<double>& counts,
+                                         double smoothing) {
+  std::vector<double> dist(counts.size());
+  KahanSum total;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    dist[i] = std::max(counts[i], 0.0) + smoothing;
+    total.Add(dist[i]);
+  }
+  for (double& p : dist) {
+    p /= total.Total();
+  }
+  return dist;
+}
+
+}  // namespace
+
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& estimate) {
+  DPHIST_RETURN_IF_ERROR(CheckPaired(truth, estimate));
+  KahanSum acc;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc.Add(std::abs(truth[i] - estimate[i]));
+  }
+  return acc.Total() / static_cast<double>(truth.size());
+}
+
+Result<double> MeanSquaredError(const std::vector<double>& truth,
+                                const std::vector<double>& estimate) {
+  DPHIST_RETURN_IF_ERROR(CheckPaired(truth, estimate));
+  KahanSum acc;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - estimate[i];
+    acc.Add(d * d);
+  }
+  return acc.Total() / static_cast<double>(truth.size());
+}
+
+Result<double> KlDivergence(const Histogram& truth, const Histogram& estimate,
+                            double smoothing) {
+  if (truth.size() != estimate.size() || truth.empty()) {
+    return Status::InvalidArgument(
+        "KlDivergence requires equal-size non-empty histograms");
+  }
+  if (!(smoothing > 0.0)) {
+    return Status::InvalidArgument("KlDivergence requires smoothing > 0");
+  }
+  const std::vector<double> p =
+      SmoothedDistribution(truth.counts(), smoothing);
+  const std::vector<double> q =
+      SmoothedDistribution(estimate.counts(), smoothing);
+  KahanSum acc;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc.Add(p[i] * std::log(p[i] / q[i]));
+  }
+  // Tiny negative values can arise from rounding; KL is non-negative.
+  return std::max(acc.Total(), 0.0);
+}
+
+Result<double> KsDistance(const Histogram& truth, const Histogram& estimate) {
+  if (truth.size() != estimate.size() || truth.empty()) {
+    return Status::InvalidArgument(
+        "KsDistance requires equal-size non-empty histograms");
+  }
+  const std::vector<double> p = truth.ToDistribution();
+  const std::vector<double> q = estimate.ToDistribution();
+  double cdf_p = 0.0;
+  double cdf_q = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    cdf_p += p[i];
+    cdf_q += q[i];
+    worst = std::max(worst, std::abs(cdf_p - cdf_q));
+  }
+  return worst;
+}
+
+Result<WorkloadError> EvaluateWorkload(
+    const Histogram& truth, const Histogram& estimate,
+    const std::vector<RangeQuery>& queries) {
+  if (truth.size() != estimate.size()) {
+    return Status::InvalidArgument(
+        "EvaluateWorkload requires equal-size histograms");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument(
+        "EvaluateWorkload requires a non-empty workload");
+  }
+  auto true_answers = AnswerQueries(truth, queries);
+  if (!true_answers.ok()) {
+    return true_answers.status();
+  }
+  auto est_answers = AnswerQueries(estimate, queries);
+  if (!est_answers.ok()) {
+    return est_answers.status();
+  }
+  WorkloadError error;
+  KahanSum abs_acc;
+  KahanSum sq_acc;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double d = true_answers.value()[i] - est_answers.value()[i];
+    abs_acc.Add(std::abs(d));
+    sq_acc.Add(d * d);
+    error.max_absolute = std::max(error.max_absolute, std::abs(d));
+  }
+  error.mean_absolute = abs_acc.Total() / static_cast<double>(queries.size());
+  error.mean_squared = sq_acc.Total() / static_cast<double>(queries.size());
+  return error;
+}
+
+}  // namespace dphist

@@ -1,0 +1,50 @@
+#ifndef DPHIST_METRICS_METRICS_H_
+#define DPHIST_METRICS_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/hist/histogram.h"
+#include "dphist/query/range_query.h"
+
+namespace dphist {
+
+/// \brief The error metrics of the paper's evaluation.
+
+/// Mean absolute error between paired vectors. Fails on size mismatch or
+/// empty input.
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& estimate);
+
+/// Mean squared error between paired vectors.
+Result<double> MeanSquaredError(const std::vector<double>& truth,
+                                const std::vector<double>& estimate);
+
+/// Kullback-Leibler divergence KL(P_true || P_est) between the two
+/// histograms viewed as distributions (negative counts clamped, mass
+/// renormalized, and `smoothing` added to every cell of both before
+/// normalizing so the divergence is finite). Requires equal sizes and
+/// smoothing > 0.
+Result<double> KlDivergence(const Histogram& truth, const Histogram& estimate,
+                            double smoothing = 1e-9);
+
+/// Kolmogorov-Smirnov distance between the two histograms' normalized CDFs.
+Result<double> KsDistance(const Histogram& truth, const Histogram& estimate);
+
+/// \brief Accuracy of a published histogram on a range-query workload.
+struct WorkloadError {
+  double mean_absolute = 0.0;
+  double mean_squared = 0.0;
+  /// Largest single-query absolute error.
+  double max_absolute = 0.0;
+};
+
+/// Evaluates `estimate` against `truth` on `queries`.
+Result<WorkloadError> EvaluateWorkload(const Histogram& truth,
+                                       const Histogram& estimate,
+                                       const std::vector<RangeQuery>& queries);
+
+}  // namespace dphist
+
+#endif  // DPHIST_METRICS_METRICS_H_

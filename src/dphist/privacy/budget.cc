@@ -1,0 +1,85 @@
+#include "dphist/privacy/budget.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace dphist {
+
+namespace {
+// Tolerance for floating-point budget arithmetic: splitting epsilon into
+// k equal parts and charging them back must not overshoot.
+constexpr double kBudgetSlack = 1e-9;
+}  // namespace
+
+BudgetAccountant::BudgetAccountant(double total_epsilon)
+    : total_epsilon_(total_epsilon > 0.0 ? total_epsilon : 0.0) {}
+
+Status BudgetAccountant::ChargeSequential(double epsilon, std::string label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("budget charge must have epsilon > 0");
+  }
+  if (spent_epsilon() + epsilon >
+      total_epsilon_ * (1.0 + kBudgetSlack) + kBudgetSlack) {
+    return Status::InvalidArgument("privacy budget exhausted: charge '" +
+                                   label + "' exceeds remaining epsilon");
+  }
+  charges_.push_back(
+      BudgetCharge{epsilon, std::move(label), /*parallel=*/false, ""});
+  return Status::Ok();
+}
+
+Status BudgetAccountant::ChargeParallel(double epsilon, std::string group,
+                                        std::string label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("budget charge must have epsilon > 0");
+  }
+  // Compute what the new spend would be with this charge included.
+  const double before = spent_epsilon();
+  charges_.push_back(BudgetCharge{epsilon, std::move(label),
+                                  /*parallel=*/true, std::move(group)});
+  const double after = spent_epsilon();
+  if (after > total_epsilon_ * (1.0 + kBudgetSlack) + kBudgetSlack) {
+    charges_.pop_back();
+    return Status::InvalidArgument(
+        "privacy budget exhausted by parallel charge");
+  }
+  (void)before;
+  return Status::Ok();
+}
+
+double BudgetAccountant::spent_epsilon() const {
+  double sequential = 0.0;
+  std::map<std::string, double> group_max;
+  for (const BudgetCharge& charge : charges_) {
+    if (charge.parallel) {
+      double& current = group_max[charge.parallel_group];
+      current = std::max(current, charge.epsilon);
+    } else {
+      sequential += charge.epsilon;
+    }
+  }
+  for (const auto& [group, eps] : group_max) {
+    sequential += eps;
+  }
+  return sequential;
+}
+
+double BudgetAccountant::remaining_epsilon() const {
+  return std::max(0.0, total_epsilon_ - spent_epsilon());
+}
+
+std::string BudgetAccountant::ToString() const {
+  std::ostringstream out;
+  out << "BudgetAccountant(total=" << total_epsilon_
+      << ", spent=" << spent_epsilon() << ")\n";
+  for (const BudgetCharge& charge : charges_) {
+    out << "  " << (charge.parallel ? "[parallel:" + charge.parallel_group + "] "
+                                    : "[sequential] ")
+        << charge.label << " eps=" << charge.epsilon << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dphist

@@ -1,0 +1,75 @@
+#ifndef DPHIST_PRIVACY_BUDGET_H_
+#define DPHIST_PRIVACY_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief A single recorded privacy charge.
+struct BudgetCharge {
+  /// Epsilon consumed by the charge.
+  double epsilon = 0.0;
+  /// Free-form label for auditing ("laplace:counts", "em:boundary 3", ...).
+  std::string label;
+  /// True if the charge was made under parallel composition (it still must
+  /// not exceed the remaining budget, but parallel charges with the same
+  /// group label share a single epsilon).
+  bool parallel = false;
+  /// Group key for parallel charges; ignored for sequential charges.
+  std::string parallel_group;
+};
+
+/// \brief Tracks epsilon consumption under sequential and parallel
+/// composition.
+///
+/// The accountant is an auditing device: the mechanisms themselves are
+/// parameterized directly by epsilon, and algorithms use the accountant to
+/// *prove* (in tests and examples) that their internal charges sum to the
+/// epsilon the caller granted.
+///
+/// Sequential composition: charges add up. Parallel composition: charges in
+/// the same group act on disjoint data partitions, so the group costs the
+/// maximum of its members' epsilons rather than the sum (Theorem of McSherry,
+/// "Privacy integrated queries").
+class BudgetAccountant {
+ public:
+  /// Creates an accountant with `total_epsilon` to spend.
+  /// `total_epsilon` must be positive; a non-positive value is pinned to 0
+  /// so every charge fails loudly.
+  explicit BudgetAccountant(double total_epsilon);
+
+  /// Records a sequential charge of `epsilon` with `label`.
+  /// Fails with InvalidArgument if epsilon <= 0 or the remaining budget is
+  /// insufficient (up to a small floating-point tolerance).
+  Status ChargeSequential(double epsilon, std::string label);
+
+  /// Records a parallel charge of `epsilon` under `group`: all charges with
+  /// the same group key count once at their maximum epsilon.
+  Status ChargeParallel(double epsilon, std::string group, std::string label);
+
+  /// Total epsilon granted at construction.
+  double total_epsilon() const { return total_epsilon_; }
+
+  /// Epsilon consumed so far (sequential sum + per-group maxima).
+  double spent_epsilon() const;
+
+  /// Remaining epsilon (never negative).
+  double remaining_epsilon() const;
+
+  /// All recorded charges, in order.
+  const std::vector<BudgetCharge>& charges() const { return charges_; }
+
+  /// Human-readable ledger for logs and examples.
+  std::string ToString() const;
+
+ private:
+  double total_epsilon_;
+  std::vector<BudgetCharge> charges_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_PRIVACY_BUDGET_H_

@@ -1,0 +1,42 @@
+#include "dphist/privacy/geometric_mechanism.h"
+
+#include <cmath>
+
+#include "dphist/random/distributions.h"
+
+namespace dphist {
+
+Result<GeometricMechanism> GeometricMechanism::Create(
+    double epsilon, std::int64_t sensitivity) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("GeometricMechanism requires epsilon > 0");
+  }
+  if (sensitivity < 1) {
+    return Status::InvalidArgument(
+        "GeometricMechanism requires integer sensitivity >= 1");
+  }
+  const double alpha =
+      std::exp(-epsilon / static_cast<double>(sensitivity));
+  return GeometricMechanism(epsilon, sensitivity, alpha);
+}
+
+double GeometricMechanism::noise_variance() const {
+  const double one_minus = 1.0 - alpha_;
+  return 2.0 * alpha_ / (one_minus * one_minus);
+}
+
+std::int64_t GeometricMechanism::Perturb(std::int64_t value, Rng& rng) const {
+  return value + SampleTwoSidedGeometric(rng, alpha_);
+}
+
+std::vector<std::int64_t> GeometricMechanism::PerturbVector(
+    const std::vector<std::int64_t>& values, Rng& rng) const {
+  std::vector<std::int64_t> out;
+  out.reserve(values.size());
+  for (std::int64_t v : values) {
+    out.push_back(Perturb(v, rng));
+  }
+  return out;
+}
+
+}  // namespace dphist

@@ -1,0 +1,34 @@
+#include "dphist/privacy/laplace_mechanism.h"
+
+#include "dphist/random/distributions.h"
+
+namespace dphist {
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                  double sensitivity) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("LaplaceMechanism requires epsilon > 0");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument(
+        "LaplaceMechanism requires sensitivity > 0");
+  }
+  return LaplaceMechanism(epsilon, sensitivity);
+}
+
+double LaplaceMechanism::Perturb(double value, Rng& rng) const {
+  return value + SampleLaplace(rng, scale());
+}
+
+std::vector<double> LaplaceMechanism::PerturbVector(
+    const std::vector<double>& values, Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  const double b = scale();
+  for (double v : values) {
+    out.push_back(v + SampleLaplace(rng, b));
+  }
+  return out;
+}
+
+}  // namespace dphist

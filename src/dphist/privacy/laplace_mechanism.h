@@ -1,0 +1,55 @@
+#ifndef DPHIST_PRIVACY_LAPLACE_MECHANISM_H_
+#define DPHIST_PRIVACY_LAPLACE_MECHANISM_H_
+
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+
+/// \brief The Laplace mechanism of Dwork, McSherry, Nissim & Smith (TCC'06).
+///
+/// For a query `f` with L1 sensitivity `Delta`, releasing
+/// `f(D) + Lap(Delta/epsilon)` satisfies epsilon-differential privacy.
+/// This class validates its parameters once at construction and then offers
+/// scalar and vector perturbation.
+class LaplaceMechanism {
+ public:
+  /// Creates a mechanism for the given budget and sensitivity.
+  /// Returns InvalidArgument unless epsilon > 0 and sensitivity > 0.
+  static Result<LaplaceMechanism> Create(double epsilon, double sensitivity);
+
+  /// The privacy budget epsilon.
+  double epsilon() const { return epsilon_; }
+  /// The L1 sensitivity the mechanism was calibrated for.
+  double sensitivity() const { return sensitivity_; }
+  /// The Laplace scale parameter b = sensitivity / epsilon.
+  double scale() const { return sensitivity_ / epsilon_; }
+  /// The noise variance 2 b^2 of each released coordinate.
+  double noise_variance() const { return 2.0 * scale() * scale(); }
+
+  /// Returns `value + Lap(scale())`.
+  double Perturb(double value, Rng& rng) const;
+
+  /// Returns the element-wise perturbation of `values`.
+  ///
+  /// NOTE: this is epsilon-DP only when `values` as a whole has L1
+  /// sensitivity `sensitivity()` — e.g. a histogram's unit-bin counts, where
+  /// one record changes a single coordinate by 1 (parallel composition over
+  /// disjoint bins).
+  std::vector<double> PerturbVector(const std::vector<double>& values,
+                                    Rng& rng) const;
+
+ private:
+  LaplaceMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon), sensitivity_(sensitivity) {}
+
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_PRIVACY_LAPLACE_MECHANISM_H_

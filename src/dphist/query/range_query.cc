@@ -1,0 +1,27 @@
+#include "dphist/query/range_query.h"
+
+namespace dphist {
+
+Status ValidateQueries(const std::vector<RangeQuery>& queries,
+                       std::size_t domain_size) {
+  for (const RangeQuery& q : queries) {
+    if (q.begin >= q.end || q.end > domain_size) {
+      return Status::InvalidArgument(
+          "range query out of bounds or empty");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> AnswerQueries(
+    const Histogram& histogram, const std::vector<RangeQuery>& queries) {
+  DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, histogram.size()));
+  std::vector<double> answers;
+  answers.reserve(queries.size());
+  for (const RangeQuery& q : queries) {
+    answers.push_back(histogram.RangeSumUnchecked(q.begin, q.end));
+  }
+  return answers;
+}
+
+}  // namespace dphist

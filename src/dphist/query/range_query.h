@@ -1,0 +1,38 @@
+#ifndef DPHIST_QUERY_RANGE_QUERY_H_
+#define DPHIST_QUERY_RANGE_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/hist/histogram.h"
+
+namespace dphist {
+
+/// \brief A half-open range-count query over unit bins: "how many records
+/// fall in bins [begin, end)?" — the workload the paper's evaluation
+/// measures accuracy on.
+struct RangeQuery {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  /// Query length in unit bins.
+  std::size_t length() const { return end - begin; }
+
+  friend bool operator==(const RangeQuery&, const RangeQuery&) = default;
+};
+
+/// Validates that every query fits the domain [0, domain_size) and is
+/// non-empty.
+Status ValidateQueries(const std::vector<RangeQuery>& queries,
+                       std::size_t domain_size);
+
+/// Evaluates every query against `histogram`. Fails if any query is out of
+/// bounds.
+Result<std::vector<double>> AnswerQueries(
+    const Histogram& histogram, const std::vector<RangeQuery>& queries);
+
+}  // namespace dphist
+
+#endif  // DPHIST_QUERY_RANGE_QUERY_H_

@@ -1,0 +1,65 @@
+#include "dphist/query/workload.h"
+
+#include <algorithm>
+
+#include "dphist/random/distributions.h"
+
+namespace dphist {
+
+Result<std::vector<RangeQuery>> RandomRangeWorkload(std::size_t domain_size,
+                                                    std::size_t count,
+                                                    Rng& rng) {
+  if (domain_size == 0 || count == 0) {
+    return Status::InvalidArgument(
+        "RandomRangeWorkload requires a non-empty domain and count");
+  }
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t a = SampleIndex(rng, domain_size);
+    std::size_t b = SampleIndex(rng, domain_size);
+    if (a > b) {
+      std::swap(a, b);
+    }
+    queries.push_back(RangeQuery{a, b + 1});
+  }
+  return queries;
+}
+
+Result<std::vector<RangeQuery>> FixedLengthWorkload(std::size_t domain_size,
+                                                    std::size_t length,
+                                                    std::size_t count,
+                                                    Rng& rng) {
+  if (length == 0 || length > domain_size || count == 0) {
+    return Status::InvalidArgument(
+        "FixedLengthWorkload requires 1 <= length <= domain_size");
+  }
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  const std::size_t max_start = domain_size - length;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t start = SampleIndex(rng, max_start + 1);
+    queries.push_back(RangeQuery{start, start + length});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> AllUnitWorkload(std::size_t domain_size) {
+  std::vector<RangeQuery> queries;
+  queries.reserve(domain_size);
+  for (std::size_t i = 0; i < domain_size; ++i) {
+    queries.push_back(RangeQuery{i, i + 1});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> AllPrefixWorkload(std::size_t domain_size) {
+  std::vector<RangeQuery> queries;
+  queries.reserve(domain_size);
+  for (std::size_t i = 1; i <= domain_size; ++i) {
+    queries.push_back(RangeQuery{0, i});
+  }
+  return queries;
+}
+
+}  // namespace dphist

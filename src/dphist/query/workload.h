@@ -1,0 +1,39 @@
+#ifndef DPHIST_QUERY_WORKLOAD_H_
+#define DPHIST_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/query/range_query.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+
+/// \brief Generators for the range-query workloads used in the paper's
+/// evaluation.
+
+/// `count` ranges with both endpoints uniform over the domain (the paper's
+/// "random range queries"). Requires domain_size >= 1 and count >= 1.
+Result<std::vector<RangeQuery>> RandomRangeWorkload(std::size_t domain_size,
+                                                    std::size_t count,
+                                                    Rng& rng);
+
+/// `count` ranges of exactly `length` bins with uniformly random start (the
+/// workload behind the error-vs-query-length figure). Requires
+/// 1 <= length <= domain_size.
+Result<std::vector<RangeQuery>> FixedLengthWorkload(std::size_t domain_size,
+                                                    std::size_t length,
+                                                    std::size_t count,
+                                                    Rng& rng);
+
+/// Every unit-bin query [i, i+1) — measures the published histogram
+/// point-wise.
+std::vector<RangeQuery> AllUnitWorkload(std::size_t domain_size);
+
+/// All prefix ranges [0, i) for i = 1..n — a proxy for CDF accuracy.
+std::vector<RangeQuery> AllPrefixWorkload(std::size_t domain_size);
+
+}  // namespace dphist
+
+#endif  // DPHIST_QUERY_WORKLOAD_H_

@@ -1,0 +1,105 @@
+#include "dphist/random/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dphist {
+
+double SampleUniformDouble(Rng& rng) {
+  // 53 top bits scaled into [0, 1).
+  return static_cast<double>(rng.NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double SampleUniformDoublePositive(Rng& rng) {
+  // (u + 1) / 2^53 lies in (0, 1].
+  return (static_cast<double>(rng.NextUint64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+std::int64_t SampleUniformInt(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<std::int64_t>(rng.NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias: accept only draws below the
+  // largest multiple of `span`, where every residue is equally likely.
+  const std::uint64_t bucket = (~0ULL) / span;
+  const std::uint64_t limit = bucket * span;
+  std::uint64_t draw = rng.NextUint64();
+  while (draw >= limit) {
+    draw = rng.NextUint64();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+std::size_t SampleIndex(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(
+      SampleUniformInt(rng, 0, static_cast<std::int64_t>(n) - 1));
+}
+
+double SampleExponential(Rng& rng, double rate) {
+  return -std::log(SampleUniformDoublePositive(rng)) / rate;
+}
+
+double SampleLaplace(Rng& rng, double scale) {
+  // Difference of two exponentials: numerically stable in both tails and
+  // symmetric by construction.
+  const double e1 = -std::log(SampleUniformDoublePositive(rng));
+  const double e2 = -std::log(SampleUniformDoublePositive(rng));
+  return scale * (e1 - e2);
+}
+
+double SampleGumbel(Rng& rng) {
+  return -std::log(-std::log(SampleUniformDoublePositive(rng)));
+}
+
+std::int64_t SampleGeometric(Rng& rng, double p) {
+  if (p >= 1.0) {
+    return 0;
+  }
+  // Inversion: floor(log(U) / log(1-p)).
+  const double u = SampleUniformDoublePositive(rng);
+  const double k = std::floor(std::log(u) / std::log1p(-p));
+  if (k >= static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return static_cast<std::int64_t>(k);
+}
+
+std::int64_t SampleTwoSidedGeometric(Rng& rng, double alpha) {
+  if (alpha <= 0.0) {
+    return 0;
+  }
+  // Sample magnitude ~ Geometric(1 - alpha) conditioned via a sign flip;
+  // k = 0 must not be double-counted, so draw sign and magnitude jointly:
+  //   with prob (1-alpha)/(1+alpha) return 0;
+  //   otherwise return +/- (1 + Geometric(1-alpha)) with equal probability.
+  const double p_zero = (1.0 - alpha) / (1.0 + alpha);
+  const double u = SampleUniformDouble(rng);
+  if (u < p_zero) {
+    return 0;
+  }
+  const std::int64_t magnitude = 1 + SampleGeometric(rng, 1.0 - alpha);
+  const bool negative = (rng.NextUint64() & 1ULL) != 0;
+  return negative ? -magnitude : magnitude;
+}
+
+std::size_t SampleFromLogWeights(Rng& rng,
+                                 const std::vector<double>& log_weights) {
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    if (log_weights[i] == -std::numeric_limits<double>::infinity()) {
+      continue;
+    }
+    const double value = log_weights[i] + SampleGumbel(rng);
+    if (value > best_value) {
+      best_value = value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dphist

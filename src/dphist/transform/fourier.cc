@@ -1,0 +1,109 @@
+#include "dphist/transform/fourier.h"
+
+#include <cmath>
+#include <utility>
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Iterative Cooley-Tukey with bit-reversal permutation.
+// sign = -1 for forward, +1 for inverse (without normalization).
+void FftInPlace(std::vector<std::complex<double>>& data, double sign) {
+  const std::size_t n = data.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * kTwoPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status Fft::Forward(std::vector<std::complex<double>>& data) {
+  if (!IsPowerOfTwo(data.size())) {
+    return Status::InvalidArgument("Fft requires a power-of-two length");
+  }
+  FftInPlace(data, -1.0);
+  return Status::Ok();
+}
+
+Status Fft::Inverse(std::vector<std::complex<double>>& data) {
+  if (!IsPowerOfTwo(data.size())) {
+    return Status::InvalidArgument("Fft requires a power-of-two length");
+  }
+  FftInPlace(data, 1.0);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (std::complex<double>& v : data) {
+    v *= inv_n;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::complex<double>>> Fft::ForwardReal(
+    const std::vector<double>& x) {
+  std::vector<std::complex<double>> data(x.begin(), x.end());
+  DPHIST_RETURN_IF_ERROR(Forward(data));
+  return data;
+}
+
+Result<std::vector<double>> Fft::InverseToReal(
+    std::vector<std::complex<double>> spectrum) {
+  DPHIST_RETURN_IF_ERROR(Inverse(spectrum));
+  std::vector<double> out;
+  out.reserve(spectrum.size());
+  for (const std::complex<double>& v : spectrum) {
+    out.push_back(v.real());
+  }
+  return out;
+}
+
+Result<std::vector<double>> Fft::ReconstructFromPrefix(
+    const std::vector<std::complex<double>>& prefix, std::size_t n) {
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("Fft requires a power-of-two length");
+  }
+  if (prefix.size() > n / 2 + 1) {
+    return Status::InvalidArgument(
+        "ReconstructFromPrefix: prefix longer than n/2 + 1");
+  }
+  std::vector<std::complex<double>> spectrum(n, {0.0, 0.0});
+  for (std::size_t j = 0; j < prefix.size(); ++j) {
+    spectrum[j] = prefix[j];
+    if (j != 0 && j != n - j) {
+      spectrum[n - j] = std::conj(prefix[j]);
+    }
+  }
+  // DC and (if kept) Nyquist coefficients must be real for a real signal.
+  spectrum[0] = {spectrum[0].real(), 0.0};
+  if (prefix.size() == n / 2 + 1 && n >= 2) {
+    spectrum[n / 2] = {spectrum[n / 2].real(), 0.0};
+  }
+  return InverseToReal(std::move(spectrum));
+}
+
+}  // namespace dphist

@@ -1,0 +1,49 @@
+#ifndef DPHIST_TRANSFORM_FOURIER_H_
+#define DPHIST_TRANSFORM_FOURIER_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief Radix-2 fast Fourier transform — the substrate of the EFPA
+/// baseline (Acs, Castelluccia & Chen, ICDM'12), which perturbs a truncated
+/// Fourier representation of the histogram.
+///
+/// Conventions: forward transform F_j = sum_t x_t exp(-2*pi*i*j*t/n)
+/// (unnormalized); the inverse divides by n. For a real input the spectrum
+/// is conjugate-symmetric, F_{n-j} = conj(F_j) — EFPA exploits this to
+/// store only the first half of the coefficients.
+class Fft {
+ public:
+  /// In-place iterative radix-2 FFT. Requires a power-of-two length.
+  static Status Forward(std::vector<std::complex<double>>& data);
+
+  /// Inverse FFT (includes the 1/n normalization).
+  static Status Inverse(std::vector<std::complex<double>>& data);
+
+  /// Forward transform of a real vector. Requires a power-of-two length.
+  static Result<std::vector<std::complex<double>>> ForwardReal(
+      const std::vector<double>& x);
+
+  /// Inverse transform returning the real parts (imaginary parts of a
+  /// conjugate-symmetric spectrum cancel; any residue is discarded).
+  static Result<std::vector<double>> InverseToReal(
+      std::vector<std::complex<double>> spectrum);
+
+  /// Reconstructs a real vector of length n from the first `kept`
+  /// coefficients of its spectrum (the rest treated as zero, with
+  /// conjugate symmetry restored for the mirrored half). This is EFPA's
+  /// lossy low-pass reconstruction. Requires kept <= n/2 + 1 and n a
+  /// power of two.
+  static Result<std::vector<double>> ReconstructFromPrefix(
+      const std::vector<std::complex<double>>& prefix, std::size_t n);
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_TRANSFORM_FOURIER_H_

@@ -1,0 +1,71 @@
+#include "dphist/transform/haar_wavelet.h"
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+
+Result<std::vector<double>> HaarWavelet::Forward(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "HaarWavelet::Forward requires a power-of-two length");
+  }
+  // means[t] = average of the dyadic interval owned by heap node t;
+  // leaves are nodes n .. 2n-1.
+  std::vector<double> means(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    means[n + i] = x[i];
+  }
+  for (std::size_t t = n - 1; t >= 1; --t) {
+    means[t] = 0.5 * (means[2 * t] + means[2 * t + 1]);
+  }
+  std::vector<double> coefficients(n, 0.0);
+  coefficients[0] = means[1];
+  for (std::size_t t = 1; t < n; ++t) {
+    coefficients[t] = 0.5 * (means[2 * t] - means[2 * t + 1]);
+  }
+  return coefficients;
+}
+
+Result<std::vector<double>> HaarWavelet::Inverse(
+    const std::vector<double>& coefficients) {
+  const std::size_t n = coefficients.size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "HaarWavelet::Inverse requires a power-of-two length");
+  }
+  std::vector<double> means(2 * n, 0.0);
+  means[1] = coefficients[0];
+  for (std::size_t t = 1; t < n; ++t) {
+    means[2 * t] = means[t] + coefficients[t];
+    means[2 * t + 1] = means[t] - coefficients[t];
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = means[n + i];
+  }
+  return x;
+}
+
+std::size_t HaarWavelet::LevelOf(std::size_t t) { return FloorLog2(t); }
+
+double HaarWavelet::WeightOf(std::size_t t, std::size_t n) {
+  if (t == 0) {
+    return static_cast<double>(n);
+  }
+  return static_cast<double>(n) /
+         static_cast<double>(std::size_t{1} << LevelOf(t));
+}
+
+double HaarWavelet::GeneralizedSensitivity(std::size_t n) {
+  return 1.0 + static_cast<double>(FloorLog2(n));
+}
+
+std::vector<double> HaarWavelet::PadToPowerOfTwo(
+    const std::vector<double>& x) {
+  std::vector<double> padded = x;
+  padded.resize(NextPowerOfTwo(x.size()), 0.0);
+  return padded;
+}
+
+}  // namespace dphist

@@ -1,0 +1,58 @@
+#ifndef DPHIST_TRANSFORM_HAAR_WAVELET_H_
+#define DPHIST_TRANSFORM_HAAR_WAVELET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief The Haar wavelet decomposition used by Privelet (Xiao, Wang &
+/// Gehrke, ICDE'10 / TKDE'11).
+///
+/// For a vector x of length n = 2^m, the decomposition is stored heap-style:
+///
+///   coefficient[0]            = overall average of x,
+///   coefficient[t], t=1..n-1  = (mean of left half - mean of right half)/2
+///                               of the dyadic interval owned by heap node t
+///                               (node 1 owns [0, n), node 2t its left half,
+///                               node 2t+1 its right half).
+///
+/// Reconstruction: x_i = c_0 + sum over the root-to-leaf path of
+/// (+c_t if i lies in the left half of node t, else -c_t).
+///
+/// Properties relevant to DP (proved in the Privelet paper, unit-tested
+/// here): adding one record to a unit bin changes c_0 by 1/n and exactly
+/// one coefficient per level l by 2^l / n — so with weights
+/// W(c_0) = n, W(c_t at level l) = n / 2^l (the node's interval length),
+/// the weighted L1 change is exactly 1 + log2(n).
+class HaarWavelet {
+ public:
+  /// Forward transform. Requires x.size() to be a power of two (>= 1);
+  /// callers pad with zeros (see PadToPowerOfTwo).
+  static Result<std::vector<double>> Forward(const std::vector<double>& x);
+
+  /// Inverse transform. Requires coefficients.size() to be a power of two.
+  static Result<std::vector<double>> Inverse(
+      const std::vector<double>& coefficients);
+
+  /// Level of heap node t (root t=1 is level 0). Requires t >= 1.
+  static std::size_t LevelOf(std::size_t t);
+
+  /// The Privelet generalized-sensitivity weight of coefficient index `t`
+  /// in a transform of length n: n for t == 0 (the average), n / 2^level
+  /// for detail coefficients.
+  static double WeightOf(std::size_t t, std::size_t n);
+
+  /// The generalized sensitivity rho = 1 + log2(n) under WeightOf.
+  static double GeneralizedSensitivity(std::size_t n);
+
+  /// Returns x padded with zeros to the next power of two.
+  static std::vector<double> PadToPowerOfTwo(const std::vector<double>& x);
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_TRANSFORM_HAAR_WAVELET_H_

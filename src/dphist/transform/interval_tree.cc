@@ -1,0 +1,161 @@
+#include "dphist/transform/interval_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dphist {
+
+Result<IntervalTree> IntervalTree::Create(std::size_t num_leaves,
+                                          std::size_t fanout) {
+  if (fanout < 2) {
+    return Status::InvalidArgument("IntervalTree requires fanout >= 2");
+  }
+  if (num_leaves == 0) {
+    return Status::InvalidArgument("IntervalTree requires num_leaves >= 1");
+  }
+  // num_leaves must be an exact power of fanout.
+  std::size_t span = 1;
+  std::size_t levels = 1;
+  while (span < num_leaves) {
+    if (span > num_leaves / fanout) {
+      return Status::InvalidArgument(
+          "IntervalTree requires num_leaves to be a power of fanout");
+    }
+    span *= fanout;
+    ++levels;
+  }
+  if (span != num_leaves) {
+    return Status::InvalidArgument(
+        "IntervalTree requires num_leaves to be a power of fanout");
+  }
+
+  IntervalTree tree;
+  tree.num_leaves_ = num_leaves;
+  tree.fanout_ = fanout;
+  tree.level_offset_.resize(levels + 1);
+  tree.leaf_span_.resize(levels);
+  std::size_t offset = 0;
+  std::size_t nodes_at_level = 1;
+  for (std::size_t l = 0; l < levels; ++l) {
+    tree.level_offset_[l] = offset;
+    offset += nodes_at_level;
+    nodes_at_level *= fanout;
+  }
+  tree.level_offset_[levels] = offset;
+  std::size_t leaves_under = num_leaves;
+  for (std::size_t l = 0; l < levels; ++l) {
+    tree.leaf_span_[l] = leaves_under;
+    leaves_under /= fanout;
+  }
+  return tree;
+}
+
+std::size_t IntervalTree::LevelOf(std::size_t v) const {
+  const auto it = std::upper_bound(level_offset_.begin(), level_offset_.end(),
+                                   v);
+  return static_cast<std::size_t>(it - level_offset_.begin()) - 1;
+}
+
+std::size_t IntervalTree::IntervalBegin(std::size_t v) const {
+  const std::size_t l = LevelOf(v);
+  const std::size_t p = v - level_offset_[l];
+  return p * leaf_span_[l];
+}
+
+std::size_t IntervalTree::IntervalEnd(std::size_t v) const {
+  const std::size_t l = LevelOf(v);
+  const std::size_t p = v - level_offset_[l];
+  return (p + 1) * leaf_span_[l];
+}
+
+std::size_t IntervalTree::FirstChild(std::size_t v) const {
+  const std::size_t l = LevelOf(v);
+  const std::size_t p = v - level_offset_[l];
+  return level_offset_[l + 1] + p * fanout_;
+}
+
+std::size_t IntervalTree::Parent(std::size_t v) const {
+  const std::size_t l = LevelOf(v);
+  const std::size_t p = v - level_offset_[l];
+  return level_offset_[l - 1] + p / fanout_;
+}
+
+bool IntervalTree::IsLeaf(std::size_t v) const {
+  return v >= level_offset_[num_levels() - 1];
+}
+
+Result<std::vector<double>> IntervalTree::NodeSums(
+    const std::vector<double>& leaves) const {
+  if (leaves.size() != num_leaves_) {
+    return Status::InvalidArgument(
+        "IntervalTree::NodeSums: wrong number of leaves");
+  }
+  std::vector<double> sums(num_nodes(), 0.0);
+  const std::size_t leaf_base = level_offset_[num_levels() - 1];
+  for (std::size_t i = 0; i < num_leaves_; ++i) {
+    sums[leaf_base + i] = leaves[i];
+  }
+  // Bottom-up accumulation.
+  for (std::size_t v = leaf_base; v-- > 0;) {
+    const std::size_t child = FirstChild(v);
+    double total = 0.0;
+    for (std::size_t c = 0; c < fanout_; ++c) {
+      total += sums[child + c];
+    }
+    sums[v] = total;
+  }
+  return sums;
+}
+
+Result<std::vector<double>> IntervalTree::ConstrainedInference(
+    const std::vector<double>& noisy) const {
+  if (noisy.size() != num_nodes()) {
+    return Status::InvalidArgument(
+        "IntervalTree::ConstrainedInference: wrong number of node values");
+  }
+  const std::size_t levels = num_levels();
+  const std::size_t leaf_base = level_offset_[levels - 1];
+  const double f = static_cast<double>(fanout_);
+
+  // Pass 1 (bottom-up): z[v] combines the node's own noisy value with its
+  // children's aggregated estimates. With l = height in levels (leaves have
+  // l = 1):
+  //   z[v] = ((f^l - f^(l-1)) * y[v] + (f^(l-1) - 1) * sum z[children])
+  //          / (f^l - 1).
+  std::vector<double> z(noisy);
+  for (std::size_t v = leaf_base; v-- > 0;) {
+    const std::size_t level = LevelOf(v);
+    const std::size_t height = levels - level;  // leaves have height 1
+    const double fl = std::pow(f, static_cast<double>(height));
+    const double fl1 = std::pow(f, static_cast<double>(height - 1));
+    const std::size_t child = FirstChild(v);
+    double child_sum = 0.0;
+    for (std::size_t c = 0; c < fanout_; ++c) {
+      child_sum += z[child + c];
+    }
+    z[v] = ((fl - fl1) * noisy[v] + (fl1 - 1.0) * child_sum) / (fl - 1.0);
+  }
+
+  // Pass 2 (top-down): distribute each node's residual equally among its
+  // children to enforce consistency.
+  std::vector<double> h(z);
+  for (std::size_t v = 0; v < leaf_base; ++v) {
+    const std::size_t child = FirstChild(v);
+    double child_sum = 0.0;
+    for (std::size_t c = 0; c < fanout_; ++c) {
+      child_sum += z[child + c];
+    }
+    const double correction = (h[v] - child_sum) / f;
+    for (std::size_t c = 0; c < fanout_; ++c) {
+      h[child + c] = z[child + c] + correction;
+    }
+  }
+
+  std::vector<double> result(num_leaves_, 0.0);
+  for (std::size_t i = 0; i < num_leaves_; ++i) {
+    result[i] = h[leaf_base + i];
+  }
+  return result;
+}
+
+}  // namespace dphist

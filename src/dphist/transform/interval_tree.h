@@ -1,0 +1,80 @@
+#ifndef DPHIST_TRANSFORM_INTERVAL_TREE_H_
+#define DPHIST_TRANSFORM_INTERVAL_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+
+/// \brief A complete f-ary interval tree over a power-of-f number of unit
+/// bins — the substrate of the Boost baseline (Hay, Rastogi, Miklau & Suciu,
+/// VLDB'10).
+///
+/// Nodes are stored in level order: level 0 is the root, level l has f^l
+/// nodes, and the deepest level holds one node per unit bin. The node at
+/// (level l, position p) owns the leaf interval
+/// [p * f^(L-1-l), (p+1) * f^(L-1-l)) where L is the number of levels.
+///
+/// `ConstrainedInference` implements Hay et al.'s two-pass least-squares
+/// estimate: given one noisy value per node (all with equal noise variance),
+/// it returns the unique leaf estimates minimizing the L2 distance to the
+/// noisy tree subject to the parent-equals-sum-of-children constraints.
+class IntervalTree {
+ public:
+  /// Creates a tree over `num_leaves` unit bins with the given fanout.
+  /// Requires fanout >= 2 and num_leaves a positive power of fanout.
+  static Result<IntervalTree> Create(std::size_t num_leaves,
+                                     std::size_t fanout);
+
+  /// Number of unit bins (deepest-level nodes).
+  std::size_t num_leaves() const { return num_leaves_; }
+  /// The fanout f.
+  std::size_t fanout() const { return fanout_; }
+  /// Number of levels L (a single-leaf tree has L = 1).
+  std::size_t num_levels() const { return level_offset_.size() - 1; }
+  /// Total number of nodes.
+  std::size_t num_nodes() const { return level_offset_.back(); }
+
+  /// Level of node `v` (root is 0).
+  std::size_t LevelOf(std::size_t v) const;
+  /// Index of the first node of level `l`.
+  std::size_t LevelBegin(std::size_t l) const { return level_offset_[l]; }
+  /// First leaf (unit-bin index) covered by node `v`.
+  std::size_t IntervalBegin(std::size_t v) const;
+  /// One past the last leaf covered by node `v`.
+  std::size_t IntervalEnd(std::size_t v) const;
+  /// Index of the first child of internal node `v`.
+  std::size_t FirstChild(std::size_t v) const;
+  /// Index of the parent of non-root node `v`.
+  std::size_t Parent(std::size_t v) const;
+  /// True iff `v` is on the deepest level.
+  bool IsLeaf(std::size_t v) const;
+
+  /// Computes every node's true interval sum from unit-bin counts.
+  /// Requires leaves.size() == num_leaves().
+  Result<std::vector<double>> NodeSums(const std::vector<double>& leaves) const;
+
+  /// Hay et al.'s constrained inference: turns one noisy value per node
+  /// into consistent, variance-optimal leaf estimates.
+  /// Requires noisy.size() == num_nodes().
+  Result<std::vector<double>> ConstrainedInference(
+      const std::vector<double>& noisy) const;
+
+ private:
+  IntervalTree() = default;
+
+  std::size_t num_leaves_ = 0;
+  std::size_t fanout_ = 0;
+  // level_offset_[l] = index of the first node at level l;
+  // level_offset_[L] = total node count.
+  std::vector<std::size_t> level_offset_;
+  // leaf_span_[l] = number of leaves under a node at level l.
+  std::vector<std::size_t> leaf_span_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_TRANSFORM_INTERVAL_TREE_H_

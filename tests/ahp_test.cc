@@ -1,0 +1,147 @@
+#include "dphist/algorithms/ahp.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+// Two value levels scattered (not contiguous!) across the domain: the
+// regime AHP's value-clustering is built for and position-based merging
+// cannot exploit.
+Histogram ScatteredLevels(std::size_t n) {
+  std::vector<double> counts(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] = (i % 2 == 0) ? 400.0 : 20.0;
+  }
+  return Histogram(std::move(counts));
+}
+
+TEST(AhpTest, Name) { EXPECT_EQ(Ahp().name(), "ahp"); }
+
+TEST(AhpTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(Ahp().Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(Ahp().Publish(Histogram({1.0}), 0.0, rng).ok());
+  Ahp::Options bad_ratio;
+  bad_ratio.structure_budget_ratio = 0.0;
+  EXPECT_FALSE(Ahp(bad_ratio).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+  Ahp::Options bad_tolerance;
+  bad_tolerance.cluster_tolerance_scale = 0.0;
+  EXPECT_FALSE(
+      Ahp(bad_tolerance).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+}
+
+TEST(AhpTest, PreservesSizeAndDeterminism) {
+  Ahp algo;
+  const Histogram truth = ScatteredLevels(48);
+  Rng a(2);
+  Rng b(2);
+  auto out_a = algo.Publish(truth, 1.0, a);
+  auto out_b = algo.Publish(truth, 1.0, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().size(), truth.size());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(AhpTest, BudgetSplitsSumToEpsilon) {
+  Ahp::Options options;
+  options.structure_budget_ratio = 0.3;
+  Ahp algo(options);
+  const Histogram truth = ScatteredLevels(32);
+  Rng rng(3);
+  Ahp::Details details;
+  auto out = algo.PublishWithDetails(truth, 2.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(details.structure_epsilon, 0.6, 1e-12);
+  EXPECT_NEAR(details.count_epsilon, 1.4, 1e-12);
+}
+
+TEST(AhpTest, ClustersScatteredLevelsAtHighBudget) {
+  // With plenty of budget the noisy sort is nearly exact, so the two value
+  // levels collapse into very few clusters even though they interleave.
+  Ahp algo;
+  const Histogram truth = ScatteredLevels(64);
+  Rng rng(4);
+  Ahp::Details details;
+  auto out = algo.PublishWithDetails(truth, 50.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(details.num_clusters, 8u);
+  // And the published values are close to the two true levels.
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(out.value().count(i), truth.count(i), 30.0) << i;
+  }
+}
+
+TEST(AhpTest, ThresholdZeroesNoiseDominatedBins) {
+  Ahp algo;
+  const Histogram truth(std::vector<double>(128, 0.0));
+  Rng rng(5);
+  Ahp::Details details;
+  auto out = algo.PublishWithDetails(truth, 0.5, rng, &details);
+  ASSERT_TRUE(out.ok());
+  // theta = ln(128)/0.25 ~ 19.4: nearly all noisy zero-counts fall below.
+  EXPECT_GT(details.thresholded_bins, 100u);
+}
+
+TEST(AhpTest, ThresholdCanBeDisabled) {
+  Ahp::Options options;
+  options.threshold_small_counts = false;
+  Ahp algo(options);
+  const Histogram truth(std::vector<double>(64, 0.0));
+  Rng rng(6);
+  Ahp::Details details;
+  auto out = algo.PublishWithDetails(truth, 0.5, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(details.thresholded_bins, 0u);
+}
+
+TEST(AhpTest, BeatsDworkOnScatteredLevelsAtSmallEpsilon) {
+  // The value-clustering advantage: interleaved levels merge into two big
+  // clusters whose means carry almost no noise.
+  Ahp algo;
+  const std::size_t n = 128;
+  const Histogram truth = ScatteredLevels(n);
+  const double epsilon = 0.05;
+  Rng rng(7);
+  double ahp_sq = 0.0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = out.value().count(i) - truth.count(i);
+      ahp_sq += d * d;
+    }
+  }
+  const double ahp_mse = ahp_sq / (reps * static_cast<double>(n));
+  const double dwork_mse = 2.0 / (epsilon * epsilon);
+  EXPECT_LT(ahp_mse, dwork_mse * 0.75);
+}
+
+TEST(AhpTest, ClampOffAllowsNegatives) {
+  Ahp::Options options;
+  options.clamp_nonnegative = false;
+  options.threshold_small_counts = false;
+  Ahp algo(options);
+  const Histogram truth(std::vector<double>(64, 0.0));
+  Rng rng(8);
+  bool saw_negative = false;
+  for (int rep = 0; rep < 10 && !saw_negative; ++rep) {
+    auto out = algo.Publish(truth, 0.05, rng);
+    ASSERT_TRUE(out.ok());
+    for (double v : out.value().counts()) {
+      saw_negative |= v < 0.0;
+    }
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,121 @@
+#include "dphist/algorithms/boost_tree.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(BoostTreeTest, Name) { EXPECT_EQ(BoostTree().name(), "boost"); }
+
+TEST(BoostTreeTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(BoostTree().Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(BoostTree().Publish(Histogram({1.0}), 0.0, rng).ok());
+  BoostTree::Options options;
+  options.fanout = 1;
+  EXPECT_FALSE(
+      BoostTree(options).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+}
+
+TEST(BoostTreeTest, PreservesSizeEvenWhenPadded) {
+  BoostTree algo;
+  // 6 bins -> padded internally to 8, but the release must be 6 bins.
+  const Histogram truth({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  Rng rng(2);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 6u);
+}
+
+TEST(BoostTreeTest, DeterministicGivenSeed) {
+  BoostTree algo;
+  const Histogram truth({5.0, 10.0, 15.0, 20.0});
+  Rng a(3);
+  Rng b(3);
+  auto out_a = algo.Publish(truth, 0.5, a);
+  auto out_b = algo.Publish(truth, 0.5, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(BoostTreeTest, ApproximatelyUnbiasedPerBin) {
+  BoostTree algo;
+  const Histogram truth(std::vector<double>(16, 40.0));
+  Rng rng(4);
+  std::vector<double> sums(truth.size(), 0.0);
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, 1.0, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      sums[i] += out.value().count(i);
+    }
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(sums[i] / reps, 40.0, 2.0);
+  }
+}
+
+TEST(BoostTreeTest, LongRangeVarianceBeatsDwork) {
+  // The whole point of the hierarchy: the error of the total-sum query
+  // grows polylogarithmically rather than linearly in n.
+  BoostTree algo;
+  const std::size_t n = 256;
+  const Histogram truth(std::vector<double>(n, 10.0));
+  const double epsilon = 1.0;
+  Rng rng(5);
+  double boost_sq = 0.0;
+  const int reps = 400;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    const double err = out.value().Total() - truth.Total();
+    boost_sq += err * err;
+  }
+  boost_sq /= reps;
+  // Dwork's total-sum variance is n * 2/eps^2 = 512.
+  const double dwork_variance = static_cast<double>(n) * 2.0 / (epsilon * epsilon);
+  EXPECT_LT(boost_sq, dwork_variance / 2.0);
+}
+
+TEST(BoostTreeTest, FanoutSixteenAlsoWorks) {
+  BoostTree::Options options;
+  options.fanout = 16;
+  BoostTree algo(options);
+  const Histogram truth(std::vector<double>(20, 7.0));  // pads to 256
+  Rng rng(6);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 20u);
+}
+
+TEST(BoostTreeTest, ClampNonNegative) {
+  BoostTree::Options options;
+  options.clamp_nonnegative = true;
+  BoostTree algo(options);
+  const Histogram truth(std::vector<double>(32, 0.0));
+  Rng rng(7);
+  auto out = algo.Publish(truth, 0.1, rng);
+  ASSERT_TRUE(out.ok());
+  for (double v : out.value().counts()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(BoostTreeTest, SingleBinHistogram) {
+  BoostTree algo;
+  const Histogram truth({33.0});
+  Rng rng(8);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,134 @@
+#include "dphist/hist/bucketization.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(BucketizationTest, SingleBucket) {
+  auto b = Bucketization::SingleBucket(10);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().num_buckets(), 1u);
+  EXPECT_EQ(b.value().bucket(0).begin, 0u);
+  EXPECT_EQ(b.value().bucket(0).end, 10u);
+}
+
+TEST(BucketizationTest, Identity) {
+  auto b = Bucketization::Identity(4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().num_buckets(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(b.value().bucket(i).begin, i);
+    EXPECT_EQ(b.value().bucket(i).end, i + 1);
+  }
+}
+
+TEST(BucketizationTest, RejectsEmptyDomain) {
+  EXPECT_FALSE(Bucketization::SingleBucket(0).ok());
+  EXPECT_FALSE(Bucketization::FromCuts(0, {}).ok());
+}
+
+TEST(BucketizationTest, RejectsBadCuts) {
+  EXPECT_FALSE(Bucketization::FromCuts(10, {0}).ok());     // at start
+  EXPECT_FALSE(Bucketization::FromCuts(10, {10}).ok());    // at end
+  EXPECT_FALSE(Bucketization::FromCuts(10, {11}).ok());    // beyond end
+  EXPECT_FALSE(Bucketization::FromCuts(10, {3, 3}).ok());  // duplicate
+  EXPECT_FALSE(Bucketization::FromCuts(10, {5, 3}).ok());  // decreasing
+}
+
+TEST(BucketizationTest, BucketsTileDomain) {
+  auto b = Bucketization::FromCuts(10, {3, 7});
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b.value().num_buckets(), 3u);
+  EXPECT_EQ(b.value().bucket(0).begin, 0u);
+  EXPECT_EQ(b.value().bucket(0).end, 3u);
+  EXPECT_EQ(b.value().bucket(1).begin, 3u);
+  EXPECT_EQ(b.value().bucket(1).end, 7u);
+  EXPECT_EQ(b.value().bucket(2).begin, 7u);
+  EXPECT_EQ(b.value().bucket(2).end, 10u);
+}
+
+TEST(BucketizationTest, EquiWidth) {
+  auto b = Bucketization::EquiWidth(10, 3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().num_buckets(), 3u);
+  // Last bucket absorbs the remainder.
+  EXPECT_EQ(b.value().bucket(2).end, 10u);
+  EXPECT_FALSE(Bucketization::EquiWidth(4, 5).ok());
+  EXPECT_FALSE(Bucketization::EquiWidth(4, 0).ok());
+}
+
+TEST(BucketizationTest, BucketOf) {
+  auto b = Bucketization::FromCuts(10, {3, 7});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().BucketOf(0), 0u);
+  EXPECT_EQ(b.value().BucketOf(2), 0u);
+  EXPECT_EQ(b.value().BucketOf(3), 1u);
+  EXPECT_EQ(b.value().BucketOf(6), 1u);
+  EXPECT_EQ(b.value().BucketOf(7), 2u);
+  EXPECT_EQ(b.value().BucketOf(9), 2u);
+}
+
+TEST(BucketizationTest, ApplyComputesMeans) {
+  auto b = Bucketization::FromCuts(6, {2});
+  ASSERT_TRUE(b.ok());
+  auto buckets = b.value().Apply({1.0, 3.0, 4.0, 4.0, 4.0, 8.0});
+  ASSERT_TRUE(buckets.ok());
+  ASSERT_EQ(buckets.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets.value()[0].mean, 2.0);
+  EXPECT_DOUBLE_EQ(buckets.value()[1].mean, 5.0);
+}
+
+TEST(BucketizationTest, ApplyRejectsSizeMismatch) {
+  auto b = Bucketization::SingleBucket(4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b.value().Apply({1.0, 2.0}).ok());
+}
+
+TEST(BucketizationTest, ExpandRoundTripsConstantBuckets) {
+  auto b = Bucketization::FromCuts(5, {2});
+  ASSERT_TRUE(b.ok());
+  auto unit = b.value().Expand({7.0, -1.0});
+  ASSERT_TRUE(unit.ok());
+  const std::vector<double> expected = {7.0, 7.0, -1.0, -1.0, -1.0};
+  EXPECT_EQ(unit.value(), expected);
+}
+
+TEST(BucketizationTest, ExpandRejectsWrongMeanCount) {
+  auto b = Bucketization::FromCuts(5, {2});
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b.value().Expand({1.0}).ok());
+  EXPECT_FALSE(b.value().Expand({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(BucketizationTest, ApplyThenExpandIsProjection) {
+  // Expanding bucket means is idempotent: applying again yields the same
+  // means.
+  auto b = Bucketization::FromCuts(6, {1, 4});
+  ASSERT_TRUE(b.ok());
+  const std::vector<double> counts = {5.0, 1.0, 2.0, 3.0, 10.0, 20.0};
+  auto buckets = b.value().Apply(counts);
+  ASSERT_TRUE(buckets.ok());
+  std::vector<double> means;
+  for (const Bucket& bucket : buckets.value()) {
+    means.push_back(bucket.mean);
+  }
+  auto expanded = b.value().Expand(means);
+  ASSERT_TRUE(expanded.ok());
+  auto again = b.value().Apply(expanded.value());
+  ASSERT_TRUE(again.ok());
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.value()[i].mean, means[i]);
+  }
+}
+
+TEST(BucketizationTest, ToString) {
+  auto b = Bucketization::FromCuts(10, {3, 7});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().ToString(), "{[0,3) [3,7) [7,10)}");
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,109 @@
+#include "dphist/privacy/budget.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(BudgetTest, StartsEmpty) {
+  BudgetAccountant budget(1.0);
+  EXPECT_DOUBLE_EQ(budget.total_epsilon(), 1.0);
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(budget.remaining_epsilon(), 1.0);
+  EXPECT_TRUE(budget.charges().empty());
+}
+
+TEST(BudgetTest, SequentialChargesAccumulate) {
+  BudgetAccountant budget(1.0);
+  EXPECT_TRUE(budget.ChargeSequential(0.3, "structure").ok());
+  EXPECT_TRUE(budget.ChargeSequential(0.5, "counts").ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.8);
+  EXPECT_NEAR(budget.remaining_epsilon(), 0.2, 1e-12);
+}
+
+TEST(BudgetTest, RejectsOverspend) {
+  BudgetAccountant budget(1.0);
+  EXPECT_TRUE(budget.ChargeSequential(0.9, "a").ok());
+  const Status s = budget.ChargeSequential(0.2, "b");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Failed charge must not be recorded.
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.9);
+}
+
+TEST(BudgetTest, RejectsNonPositiveCharge) {
+  BudgetAccountant budget(1.0);
+  EXPECT_FALSE(budget.ChargeSequential(0.0, "zero").ok());
+  EXPECT_FALSE(budget.ChargeSequential(-0.1, "neg").ok());
+}
+
+TEST(BudgetTest, ExactSplitIntoManyPartsFits) {
+  // epsilon/k charged k times must not trip the budget due to rounding.
+  BudgetAccountant budget(1.0);
+  const int k = 37;
+  for (int i = 0; i < k; ++i) {
+    EXPECT_TRUE(budget.ChargeSequential(1.0 / k, "part").ok());
+  }
+  EXPECT_NEAR(budget.spent_epsilon(), 1.0, 1e-9);
+}
+
+TEST(BudgetTest, ParallelChargesCountOnceAtMax) {
+  BudgetAccountant budget(1.0);
+  EXPECT_TRUE(budget.ChargeParallel(0.4, "bins", "bin 0").ok());
+  EXPECT_TRUE(budget.ChargeParallel(0.4, "bins", "bin 1").ok());
+  EXPECT_TRUE(budget.ChargeParallel(0.6, "bins", "bin 2").ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.6);
+}
+
+TEST(BudgetTest, DistinctParallelGroupsAdd) {
+  BudgetAccountant budget(1.0);
+  EXPECT_TRUE(budget.ChargeParallel(0.4, "bins", "b").ok());
+  EXPECT_TRUE(budget.ChargeParallel(0.5, "tree", "t").ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.9);
+}
+
+TEST(BudgetTest, ParallelOverspendRollsBack) {
+  BudgetAccountant budget(1.0);
+  EXPECT_TRUE(budget.ChargeSequential(0.7, "counts").ok());
+  EXPECT_FALSE(budget.ChargeParallel(0.5, "bins", "bin").ok());
+  EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.7);
+  EXPECT_EQ(budget.charges().size(), 1u);
+}
+
+TEST(BudgetTest, MixedCompositionMatchesTheory) {
+  // StructureFirst-style ledger: k-1 EM draws (sequential) + one parallel
+  // group of bucket counts.
+  BudgetAccountant budget(1.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(
+        budget.ChargeSequential(0.5 / 4, "em boundary " + std::to_string(i))
+            .ok());
+  }
+  for (int b = 0; b < 5; ++b) {
+    EXPECT_TRUE(
+        budget.ChargeParallel(0.5, "buckets", "bucket " + std::to_string(b))
+            .ok());
+  }
+  EXPECT_NEAR(budget.spent_epsilon(), 1.0, 1e-9);
+  EXPECT_NEAR(budget.remaining_epsilon(), 0.0, 1e-9);
+}
+
+TEST(BudgetTest, NonPositiveTotalMeansNothingFits) {
+  BudgetAccountant budget(-1.0);
+  EXPECT_DOUBLE_EQ(budget.total_epsilon(), 0.0);
+  EXPECT_FALSE(budget.ChargeSequential(0.1, "x").ok());
+}
+
+TEST(BudgetTest, ToStringListsCharges) {
+  BudgetAccountant budget(2.0);
+  ASSERT_TRUE(budget.ChargeSequential(1.0, "laplace:counts").ok());
+  ASSERT_TRUE(budget.ChargeParallel(0.5, "bins", "bin 0").ok());
+  const std::string ledger = budget.ToString();
+  EXPECT_NE(ledger.find("laplace:counts"), std::string::npos);
+  EXPECT_NE(ledger.find("parallel:bins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dphist

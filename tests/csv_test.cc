@@ -1,0 +1,118 @@
+#include "dphist/data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/dphist_csv_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.csv");
+  const Histogram original({1.0, 2.5, 0.0, 42.0});
+  ASSERT_TRUE(SaveHistogramCsv(original, path).ok());
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().counts(), original.counts());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, BareCountsFormat) {
+  const std::string path = TempPath("bare.csv");
+  WriteFile(path, "1\n2\n3.5\n");
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<double> expected = {1.0, 2.0, 3.5};
+  EXPECT_EQ(loaded.value().counts(), expected);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.csv");
+  WriteFile(path, "# header\n\n0,5\n1,6\n\n# trailing\n");
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<double> expected = {5.0, 6.0};
+  EXPECT_EQ(loaded.value().counts(), expected);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, HandlesWhitespace) {
+  const std::string path = TempPath("ws.csv");
+  WriteFile(path, "  0 , 5 \r\n 1 , 6.5 \n");
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<double> expected = {5.0, 6.5};
+  EXPECT_EQ(loaded.value().counts(), expected);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MissingFileIsNotFound) {
+  auto loaded = LoadHistogramCsv("/nonexistent/path/file.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, GarbageIsParseError) {
+  const std::string path = TempPath("garbage.csv");
+  WriteFile(path, "0,hello\n");
+  auto loaded = LoadHistogramCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, OutOfOrderIndicesRejected) {
+  const std::string path = TempPath("order.csv");
+  WriteFile(path, "0,5\n2,6\n");
+  auto loaded = LoadHistogramCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, EmptyFileRejected) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "# only a comment\n");
+  auto loaded = LoadHistogramCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, NegativeAndFractionalCountsRoundTrip) {
+  // Noisy releases carry negative and fractional counts; CSV I/O must not
+  // mangle them.
+  const std::string path = TempPath("negative.csv");
+  const Histogram original({-3.25, 0.0, 1e6, -0.0625});
+  ASSERT_TRUE(SaveHistogramCsv(original, path).ok());
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().counts(), original.counts());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, TrailingCharactersRejected) {
+  const std::string path = TempPath("trailing.csv");
+  WriteFile(path, "12abc\n");
+  auto loaded = LoadHistogramCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,236 @@
+#include "dphist/random/distributions.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+constexpr int kDraws = 200000;
+
+TEST(UniformDoubleTest, InHalfOpenUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = SampleUniformDouble(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformDoubleTest, MeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += SampleUniformDouble(rng);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(UniformDoublePositiveTest, NeverZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_GT(SampleUniformDoublePositive(rng), 0.0);
+  }
+}
+
+TEST(UniformIntTest, RespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = SampleUniformInt(rng, -5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(UniformIntTest, SingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleUniformInt(rng, 9, 9), 9);
+  }
+}
+
+TEST(UniformIntTest, ApproximatelyUniform) {
+  Rng rng(6);
+  std::map<std::int64_t, int> counts;
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[SampleUniformInt(rng, 0, 5)];
+  }
+  for (std::int64_t v = 0; v <= 5; ++v) {
+    EXPECT_NEAR(counts[v], draws / 6.0, draws * 0.01);
+  }
+}
+
+TEST(SampleIndexTest, CoversAllIndices) {
+  Rng rng(7);
+  std::vector<int> hit(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++hit[SampleIndex(rng, 8)];
+  }
+  for (int h : hit) {
+    EXPECT_GT(h, 0);
+  }
+}
+
+TEST(ExponentialTest, MeanMatchesRate) {
+  Rng rng(8);
+  const double rate = 2.5;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = SampleExponential(rng, rate);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(LaplaceTest, MeanZeroVarianceTwoScaleSquared) {
+  Rng rng(9);
+  const double scale = 3.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = SampleLaplace(rng, scale);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 2.0 * scale * scale, 0.5);
+}
+
+TEST(LaplaceTest, MedianAbsoluteDeviationMatches) {
+  // P(|X| <= b ln 2) = 1/2 for Laplace(b).
+  Rng rng(10);
+  const double scale = 1.0;
+  int inside = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::abs(SampleLaplace(rng, scale)) <= scale * std::log(2.0)) {
+      ++inside;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / kDraws, 0.5, 0.01);
+}
+
+TEST(GumbelTest, MeanIsEulerGamma) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += SampleGumbel(rng);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5772156649, 0.02);
+}
+
+TEST(GeometricTest, MeanMatches) {
+  Rng rng(12);
+  const double p = 0.3;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t k = SampleGeometric(rng, p);
+    EXPECT_GE(k, 0);
+    sum += static_cast<double>(k);
+  }
+  // E[X] = (1-p)/p for support {0,1,...}.
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.05);
+}
+
+TEST(GeometricTest, PEqualOneIsAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleGeometric(rng, 1.0), 0);
+  }
+}
+
+TEST(TwoSidedGeometricTest, ZeroAlphaIsDeterministic) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleTwoSidedGeometric(rng, 0.0), 0);
+  }
+}
+
+TEST(TwoSidedGeometricTest, SymmetricAndCorrectMass) {
+  Rng rng(15);
+  const double alpha = std::exp(-1.0);  // epsilon = 1, sensitivity = 1
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[SampleTwoSidedGeometric(rng, alpha)];
+  }
+  // P[X = k] = (1-alpha)/(1+alpha) * alpha^|k|.
+  const double p0 = (1.0 - alpha) / (1.0 + alpha);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, p0, 0.01);
+  for (std::int64_t k = 1; k <= 3; ++k) {
+    const double expected = p0 * std::pow(alpha, static_cast<double>(k));
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kDraws, expected, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts[-k]) / kDraws, expected, 0.01);
+  }
+}
+
+TEST(TwoSidedGeometricTest, VarianceMatchesFormula) {
+  Rng rng(16);
+  const double alpha = 0.5;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x =
+        static_cast<double>(SampleTwoSidedGeometric(rng, alpha));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 2.0 * alpha / ((1 - alpha) * (1 - alpha)), 0.2);
+}
+
+TEST(SampleFromLogWeightsTest, MatchesSoftmaxFrequencies) {
+  Rng rng(17);
+  const std::vector<double> log_weights = {0.0, 1.0, 2.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[SampleFromLogWeights(rng, log_weights)];
+  }
+  const double z = 1.0 + std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 1.0 / z, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), std::exp(1.0) / z,
+              0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), std::exp(2.0) / z,
+              0.01);
+}
+
+TEST(SampleFromLogWeightsTest, NeverPicksMinusInfinity) {
+  Rng rng(18);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  const std::vector<double> log_weights = {neg_inf, 0.0, neg_inf};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(SampleFromLogWeights(rng, log_weights), 1u);
+  }
+}
+
+TEST(SampleFromLogWeightsTest, AllMinusInfinityFallsBackToZero) {
+  Rng rng(19);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(SampleFromLogWeights(rng, {neg_inf, neg_inf}), 0u);
+}
+
+TEST(SampleFromLogWeightsTest, HugeUtilitiesDoNotOverflow) {
+  Rng rng(20);
+  // Raw exp() of these would overflow; the Gumbel trick must not.
+  const std::vector<double> log_weights = {1.0e8, 1.0e8 + 1.0};
+  int picked_second = 0;
+  for (int i = 0; i < 1000; ++i) {
+    picked_second += SampleFromLogWeights(rng, log_weights) == 1 ? 1 : 0;
+  }
+  // Second option is e times likelier: expect clear majority.
+  EXPECT_GT(picked_second, 600);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,150 @@
+#include "dphist/algorithms/efpa.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+Histogram SmoothWave(std::size_t n) {
+  std::vector<double> counts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] =
+        500.0 + 200.0 * std::sin(6.283185307179586 * static_cast<double>(i) /
+                                 static_cast<double>(n));
+  }
+  return Histogram(std::move(counts));
+}
+
+TEST(EfpaTest, Name) { EXPECT_EQ(Efpa().name(), "efpa"); }
+
+TEST(EfpaTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(Efpa().Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(Efpa().Publish(Histogram({1.0}), 0.0, rng).ok());
+  Efpa::Options options;
+  options.selection_budget_ratio = 1.0;
+  EXPECT_FALSE(
+      Efpa(options).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+}
+
+TEST(EfpaTest, PreservesSizeEvenWhenPadded) {
+  Efpa algo;
+  const Histogram truth({1.0, 2.0, 3.0, 4.0, 5.0, 6.0});  // pads to 8
+  Rng rng(2);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 6u);
+}
+
+TEST(EfpaTest, DeterministicGivenSeed) {
+  Efpa algo;
+  const Histogram truth = SmoothWave(32);
+  Rng a(3);
+  Rng b(3);
+  auto out_a = algo.Publish(truth, 0.5, a);
+  auto out_b = algo.Publish(truth, 0.5, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(EfpaTest, BudgetSplitReported) {
+  Efpa algo;
+  const Histogram truth = SmoothWave(32);
+  Rng rng(4);
+  Efpa::Details details;
+  auto out = algo.PublishWithDetails(truth, 2.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(details.selection_epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(details.noise_epsilon, 1.0, 1e-12);
+  EXPECT_GE(details.kept_coefficients, 1u);
+  EXPECT_LE(details.kept_coefficients, 17u);  // n/2 + 1 for n = 32
+}
+
+TEST(EfpaTest, FixedCoefficientsHonoredAndFullBudgetToNoise) {
+  Efpa::Options options;
+  options.fixed_coefficients = 3;
+  Efpa algo(options);
+  const Histogram truth = SmoothWave(32);
+  Rng rng(5);
+  Efpa::Details details;
+  auto out = algo.PublishWithDetails(truth, 1.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(details.kept_coefficients, 3u);
+  EXPECT_DOUBLE_EQ(details.selection_epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(details.noise_epsilon, 1.0);
+}
+
+TEST(EfpaTest, FixedCoefficientsClampedToHalfSpectrum) {
+  Efpa::Options options;
+  options.fixed_coefficients = 1000;
+  Efpa algo(options);
+  const Histogram truth = SmoothWave(16);
+  Rng rng(6);
+  Efpa::Details details;
+  auto out = algo.PublishWithDetails(truth, 1.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(details.kept_coefficients, 9u);  // 16/2 + 1
+}
+
+TEST(EfpaTest, KeepsFewCoefficientsOnSmoothData) {
+  // A constant + single sinusoid concentrates all energy in 2 coefficient
+  // magnitudes; with a strong budget EFPA should keep only a handful.
+  Efpa algo;
+  const Histogram truth = SmoothWave(128);
+  Rng rng(7);
+  Efpa::Details details;
+  auto out = algo.PublishWithDetails(truth, 10.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(details.kept_coefficients, 8u);
+}
+
+TEST(EfpaTest, BeatsDworkOnSmoothDataAtSmallEpsilon) {
+  Efpa algo;
+  const Histogram truth = SmoothWave(256);
+  const double epsilon = 0.02;
+  Rng rng(8);
+  double efpa_sq = 0.0;
+  double dwork_var = 2.0 / (epsilon * epsilon);
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const double d = out.value().count(i) - truth.count(i);
+      efpa_sq += d * d;
+    }
+  }
+  const double efpa_mse =
+      efpa_sq / (reps * static_cast<double>(truth.size()));
+  EXPECT_LT(efpa_mse, dwork_var * 0.5);
+}
+
+TEST(EfpaTest, ClampNonNegative) {
+  Efpa::Options options;
+  options.clamp_nonnegative = true;
+  Efpa algo(options);
+  const Histogram truth(std::vector<double>(64, 0.0));
+  Rng rng(9);
+  auto out = algo.Publish(truth, 0.1, rng);
+  ASSERT_TRUE(out.ok());
+  for (double v : out.value().counts()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(EfpaTest, SingleBinHistogram) {
+  Efpa algo;
+  Rng rng(10);
+  auto out = algo.Publish(Histogram({25.0}), 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,87 @@
+#include "dphist/bench_util/experiment.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/algorithms/identity_laplace.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(AggregateTest, EmptySamples) {
+  const Aggregate agg = ComputeAggregate({});
+  EXPECT_EQ(agg.repetitions, 0u);
+  EXPECT_DOUBLE_EQ(agg.mean, 0.0);
+  EXPECT_DOUBLE_EQ(agg.std_error, 0.0);
+}
+
+TEST(AggregateTest, SingleSample) {
+  const Aggregate agg = ComputeAggregate({4.0});
+  EXPECT_EQ(agg.repetitions, 1u);
+  EXPECT_DOUBLE_EQ(agg.mean, 4.0);
+  EXPECT_DOUBLE_EQ(agg.std_error, 0.0);
+}
+
+TEST(AggregateTest, KnownMeanAndStdError) {
+  const Aggregate agg = ComputeAggregate({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(agg.mean, 2.5);
+  // Sample variance = 5/3; stderr = sqrt(5/3/4).
+  EXPECT_NEAR(agg.std_error, 0.6454972244, 1e-9);
+}
+
+TEST(RunCellTest, RejectsZeroRepetitions) {
+  IdentityLaplace algo;
+  const Histogram truth({1.0, 2.0});
+  auto cell = RunCell(algo, truth, {{0, 1}}, 1.0, 0, 1);
+  EXPECT_FALSE(cell.ok());
+}
+
+TEST(RunCellTest, ProducesFiniteStatistics) {
+  IdentityLaplace algo;
+  const Histogram truth({10.0, 20.0, 30.0, 40.0});
+  Rng rng(1);
+  auto queries = RandomRangeWorkload(4, 50, rng);
+  ASSERT_TRUE(queries.ok());
+  auto cell = RunCell(algo, truth, queries.value(), 1.0, 20, 42);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell.value().workload_mae.repetitions, 20u);
+  EXPECT_GT(cell.value().workload_mae.mean, 0.0);
+  EXPECT_GT(cell.value().workload_mse.mean, 0.0);
+  EXPECT_GE(cell.value().kl_divergence.mean, 0.0);
+  EXPECT_GT(cell.value().publish_ms.mean, 0.0);
+}
+
+TEST(RunCellTest, DeterministicGivenSeed) {
+  IdentityLaplace algo;
+  const Histogram truth({10.0, 20.0, 30.0, 40.0});
+  Rng rng(2);
+  auto queries = RandomRangeWorkload(4, 20, rng);
+  ASSERT_TRUE(queries.ok());
+  auto a = RunCell(algo, truth, queries.value(), 0.5, 10, 7);
+  auto b = RunCell(algo, truth, queries.value(), 0.5, 10, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().workload_mae.mean, b.value().workload_mae.mean);
+  EXPECT_DOUBLE_EQ(a.value().kl_divergence.mean,
+                   b.value().kl_divergence.mean);
+}
+
+TEST(RunCellTest, ErrorShrinksWithEpsilon) {
+  IdentityLaplace algo;
+  const Histogram truth(std::vector<double>(64, 100.0));
+  Rng rng(3);
+  auto queries = RandomRangeWorkload(64, 100, rng);
+  ASSERT_TRUE(queries.ok());
+  auto weak = RunCell(algo, truth, queries.value(), 0.01, 20, 9);
+  auto strong = RunCell(algo, truth, queries.value(), 1.0, 20, 9);
+  ASSERT_TRUE(weak.ok());
+  ASSERT_TRUE(strong.ok());
+  EXPECT_GT(weak.value().workload_mae.mean,
+            strong.value().workload_mae.mean * 10.0);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,99 @@
+#include "dphist/hist/fenwick.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(FenwickTest, EmptyTree) {
+  RankedFenwick tree(8);
+  EXPECT_EQ(tree.TotalCount(), 0);
+  EXPECT_DOUBLE_EQ(tree.TotalSum(), 0.0);
+  EXPECT_EQ(tree.CountUpTo(7), 0);
+}
+
+TEST(FenwickTest, SingleInsert) {
+  RankedFenwick tree(8);
+  tree.Insert(3, 2.5);
+  EXPECT_EQ(tree.CountUpTo(2), 0);
+  EXPECT_EQ(tree.CountUpTo(3), 1);
+  EXPECT_EQ(tree.CountUpTo(7), 1);
+  EXPECT_DOUBLE_EQ(tree.SumUpTo(3), 2.5);
+  EXPECT_DOUBLE_EQ(tree.SumUpTo(2), 0.0);
+}
+
+TEST(FenwickTest, InsertRemoveCancels) {
+  RankedFenwick tree(4);
+  tree.Insert(1, 5.0);
+  tree.Insert(2, 7.0);
+  tree.Remove(1, 5.0);
+  EXPECT_EQ(tree.TotalCount(), 1);
+  EXPECT_DOUBLE_EQ(tree.TotalSum(), 7.0);
+  EXPECT_EQ(tree.CountUpTo(1), 0);
+}
+
+TEST(FenwickTest, ClearResets) {
+  RankedFenwick tree(4);
+  tree.Insert(0, 1.0);
+  tree.Insert(3, 2.0);
+  tree.Clear();
+  EXPECT_EQ(tree.TotalCount(), 0);
+  EXPECT_DOUBLE_EQ(tree.TotalSum(), 0.0);
+  tree.Insert(2, 4.0);
+  EXPECT_DOUBLE_EQ(tree.SumUpTo(2), 4.0);
+}
+
+TEST(FenwickTest, QueryBeyondLastRankSaturates) {
+  RankedFenwick tree(4);
+  tree.Insert(3, 9.0);
+  EXPECT_EQ(tree.CountUpTo(100), 1);
+  EXPECT_DOUBLE_EQ(tree.SumUpTo(100), 9.0);
+}
+
+// Property sweep: random insert/remove traces agree with a naive
+// multiset implementation across sizes.
+class FenwickPropertySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FenwickPropertySweep, MatchesNaiveReference) {
+  const std::size_t ranks = GetParam();
+  RankedFenwick tree(ranks);
+  std::vector<std::int64_t> naive_count(ranks, 0);
+  std::vector<double> naive_sum(ranks, 0.0);
+  Rng rng(1000 + ranks);
+  for (int op = 0; op < 500; ++op) {
+    const std::size_t rank = SampleIndex(rng, ranks);
+    const double value = static_cast<double>(SampleUniformInt(rng, -20, 20));
+    if (naive_count[rank] > 0 && SampleUniformDouble(rng) < 0.3) {
+      tree.Remove(rank, naive_sum[rank] / naive_count[rank]);
+      naive_sum[rank] -= naive_sum[rank] / naive_count[rank];
+      naive_count[rank] -= 1;
+    } else {
+      tree.Insert(rank, value);
+      naive_count[rank] += 1;
+      naive_sum[rank] += value;
+    }
+    // Check a few prefix queries.
+    for (std::size_t q = 0; q < ranks; q += (ranks / 4) + 1) {
+      std::int64_t want_count = 0;
+      double want_sum = 0.0;
+      for (std::size_t r = 0; r <= q; ++r) {
+        want_count += naive_count[r];
+        want_sum += naive_sum[r];
+      }
+      EXPECT_EQ(tree.CountUpTo(q), want_count);
+      EXPECT_NEAR(tree.SumUpTo(q), want_sum, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FenwickPropertySweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 16, 33, 100));
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,160 @@
+#include "dphist/transform/fourier.h"
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+std::vector<double> RandomVector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) {
+    v = static_cast<double>(SampleUniformInt(rng, -100, 100));
+  }
+  return x;
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3, {1.0, 0.0});
+  EXPECT_FALSE(Fft::Forward(data).ok());
+  EXPECT_FALSE(Fft::Inverse(data).ok());
+  EXPECT_FALSE(Fft::ForwardReal({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(FftTest, DcComponentIsSum) {
+  auto spectrum = Fft::ForwardReal({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_NEAR(spectrum.value()[0].real(), 10.0, 1e-12);
+  EXPECT_NEAR(spectrum.value()[0].imag(), 0.0, 1e-12);
+}
+
+TEST(FftTest, MatchesNaiveDftSmall) {
+  const std::vector<double> x = {3.0, -1.0, 4.0, 1.5, -5.0, 9.0, -2.0, 6.0};
+  const std::size_t n = x.size();
+  auto spectrum = Fft::ForwardReal(x);
+  ASSERT_TRUE(spectrum.ok());
+  for (std::size_t j = 0; j < n; ++j) {
+    std::complex<double> naive(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -kTwoPi * static_cast<double>(j) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      naive += x[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    EXPECT_NEAR(spectrum.value()[j].real(), naive.real(), 1e-9) << j;
+    EXPECT_NEAR(spectrum.value()[j].imag(), naive.imag(), 1e-9) << j;
+  }
+}
+
+TEST(FftTest, ConjugateSymmetryForRealInput) {
+  const std::vector<double> x = RandomVector(64, 1);
+  auto spectrum = Fft::ForwardReal(x);
+  ASSERT_TRUE(spectrum.ok());
+  for (std::size_t j = 1; j < 64; ++j) {
+    EXPECT_NEAR(spectrum.value()[j].real(), spectrum.value()[64 - j].real(),
+                1e-9);
+    EXPECT_NEAR(spectrum.value()[j].imag(), -spectrum.value()[64 - j].imag(),
+                1e-9);
+  }
+}
+
+class FftRoundTripSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripSweep, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = RandomVector(n, 10 + n);
+  auto spectrum = Fft::ForwardReal(x);
+  ASSERT_TRUE(spectrum.ok());
+  auto back = Fft::InverseToReal(spectrum.value());
+  ASSERT_TRUE(back.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back.value()[i], x[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, FftRoundTripSweep,
+                         ::testing::Values(1, 2, 4, 8, 32, 256, 1024, 4096));
+
+TEST(FftTest, ParsevalHolds) {
+  const std::size_t n = 128;
+  const std::vector<double> x = RandomVector(n, 2);
+  auto spectrum = Fft::ForwardReal(x);
+  ASSERT_TRUE(spectrum.ok());
+  double time_energy = 0.0;
+  for (double v : x) {
+    time_energy += v * v;
+  }
+  double freq_energy = 0.0;
+  for (const std::complex<double>& c : spectrum.value()) {
+    freq_energy += std::norm(c);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6);
+}
+
+TEST(FftTest, FullPrefixReconstructionIsLossless) {
+  const std::size_t n = 32;
+  const std::vector<double> x = RandomVector(n, 3);
+  auto spectrum = Fft::ForwardReal(x);
+  ASSERT_TRUE(spectrum.ok());
+  std::vector<std::complex<double>> prefix(
+      spectrum.value().begin(), spectrum.value().begin() + n / 2 + 1);
+  auto back = Fft::ReconstructFromPrefix(prefix, n);
+  ASSERT_TRUE(back.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back.value()[i], x[i], 1e-8);
+  }
+}
+
+TEST(FftTest, PrefixReconstructionLowPassesSmoothSignal) {
+  // A pure low-frequency cosine survives truncation exactly.
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 10.0 + 4.0 * std::cos(kTwoPi * 2.0 * static_cast<double>(t) /
+                                 static_cast<double>(n));
+  }
+  auto spectrum = Fft::ForwardReal(x);
+  ASSERT_TRUE(spectrum.ok());
+  std::vector<std::complex<double>> prefix(spectrum.value().begin(),
+                                           spectrum.value().begin() + 4);
+  auto back = Fft::ReconstructFromPrefix(prefix, n);
+  ASSERT_TRUE(back.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back.value()[i], x[i], 1e-8);
+  }
+}
+
+TEST(FftTest, PrefixReconstructionRejectsOversizedPrefix) {
+  std::vector<std::complex<double>> prefix(10, {0.0, 0.0});
+  EXPECT_FALSE(Fft::ReconstructFromPrefix(prefix, 16).ok());
+  EXPECT_FALSE(Fft::ReconstructFromPrefix(prefix, 17).ok());
+}
+
+TEST(FftTest, SingleRecordSpectrumSensitivity) {
+  // EFPA's privacy argument: adding one record changes every coefficient
+  // by a unit phasor.
+  const std::size_t n = 64;
+  std::vector<double> x = RandomVector(n, 4);
+  auto before = Fft::ForwardReal(x);
+  ASSERT_TRUE(before.ok());
+  x[17] += 1.0;
+  auto after = Fft::ForwardReal(x);
+  ASSERT_TRUE(after.ok());
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::complex<double> delta =
+        after.value()[j] - before.value()[j];
+    EXPECT_NEAR(std::abs(delta), 1.0, 1e-9) << j;
+  }
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,112 @@
+#include "dphist/data/generators.h"
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "dphist/data/dataset.h"
+
+namespace dphist {
+namespace {
+
+TEST(GeneratorsTest, AgeShape) {
+  const Dataset age = MakeAge(1);
+  EXPECT_EQ(age.name, "age");
+  EXPECT_EQ(age.histogram.size(), 100u);
+  const DatasetStats stats = ComputeStats(age);
+  EXPECT_NEAR(stats.total_records, 1.0e6, 0.05e6);
+  // Smooth pyramid: the bulk of mass sits in working ages.
+  const double young = age.histogram.RangeSum(25, 65).value();
+  const double old = age.histogram.RangeSum(85, 100).value();
+  EXPECT_GT(young, old * 5.0);
+}
+
+TEST(GeneratorsTest, AgeIsDeterministic) {
+  EXPECT_EQ(MakeAge(7).histogram.counts(), MakeAge(7).histogram.counts());
+  EXPECT_NE(MakeAge(7).histogram.counts(), MakeAge(8).histogram.counts());
+}
+
+TEST(GeneratorsTest, NetTraceIsSparseAndSpiky) {
+  const Dataset trace = MakeNetTrace(2048, 2);
+  EXPECT_EQ(trace.histogram.size(), 2048u);
+  const DatasetStats stats = ComputeStats(trace);
+  // Sparse: far fewer than half the bins are occupied.
+  EXPECT_LT(stats.nonzero_bins, trace.histogram.size() / 2);
+  // Spiky: the max dwarfs the mean.
+  EXPECT_GT(stats.max_count, 50.0 * stats.mean_count);
+}
+
+TEST(GeneratorsTest, SearchLogsIsBusy) {
+  const Dataset logs = MakeSearchLogs(1024, 3);
+  EXPECT_EQ(logs.histogram.size(), 1024u);
+  const DatasetStats stats = ComputeStats(logs);
+  // Bursty but dense: most bins have activity.
+  EXPECT_GT(stats.nonzero_bins, logs.histogram.size() / 2);
+  EXPECT_GT(stats.max_count, 4.0 * stats.mean_count);
+}
+
+TEST(GeneratorsTest, SocialNetworkHasDecayingTail) {
+  const Dataset social = MakeSocialNetwork(512, 4);
+  EXPECT_EQ(social.histogram.size(), 512u);
+  // Power law: low degrees dominate, tail nearly empty.
+  const double head = social.histogram.RangeSum(0, 8).value();
+  const double tail = social.histogram.RangeSum(256, 512).value();
+  EXPECT_GT(head, 100.0 * (tail + 1.0));
+}
+
+TEST(GeneratorsTest, UniformIsNearLevel) {
+  const Dataset uniform = MakeUniform(100, 50.0, 5);
+  for (double c : uniform.histogram.counts()) {
+    EXPECT_GE(c, 48.0);
+    EXPECT_LE(c, 52.0);
+  }
+}
+
+TEST(GeneratorsTest, PiecewiseConstantHasPlateaus) {
+  const Dataset pw = MakePiecewiseConstant(100, 5, 1000.0, 6);
+  EXPECT_EQ(pw.histogram.size(), 100u);
+  // Count distinct levels: at most num_segments + rounding.
+  std::size_t changes = 0;
+  for (std::size_t i = 1; i < pw.histogram.size(); ++i) {
+    if (pw.histogram.count(i) != pw.histogram.count(i - 1)) {
+      ++changes;
+    }
+  }
+  EXPECT_LE(changes, 5u);
+}
+
+TEST(GeneratorsTest, AllCountsNonNegativeIntegers) {
+  for (const Dataset& d : MakePaperSuite(512, 9)) {
+    for (double c : d.histogram.counts()) {
+      EXPECT_GE(c, 0.0) << d.name;
+      EXPECT_DOUBLE_EQ(c, static_cast<double>(static_cast<long long>(c)))
+          << d.name;
+    }
+  }
+}
+
+TEST(GeneratorsTest, PaperSuiteComposition) {
+  const std::vector<Dataset> suite = MakePaperSuite(1024, 10);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "age");
+  EXPECT_EQ(suite[1].name, "nettrace");
+  EXPECT_EQ(suite[2].name, "searchlogs");
+  EXPECT_EQ(suite[3].name, "social");
+  EXPECT_EQ(suite[1].histogram.size(), 1024u);
+  EXPECT_EQ(suite[3].histogram.size(), 256u);
+}
+
+TEST(GeneratorsTest, ComputeStatsBasics) {
+  Dataset d;
+  d.name = "toy";
+  d.histogram = Histogram({0.0, 2.0, 0.0, 6.0});
+  const DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.domain_size, 4u);
+  EXPECT_DOUBLE_EQ(stats.total_records, 8.0);
+  EXPECT_EQ(stats.nonzero_bins, 2u);
+  EXPECT_DOUBLE_EQ(stats.max_count, 6.0);
+  EXPECT_DOUBLE_EQ(stats.mean_count, 2.0);
+}
+
+}  // namespace
+}  // namespace dphist

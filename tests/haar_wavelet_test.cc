@@ -1,0 +1,140 @@
+#include "dphist/transform/haar_wavelet.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+std::vector<double> RandomVector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n, 0.0);
+  for (double& v : x) {
+    v = static_cast<double>(SampleUniformInt(rng, -50, 50));
+  }
+  return x;
+}
+
+TEST(HaarWaveletTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(HaarWavelet::Forward({1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(HaarWavelet::Inverse({1.0, 2.0, 3.0, 4.0, 5.0}).ok());
+}
+
+TEST(HaarWaveletTest, LengthOneIsIdentity) {
+  auto c = HaarWavelet::Forward({5.5});
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.value()[0], 5.5);
+  auto x = HaarWavelet::Inverse(c.value());
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.value()[0], 5.5);
+}
+
+TEST(HaarWaveletTest, KnownSmallTransform) {
+  // x = (4, 2, 5, 5): overall mean 4; node1 = (mean(4,2)-mean(5,5))/2 = -1;
+  // node2 = (4-2)/2 = 1; node3 = (5-5)/2 = 0.
+  auto c = HaarWavelet::Forward({4.0, 2.0, 5.0, 5.0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value()[0], 4.0);
+  EXPECT_DOUBLE_EQ(c.value()[1], -1.0);
+  EXPECT_DOUBLE_EQ(c.value()[2], 1.0);
+  EXPECT_DOUBLE_EQ(c.value()[3], 0.0);
+}
+
+class HaarRoundTripSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HaarRoundTripSweep, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = RandomVector(n, 50 + n);
+  auto c = HaarWavelet::Forward(x);
+  ASSERT_TRUE(c.ok());
+  auto back = HaarWavelet::Inverse(c.value());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back.value()[i], x[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, HaarRoundTripSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(HaarWaveletTest, TransformIsLinear) {
+  const std::size_t n = 16;
+  const std::vector<double> x = RandomVector(n, 1);
+  const std::vector<double> y = RandomVector(n, 2);
+  std::vector<double> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i] = 2.0 * x[i] - 3.0 * y[i];
+  }
+  auto cx = HaarWavelet::Forward(x);
+  auto cy = HaarWavelet::Forward(y);
+  auto cs = HaarWavelet::Forward(sum);
+  ASSERT_TRUE(cx.ok());
+  ASSERT_TRUE(cy.ok());
+  ASSERT_TRUE(cs.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(cs.value()[i], 2.0 * cx.value()[i] - 3.0 * cy.value()[i],
+                1e-9);
+  }
+}
+
+TEST(HaarWaveletTest, PadToPowerOfTwo) {
+  const std::vector<double> padded =
+      HaarWavelet::PadToPowerOfTwo({1.0, 2.0, 3.0});
+  ASSERT_EQ(padded.size(), 4u);
+  EXPECT_DOUBLE_EQ(padded[3], 0.0);
+  // Already a power of two: unchanged.
+  EXPECT_EQ(HaarWavelet::PadToPowerOfTwo({1.0, 2.0}).size(), 2u);
+}
+
+TEST(HaarWaveletTest, LevelsAndWeights) {
+  EXPECT_EQ(HaarWavelet::LevelOf(1), 0u);
+  EXPECT_EQ(HaarWavelet::LevelOf(2), 1u);
+  EXPECT_EQ(HaarWavelet::LevelOf(3), 1u);
+  EXPECT_EQ(HaarWavelet::LevelOf(4), 2u);
+  EXPECT_EQ(HaarWavelet::LevelOf(7), 2u);
+  const std::size_t n = 8;
+  EXPECT_DOUBLE_EQ(HaarWavelet::WeightOf(0, n), 8.0);
+  EXPECT_DOUBLE_EQ(HaarWavelet::WeightOf(1, n), 8.0);
+  EXPECT_DOUBLE_EQ(HaarWavelet::WeightOf(2, n), 4.0);
+  EXPECT_DOUBLE_EQ(HaarWavelet::WeightOf(4, n), 2.0);
+  EXPECT_DOUBLE_EQ(HaarWavelet::GeneralizedSensitivity(n), 4.0);
+}
+
+// The DP-critical property behind Privelet: adding one record to any unit
+// bin changes the weighted coefficient vector by exactly rho = 1 + log2 n
+// in L1.
+class HaarSensitivitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HaarSensitivitySweep, WeightedL1ChangeIsExactlyRho) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = RandomVector(n, 80 + n);
+  auto cx = HaarWavelet::Forward(x);
+  ASSERT_TRUE(cx.ok());
+  const double rho = HaarWavelet::GeneralizedSensitivity(n);
+  for (std::size_t bin = 0; bin < n; bin += (n / 8) + 1) {
+    std::vector<double> y = x;
+    y[bin] += 1.0;  // one extra record in this bin
+    auto cy = HaarWavelet::Forward(y);
+    ASSERT_TRUE(cy.ok());
+    double weighted_l1 = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      weighted_l1 += HaarWavelet::WeightOf(t, n) *
+                     std::abs(cy.value()[t] - cx.value()[t]);
+    }
+    EXPECT_NEAR(weighted_l1, rho, 1e-9) << "n=" << n << " bin=" << bin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, HaarSensitivitySweep,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 512));
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,87 @@
+#include "dphist/hist/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(HistogramTest, EmptyByDefault) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(HistogramTest, ZerosFactory) {
+  Histogram h = Histogram::Zeros(5);
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_DOUBLE_EQ(h.Total(), 0.0);
+}
+
+TEST(HistogramTest, TotalAndAccess) {
+  Histogram h({1.0, 2.0, 3.5});
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.Total(), 6.5);
+}
+
+TEST(HistogramTest, RangeSumMatchesNaive) {
+  const std::vector<double> counts = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  Histogram h(counts);
+  for (std::size_t b = 0; b <= counts.size(); ++b) {
+    for (std::size_t e = b; e <= counts.size(); ++e) {
+      double naive = 0.0;
+      for (std::size_t i = b; i < e; ++i) {
+        naive += counts[i];
+      }
+      auto sum = h.RangeSum(b, e);
+      ASSERT_TRUE(sum.ok());
+      EXPECT_DOUBLE_EQ(sum.value(), naive) << "[" << b << "," << e << ")";
+    }
+  }
+}
+
+TEST(HistogramTest, RangeSumRejectsBadBounds) {
+  Histogram h({1.0, 2.0});
+  EXPECT_FALSE(h.RangeSum(1, 3).ok());
+  EXPECT_FALSE(h.RangeSum(2, 1).ok());
+  EXPECT_TRUE(h.RangeSum(2, 2).ok());  // empty range at the end is fine
+}
+
+TEST(HistogramTest, MutationInvalidatesPrefix) {
+  Histogram h({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(h.RangeSum(0, 3).value(), 6.0);
+  h.set_count(0, 10.0);
+  EXPECT_DOUBLE_EQ(h.RangeSum(0, 3).value(), 15.0);
+  h.Add(2, -3.0);
+  EXPECT_DOUBLE_EQ(h.RangeSum(0, 3).value(), 12.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 0.0);
+}
+
+TEST(HistogramTest, ToDistributionNormalizes) {
+  Histogram h({1.0, 3.0, 0.0});
+  const std::vector<double> d = h.ToDistribution();
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 0.75);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(HistogramTest, ToDistributionClampsNegatives) {
+  Histogram h({-5.0, 2.0, 2.0});
+  const std::vector<double> d = h.ToDistribution();
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+  EXPECT_DOUBLE_EQ(d[2], 0.5);
+}
+
+TEST(HistogramTest, ToDistributionAllZeroGivesUniform) {
+  Histogram h({-1.0, 0.0, -2.0, 0.0});
+  const std::vector<double> d = h.ToDistribution();
+  for (double p : d) {
+    EXPECT_DOUBLE_EQ(p, 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

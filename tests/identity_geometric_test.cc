@@ -1,0 +1,80 @@
+#include "dphist/algorithms/identity_geometric.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(IdentityGeometricTest, Name) {
+  EXPECT_EQ(IdentityGeometric().name(), "geometric");
+}
+
+TEST(IdentityGeometricTest, RejectsBadArguments) {
+  IdentityGeometric algo;
+  Rng rng(1);
+  EXPECT_FALSE(algo.Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(algo.Publish(Histogram({1.0}), 0.0, rng).ok());
+}
+
+TEST(IdentityGeometricTest, OutputsAreIntegers) {
+  IdentityGeometric algo;
+  const Histogram truth({10.0, 20.5, 30.2, 0.0});  // fractional rounded
+  Rng rng(2);
+  auto out = algo.Publish(truth, 0.5, rng);
+  ASSERT_TRUE(out.ok());
+  for (double v : out.value().counts()) {
+    EXPECT_DOUBLE_EQ(v, std::nearbyint(v));
+  }
+}
+
+TEST(IdentityGeometricTest, DeterministicGivenSeed) {
+  IdentityGeometric algo;
+  const Histogram truth({5.0, 10.0, 15.0});
+  Rng a(3);
+  Rng b(3);
+  auto out_a = algo.Publish(truth, 1.0, a);
+  auto out_b = algo.Publish(truth, 1.0, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(IdentityGeometricTest, VarianceMatchesMechanism) {
+  IdentityGeometric algo;
+  const double epsilon = 1.0;
+  const Histogram truth(std::vector<double>(32, 100.0));
+  Rng rng(4);
+  double sq = 0.0;
+  const int reps = 3000;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const double d = out.value().count(i) - 100.0;
+      sq += d * d;
+    }
+  }
+  const double mse = sq / (reps * 32.0);
+  const double alpha = std::exp(-epsilon);
+  const double expected = 2.0 * alpha / ((1 - alpha) * (1 - alpha));
+  EXPECT_NEAR(mse, expected, 0.05 * expected);
+}
+
+TEST(IdentityGeometricTest, ComparableAccuracyToLaplace) {
+  // The geometric mechanism's variance 2a/(1-a)^2 is slightly below the
+  // Laplace 2/eps^2 at the same epsilon.
+  const double epsilon = 0.5;
+  const double alpha = std::exp(-epsilon);
+  const double geometric_var = 2.0 * alpha / ((1 - alpha) * (1 - alpha));
+  const double laplace_var = 2.0 / (epsilon * epsilon);
+  EXPECT_LT(geometric_var, laplace_var);
+  EXPECT_GT(geometric_var, laplace_var * 0.8);
+}
+
+}  // namespace
+}  // namespace dphist

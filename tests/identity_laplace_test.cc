@@ -1,0 +1,87 @@
+#include "dphist/algorithms/identity_laplace.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(IdentityLaplaceTest, Name) {
+  EXPECT_EQ(IdentityLaplace().name(), "dwork");
+}
+
+TEST(IdentityLaplaceTest, RejectsBadArguments) {
+  IdentityLaplace algo;
+  Rng rng(1);
+  EXPECT_FALSE(algo.Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(algo.Publish(Histogram({1.0}), 0.0, rng).ok());
+  EXPECT_FALSE(algo.Publish(Histogram({1.0}), -0.5, rng).ok());
+}
+
+TEST(IdentityLaplaceTest, PreservesSize) {
+  IdentityLaplace algo;
+  Rng rng(2);
+  const Histogram truth({10.0, 20.0, 30.0, 40.0});
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), truth.size());
+}
+
+TEST(IdentityLaplaceTest, DeterministicGivenSeed) {
+  IdentityLaplace algo;
+  const Histogram truth({5.0, 5.0, 5.0});
+  Rng rng_a(3);
+  Rng rng_b(3);
+  auto a = algo.Publish(truth, 0.5, rng_a);
+  auto b = algo.Publish(truth, 0.5, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().counts(), b.value().counts());
+}
+
+TEST(IdentityLaplaceTest, PerBinErrorMatchesTheory) {
+  // Mean squared per-bin error should approach 2/eps^2.
+  IdentityLaplace algo;
+  const double epsilon = 0.5;
+  const Histogram truth(std::vector<double>(64, 100.0));
+  Rng rng(4);
+  double total_sq = 0.0;
+  const int reps = 2000;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const double d = out.value().count(i) - truth.count(i);
+      total_sq += d * d;
+    }
+  }
+  const double mse = total_sq / (reps * static_cast<double>(truth.size()));
+  const double expected = 2.0 / (epsilon * epsilon);
+  EXPECT_NEAR(mse, expected, 0.05 * expected);
+}
+
+TEST(IdentityLaplaceTest, HigherEpsilonLessNoise) {
+  IdentityLaplace algo;
+  const Histogram truth(std::vector<double>(256, 50.0));
+  Rng rng(5);
+  double err_small_eps = 0.0;
+  double err_large_eps = 0.0;
+  for (int rep = 0; rep < 50; ++rep) {
+    auto noisy_small = algo.Publish(truth, 0.01, rng);
+    auto noisy_large = algo.Publish(truth, 1.0, rng);
+    ASSERT_TRUE(noisy_small.ok());
+    ASSERT_TRUE(noisy_large.ok());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      err_small_eps += std::abs(noisy_small.value().count(i) - 50.0);
+      err_large_eps += std::abs(noisy_large.value().count(i) - 50.0);
+    }
+  }
+  EXPECT_GT(err_small_eps, err_large_eps * 10);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,192 @@
+#include "dphist/hist/interval_cost.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+double NaiveMean(const std::vector<double>& x, std::size_t b, std::size_t e) {
+  double sum = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    sum += x[i];
+  }
+  return sum / static_cast<double>(e - b);
+}
+
+double NaiveSse(const std::vector<double>& x, std::size_t b, std::size_t e) {
+  const double mu = NaiveMean(x, b, e);
+  double sse = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    sse += (x[i] - mu) * (x[i] - mu);
+  }
+  return sse;
+}
+
+double NaiveSae(const std::vector<double>& x, std::size_t b, std::size_t e) {
+  const double mu = NaiveMean(x, b, e);
+  double sae = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    sae += std::abs(x[i] - mu);
+  }
+  return sae;
+}
+
+std::vector<double> RandomCounts(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(n, 0.0);
+  for (double& c : counts) {
+    c = static_cast<double>(SampleUniformInt(rng, 0, 100));
+  }
+  return counts;
+}
+
+TEST(IntervalCostTest, RejectsEmptyAndZeroGrid) {
+  IntervalCostTable::Options options;
+  EXPECT_FALSE(IntervalCostTable::Create({}, options).ok());
+  options.grid_step = 0;
+  EXPECT_FALSE(IntervalCostTable::Create({1.0}, options).ok());
+}
+
+TEST(IntervalCostTest, PositionsCoverDomain) {
+  IntervalCostTable::Options options;
+  options.grid_step = 3;
+  auto table = IntervalCostTable::Create(RandomCounts(10, 1), options);
+  ASSERT_TRUE(table.ok());
+  const std::vector<std::size_t> expected = {0, 3, 6, 9, 10};
+  EXPECT_EQ(table.value().positions(), expected);
+  EXPECT_EQ(table.value().num_candidates(), 4u);
+}
+
+TEST(IntervalCostTest, PositionsWhenGridDividesDomain) {
+  IntervalCostTable::Options options;
+  options.grid_step = 5;
+  auto table = IntervalCostTable::Create(RandomCounts(10, 2), options);
+  ASSERT_TRUE(table.ok());
+  const std::vector<std::size_t> expected = {0, 5, 10};
+  EXPECT_EQ(table.value().positions(), expected);
+}
+
+TEST(IntervalCostTest, SquaredMatchesNaiveAllIntervals) {
+  const std::vector<double> counts = RandomCounts(24, 3);
+  IntervalCostTable::Options options;
+  options.kind = CostKind::kSquared;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  const auto& positions = table.value().positions();
+  for (std::size_t a = 0; a + 1 < positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < positions.size(); ++b) {
+      EXPECT_NEAR(table.value().CostBetween(a, b),
+                  NaiveSse(counts, positions[a], positions[b]), 1e-6)
+          << "interval [" << positions[a] << "," << positions[b] << ")";
+    }
+  }
+}
+
+TEST(IntervalCostTest, AbsoluteMatchesNaiveAllIntervals) {
+  const std::vector<double> counts = RandomCounts(24, 4);
+  IntervalCostTable::Options options;
+  options.kind = CostKind::kAbsolute;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  const auto& positions = table.value().positions();
+  for (std::size_t a = 0; a + 1 < positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < positions.size(); ++b) {
+      EXPECT_NEAR(table.value().CostBetween(a, b),
+                  NaiveSae(counts, positions[a], positions[b]), 1e-6)
+          << "interval [" << positions[a] << "," << positions[b] << ")";
+    }
+  }
+}
+
+TEST(IntervalCostTest, AbsoluteWithGridMatchesNaive) {
+  const std::vector<double> counts = RandomCounts(30, 5);
+  IntervalCostTable::Options options;
+  options.kind = CostKind::kAbsolute;
+  options.grid_step = 4;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  const auto& positions = table.value().positions();
+  for (std::size_t a = 0; a + 1 < positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < positions.size(); ++b) {
+      EXPECT_NEAR(table.value().CostBetween(a, b),
+                  NaiveSae(counts, positions[a], positions[b]), 1e-6);
+    }
+  }
+}
+
+TEST(IntervalCostTest, NegativeCountsSupported) {
+  // Noisy histograms have negative counts; both cost kinds must handle
+  // them (NoiseFirst runs the DP on noisy data).
+  std::vector<double> counts = {-3.5, 2.0, -1.0, 4.0, 0.0, -2.25};
+  for (CostKind kind : {CostKind::kSquared, CostKind::kAbsolute}) {
+    IntervalCostTable::Options options;
+    options.kind = kind;
+    auto table = IntervalCostTable::Create(counts, options);
+    ASSERT_TRUE(table.ok());
+    for (std::size_t a = 0; a < counts.size(); ++a) {
+      for (std::size_t b = a + 1; b <= counts.size(); ++b) {
+        const double want = kind == CostKind::kSquared
+                                ? NaiveSse(counts, a, b)
+                                : NaiveSae(counts, a, b);
+        EXPECT_NEAR(table.value().CostBetween(a, b), want, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(IntervalCostTest, ConstantIntervalHasZeroCost) {
+  const std::vector<double> counts(16, 7.0);
+  for (CostKind kind : {CostKind::kSquared, CostKind::kAbsolute}) {
+    IntervalCostTable::Options options;
+    options.kind = kind;
+    auto table = IntervalCostTable::Create(counts, options);
+    ASSERT_TRUE(table.ok());
+    EXPECT_DOUBLE_EQ(table.value().CostBetween(0, 16), 0.0);
+    EXPECT_DOUBLE_EQ(table.value().CostBetween(3, 9), 0.0);
+  }
+}
+
+TEST(IntervalCostTest, MeanOfMatchesNaive) {
+  const std::vector<double> counts = RandomCounts(12, 6);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table.value().MeanOf(2, 9), NaiveMean(counts, 2, 9), 1e-9);
+  EXPECT_NEAR(table.value().MeanOf(0, 12), NaiveMean(counts, 0, 12), 1e-9);
+}
+
+TEST(IntervalCostTest, SquaredCostOfAvailableForAbsoluteTables) {
+  const std::vector<double> counts = RandomCounts(12, 7);
+  IntervalCostTable::Options options;
+  options.kind = CostKind::kAbsolute;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table.value().SquaredCostOf(1, 10), NaiveSse(counts, 1, 10),
+              1e-6);
+}
+
+TEST(IntervalCostTest, CellCapEnforced) {
+  IntervalCostTable::Options options;
+  options.kind = CostKind::kAbsolute;
+  options.max_table_cells = 16;  // (m+1)^2 must not exceed this
+  auto table = IntervalCostTable::Create(RandomCounts(64, 8), options);
+  EXPECT_FALSE(table.ok());
+  options.grid_step = 32;  // m+1 == 3 candidates -> fits
+  auto coarse = IntervalCostTable::Create(RandomCounts(64, 8), options);
+  EXPECT_TRUE(coarse.ok());
+}
+
+TEST(IntervalCostTest, CostKindNames) {
+  EXPECT_STREQ(CostKindName(CostKind::kSquared), "squared");
+  EXPECT_STREQ(CostKindName(CostKind::kAbsolute), "absolute");
+}
+
+}  // namespace
+}  // namespace dphist

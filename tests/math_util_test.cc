@@ -1,0 +1,136 @@
+#include "dphist/common/math_util.h"
+
+#include <cmath>
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(NextPowerOfTwoTest, SmallValues) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(IsPowerOfTwoTest, Basics) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+// Property sweep: log2 helpers agree with the analytic definitions for all
+// n up to 4096.
+class Log2Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Log2Sweep, FloorAndCeilMatchMath) {
+  const std::size_t n = GetParam();
+  const double exact = std::log2(static_cast<double>(n));
+  EXPECT_EQ(FloorLog2(n), static_cast<std::uint32_t>(std::floor(exact)));
+  EXPECT_EQ(CeilLog2(n), static_cast<std::uint32_t>(std::ceil(exact)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallSizes, Log2Sweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 32, 33, 63, 64, 100, 127, 128,
+                                           1000, 1023, 1024, 1025, 4095,
+                                           4096));
+
+TEST(Log2Test, ZeroEdgeCases) {
+  EXPECT_EQ(FloorLog2(0), 0u);
+  EXPECT_EQ(CeilLog2(0), 0u);
+}
+
+class CeilLogBaseSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CeilLogBaseSweep, MatchesIteratedMultiplication) {
+  const auto [n, base] = GetParam();
+  const std::uint32_t levels = CeilLogBase(n, base);
+  if (n <= 1) {
+    EXPECT_EQ(levels, 0u);
+    return;
+  }
+  // base^(levels-1) < n <= base^levels.
+  double reach = 1.0;
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    reach *= static_cast<double>(base);
+  }
+  EXPECT_GE(reach, static_cast<double>(n));
+  EXPECT_LT(reach / static_cast<double>(base), static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bases, CeilLogBaseSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 8, 9, 16, 27,
+                                                      64, 100, 1000),
+                       ::testing::Values<std::size_t>(2, 3, 4, 16)));
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+  EXPECT_EQ(Clamp(0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(KahanSumTest, CompensatesSmallAdditions) {
+  KahanSum acc;
+  acc.Add(1.0e16);
+  for (int i = 0; i < 10000; ++i) {
+    acc.Add(1.0);
+  }
+  acc.Add(-1.0e16);
+  EXPECT_NEAR(acc.Total(), 10000.0, 1.0);
+}
+
+TEST(PrefixSumsTest, MatchesNaive) {
+  const std::vector<double> values = {1.0, -2.5, 3.0, 0.0, 10.25};
+  const std::vector<double> prefix = PrefixSums(values);
+  ASSERT_EQ(prefix.size(), values.size() + 1);
+  EXPECT_EQ(prefix[0], 0.0);
+  double running = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    running += values[i];
+    EXPECT_DOUBLE_EQ(prefix[i + 1], running);
+  }
+}
+
+TEST(PrefixSumsTest, EmptyInput) {
+  const std::vector<double> prefix = PrefixSums({});
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0], 0.0);
+}
+
+TEST(PrefixSumsOfSquaresTest, MatchesNaive) {
+  const std::vector<double> values = {2.0, -3.0, 0.5};
+  const std::vector<double> prefix = PrefixSumsOfSquares(values);
+  EXPECT_DOUBLE_EQ(prefix[1], 4.0);
+  EXPECT_DOUBLE_EQ(prefix[2], 13.0);
+  EXPECT_DOUBLE_EQ(prefix[3], 13.25);
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);
+}
+
+TEST(MeanVarianceTest, DegenerateInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+  EXPECT_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({3.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace dphist

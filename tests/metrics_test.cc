@@ -1,0 +1,114 @@
+#include "dphist/metrics/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(MaeMseTest, KnownValues) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const std::vector<double> estimate = {2.0, 2.0, 1.0};
+  auto mae = MeanAbsoluteError(truth, estimate);
+  auto mse = MeanSquaredError(truth, estimate);
+  ASSERT_TRUE(mae.ok());
+  ASSERT_TRUE(mse.ok());
+  EXPECT_DOUBLE_EQ(mae.value(), 1.0);
+  EXPECT_DOUBLE_EQ(mse.value(), 5.0 / 3.0);
+}
+
+TEST(MaeMseTest, IdenticalVectorsGiveZero) {
+  const std::vector<double> v = {5.0, -2.0, 0.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(v, v).value(), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(v, v).value(), 0.0);
+}
+
+TEST(MaeMseTest, RejectsMismatchedOrEmpty) {
+  EXPECT_FALSE(MeanAbsoluteError({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MeanSquaredError({}, {}).ok());
+}
+
+TEST(KlDivergenceTest, ZeroForIdenticalHistograms) {
+  const Histogram h({10.0, 20.0, 30.0});
+  auto kl = KlDivergence(h, h);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(kl.value(), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, PositiveForDifferentHistograms) {
+  const Histogram p({10.0, 0.0, 0.0});
+  const Histogram q({0.0, 0.0, 10.0});
+  auto kl = KlDivergence(p, q);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_GT(kl.value(), 1.0);
+}
+
+TEST(KlDivergenceTest, KnownTwoCellValue) {
+  // P = (0.75, 0.25), Q = (0.25, 0.75) with negligible smoothing.
+  const Histogram p({3.0, 1.0});
+  const Histogram q({1.0, 3.0});
+  auto kl = KlDivergence(p, q, 1e-12);
+  ASSERT_TRUE(kl.ok());
+  const double expected =
+      0.75 * std::log(3.0) + 0.25 * std::log(1.0 / 3.0);
+  EXPECT_NEAR(kl.value(), expected, 1e-6);
+}
+
+TEST(KlDivergenceTest, HandlesNegativeEstimates) {
+  const Histogram p({5.0, 5.0});
+  const Histogram q({-3.0, 5.0});  // noisy release went negative
+  auto kl = KlDivergence(p, q);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_TRUE(std::isfinite(kl.value()));
+  EXPECT_GT(kl.value(), 0.0);
+}
+
+TEST(KlDivergenceTest, RejectsBadInputs) {
+  EXPECT_FALSE(KlDivergence(Histogram({1.0}), Histogram({1.0, 2.0})).ok());
+  EXPECT_FALSE(KlDivergence(Histogram(), Histogram()).ok());
+  EXPECT_FALSE(
+      KlDivergence(Histogram({1.0}), Histogram({1.0}), 0.0).ok());
+}
+
+TEST(KsDistanceTest, ZeroForIdentical) {
+  const Histogram h({1.0, 2.0, 3.0});
+  EXPECT_NEAR(KsDistance(h, h).value(), 0.0, 1e-12);
+}
+
+TEST(KsDistanceTest, OneForDisjointMass) {
+  const Histogram p({10.0, 0.0});
+  const Histogram q({0.0, 10.0});
+  EXPECT_NEAR(KsDistance(p, q).value(), 1.0, 1e-12);
+}
+
+TEST(KsDistanceTest, KnownIntermediateValue) {
+  const Histogram p({3.0, 1.0});
+  const Histogram q({1.0, 3.0});
+  // CDFs after first cell: 0.75 vs 0.25.
+  EXPECT_NEAR(KsDistance(p, q).value(), 0.5, 1e-12);
+}
+
+TEST(EvaluateWorkloadTest, ComputesAllThreeStatistics) {
+  const Histogram truth({10.0, 10.0, 10.0, 10.0});
+  const Histogram estimate({11.0, 9.0, 13.0, 10.0});
+  const std::vector<RangeQuery> queries = {{0, 4}, {0, 1}, {2, 3}};
+  auto error = EvaluateWorkload(truth, estimate, queries);
+  ASSERT_TRUE(error.ok());
+  // Errors: |40-43| = 3, |10-11| = 1, |10-13| = 3.
+  EXPECT_NEAR(error.value().mean_absolute, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(error.value().mean_squared, 19.0 / 3.0, 1e-12);
+  EXPECT_NEAR(error.value().max_absolute, 3.0, 1e-12);
+}
+
+TEST(EvaluateWorkloadTest, RejectsBadInputs) {
+  const Histogram truth({1.0, 2.0});
+  const Histogram estimate({1.0});
+  EXPECT_FALSE(EvaluateWorkload(truth, estimate, {{0, 1}}).ok());
+  EXPECT_FALSE(EvaluateWorkload(truth, truth, {}).ok());
+  EXPECT_FALSE(EvaluateWorkload(truth, truth, {{0, 5}}).ok());
+}
+
+}  // namespace
+}  // namespace dphist

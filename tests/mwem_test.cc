@@ -1,0 +1,161 @@
+#include "dphist/algorithms/mwem.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/metrics/metrics.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+Histogram TwoBlocks(std::size_t n) {
+  std::vector<double> counts(n, 0.0);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    counts[i] = 100.0;
+  }
+  for (std::size_t i = n / 2; i < n; ++i) {
+    counts[i] = 10.0;
+  }
+  return Histogram(std::move(counts));
+}
+
+TEST(MwemTest, Name) { EXPECT_EQ(Mwem().name(), "mwem"); }
+
+TEST(MwemTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(Mwem().Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(Mwem().Publish(Histogram({1.0}), 0.0, rng).ok());
+  Mwem::Options zero_iters;
+  zero_iters.iterations = 0;
+  EXPECT_FALSE(
+      Mwem(zero_iters).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+  Mwem::Options bad_ratio;
+  bad_ratio.total_budget_ratio = 0.0;
+  EXPECT_FALSE(
+      Mwem(bad_ratio).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+  Mwem::Options bad_workload;
+  bad_workload.workload = {{0, 100}};
+  EXPECT_FALSE(
+      Mwem(bad_workload).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+}
+
+TEST(MwemTest, PreservesSizeAndDeterminism) {
+  Mwem algo;
+  const Histogram truth = TwoBlocks(32);
+  Rng a(2);
+  Rng b(2);
+  auto out_a = algo.Publish(truth, 1.0, a);
+  auto out_b = algo.Publish(truth, 1.0, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().size(), truth.size());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(MwemTest, OutputIsNonNegativeAndMassMatchesNoisyTotal) {
+  Mwem algo;
+  const Histogram truth = TwoBlocks(64);
+  Rng rng(3);
+  Mwem::Details details;
+  auto out = algo.PublishWithDetails(truth, 1.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  double mass = 0.0;
+  for (double v : out.value().counts()) {
+    EXPECT_GE(v, 0.0);
+    mass += v;
+  }
+  EXPECT_NEAR(mass, details.noisy_total, 1e-6);
+  EXPECT_NEAR(details.noisy_total, truth.Total(), 100.0);
+}
+
+TEST(MwemTest, RunsOneSelectionPerIteration) {
+  Mwem::Options options;
+  options.iterations = 7;
+  Mwem algo(options);
+  const Histogram truth = TwoBlocks(32);
+  Rng rng(4);
+  Mwem::Details details;
+  auto out = algo.PublishWithDetails(truth, 1.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(details.selected_queries.size(), 7u);
+}
+
+TEST(MwemTest, ImprovesOverUniformOnItsWorkload) {
+  // MWEM's contract: after T rounds the synthetic histogram answers the
+  // workload better than the uniform initialization it started from.
+  const std::size_t n = 64;
+  const Histogram truth = TwoBlocks(n);
+  Rng workload_rng(5);
+  auto queries = RandomRangeWorkload(n, 100, workload_rng);
+  ASSERT_TRUE(queries.ok());
+  Mwem::Options options;
+  options.workload = queries.value();
+  options.iterations = 20;
+  Mwem algo(options);
+
+  const Histogram uniform(
+      std::vector<double>(n, truth.Total() / static_cast<double>(n)));
+  auto uniform_error = EvaluateWorkload(truth, uniform, queries.value());
+  ASSERT_TRUE(uniform_error.ok());
+
+  Rng rng(6);
+  double mwem_mae = 0.0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng run = rng.Fork();
+    auto out = algo.Publish(truth, 1.0, run);
+    ASSERT_TRUE(out.ok());
+    auto error = EvaluateWorkload(truth, out.value(), queries.value());
+    ASSERT_TRUE(error.ok());
+    mwem_mae += error.value().mean_absolute;
+  }
+  mwem_mae /= reps;
+  EXPECT_LT(mwem_mae, uniform_error.value().mean_absolute * 0.8);
+}
+
+TEST(MwemTest, GeneratesWorkloadWhenNoneProvided) {
+  Mwem::Options options;
+  options.default_workload_size = 50;
+  Mwem algo(options);
+  const Histogram truth = TwoBlocks(16);
+  Rng rng(7);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 16u);
+}
+
+TEST(MwemTest, MoreIterationsHelpOnStructuredData) {
+  const std::size_t n = 64;
+  const Histogram truth = TwoBlocks(n);
+  Rng workload_rng(8);
+  auto queries = RandomRangeWorkload(n, 100, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto run_mwem = [&](std::size_t iterations) {
+    Mwem::Options options;
+    options.workload = queries.value();
+    options.iterations = iterations;
+    Mwem algo(options);
+    Rng rng(9);
+    double total_mae = 0.0;
+    const int reps = 10;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng run = rng.Fork();
+      auto out = algo.Publish(truth, 2.0, run);
+      EXPECT_TRUE(out.ok());
+      auto error = EvaluateWorkload(truth, out.value(), queries.value());
+      EXPECT_TRUE(error.ok());
+      total_mae += error.value().mean_absolute;
+    }
+    return total_mae / reps;
+  };
+  // One round barely moves the uniform start; twenty rounds should.
+  EXPECT_LT(run_mwem(20), run_mwem(1));
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,165 @@
+// Options fuzzing: random (valid) option combinations on random data must
+// never crash, always preserve the contract, and never emit non-finite
+// values. This guards option interactions that the targeted tests do not
+// enumerate (e.g. tiny domains with big grid steps, extreme ratios).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/algorithms/ahp.h"
+#include "dphist/algorithms/boost_tree.h"
+#include "dphist/algorithms/efpa.h"
+#include "dphist/algorithms/grouping_smoothing.h"
+#include "dphist/algorithms/mwem.h"
+#include "dphist/algorithms/noise_first.h"
+#include "dphist/algorithms/p_hp.h"
+#include "dphist/algorithms/privelet.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+Histogram RandomHistogram(Rng& rng) {
+  const std::size_t n =
+      static_cast<std::size_t>(SampleUniformInt(rng, 1, 96));
+  std::vector<double> counts(n);
+  for (double& c : counts) {
+    c = static_cast<double>(SampleUniformInt(rng, 0, 2000));
+  }
+  return Histogram(std::move(counts));
+}
+
+double RandomEpsilon(Rng& rng) {
+  // Log-uniform over [1e-3, 10].
+  const double u = SampleUniformDouble(rng);
+  return std::pow(10.0, -3.0 + 4.0 * u);
+}
+
+void CheckRelease(const HistogramPublisher& publisher,
+                  const Histogram& truth, double epsilon, Rng& rng) {
+  auto out = publisher.Publish(truth, epsilon, rng);
+  ASSERT_TRUE(out.ok()) << publisher.name() << " n=" << truth.size()
+                        << " eps=" << epsilon << ": "
+                        << out.status().ToString();
+  ASSERT_EQ(out.value().size(), truth.size()) << publisher.name();
+  for (double v : out.value().counts()) {
+    ASSERT_TRUE(std::isfinite(v)) << publisher.name();
+  }
+}
+
+TEST(OptionsFuzzTest, NoiseFirst) {
+  Rng rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Histogram truth = RandomHistogram(rng);
+    NoiseFirst::Options options;
+    options.max_buckets =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 200));
+    options.fixed_buckets =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 150));
+    options.grid_step =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 16));
+    options.clamp_nonnegative = (rng.NextUint64() & 1) != 0;
+    options.bias_corrected_selection = (rng.NextUint64() & 1) != 0;
+    CheckRelease(NoiseFirst(options), truth, RandomEpsilon(rng), rng);
+  }
+}
+
+TEST(OptionsFuzzTest, StructureFirst) {
+  Rng rng(102);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Histogram truth = RandomHistogram(rng);
+    StructureFirst::Options options;
+    options.num_buckets =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 150));
+    options.max_buckets_considered =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 64));
+    options.k_selection_ratio = 0.05 + 0.9 * SampleUniformDouble(rng);
+    options.structure_budget_ratio = 0.05 + 0.9 * SampleUniformDouble(rng);
+    options.cost_kind = (rng.NextUint64() & 1) != 0 ? CostKind::kAbsolute
+                                                    : CostKind::kSquared;
+    options.count_cap =
+        static_cast<double>(SampleUniformInt(rng, 1, 5000));
+    options.grid_step =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 16));
+    options.clamp_nonnegative = (rng.NextUint64() & 1) != 0;
+    CheckRelease(StructureFirst(options), truth, RandomEpsilon(rng), rng);
+  }
+}
+
+TEST(OptionsFuzzTest, BoostTree) {
+  Rng rng(103);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Histogram truth = RandomHistogram(rng);
+    BoostTree::Options options;
+    options.fanout = static_cast<std::size_t>(SampleUniformInt(rng, 2, 17));
+    options.clamp_nonnegative = (rng.NextUint64() & 1) != 0;
+    CheckRelease(BoostTree(options), truth, RandomEpsilon(rng), rng);
+  }
+}
+
+TEST(OptionsFuzzTest, PriveletAndGs) {
+  Rng rng(104);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Histogram truth = RandomHistogram(rng);
+    Privelet::Options wavelet_options;
+    wavelet_options.clamp_nonnegative = (rng.NextUint64() & 1) != 0;
+    CheckRelease(Privelet(wavelet_options), truth, RandomEpsilon(rng), rng);
+
+    GroupingSmoothing::Options gs_options;
+    gs_options.group_size =
+        static_cast<std::size_t>(SampleUniformInt(rng, 1, 128));
+    CheckRelease(GroupingSmoothing(gs_options), truth, RandomEpsilon(rng),
+                 rng);
+  }
+}
+
+TEST(OptionsFuzzTest, EfpaAndPhp) {
+  Rng rng(105);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Histogram truth = RandomHistogram(rng);
+    Efpa::Options efpa_options;
+    efpa_options.fixed_coefficients =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 80));
+    efpa_options.selection_budget_ratio =
+        0.05 + 0.9 * SampleUniformDouble(rng);
+    CheckRelease(Efpa(efpa_options), truth, RandomEpsilon(rng), rng);
+
+    PHPartition::Options php_options;
+    php_options.num_buckets =
+        static_cast<std::size_t>(SampleUniformInt(rng, 0, 128));
+    php_options.structure_budget_ratio =
+        0.05 + 0.9 * SampleUniformDouble(rng);
+    CheckRelease(PHPartition(php_options), truth, RandomEpsilon(rng), rng);
+  }
+}
+
+TEST(OptionsFuzzTest, MwemAndAhp) {
+  Rng rng(106);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Histogram truth = RandomHistogram(rng);
+    Mwem::Options mwem_options;
+    mwem_options.iterations =
+        static_cast<std::size_t>(SampleUniformInt(rng, 1, 25));
+    mwem_options.default_workload_size =
+        static_cast<std::size_t>(SampleUniformInt(rng, 1, 100));
+    mwem_options.total_budget_ratio =
+        0.05 + 0.9 * SampleUniformDouble(rng);
+    CheckRelease(Mwem(mwem_options), truth, RandomEpsilon(rng), rng);
+
+    Ahp::Options ahp_options;
+    ahp_options.structure_budget_ratio =
+        0.05 + 0.9 * SampleUniformDouble(rng);
+    ahp_options.cluster_tolerance_scale =
+        0.1 + 10.0 * SampleUniformDouble(rng);
+    ahp_options.threshold_small_counts = (rng.NextUint64() & 1) != 0;
+    CheckRelease(Ahp(ahp_options), truth, RandomEpsilon(rng), rng);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,153 @@
+#include "dphist/algorithms/p_hp.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+Histogram TwoPlateaus(std::size_t n) {
+  std::vector<double> counts(n, 5.0);
+  for (std::size_t i = n / 2; i < n; ++i) {
+    counts[i] = 500.0;
+  }
+  return Histogram(std::move(counts));
+}
+
+TEST(PHPartitionTest, Name) { EXPECT_EQ(PHPartition().name(), "p_hp"); }
+
+TEST(PHPartitionTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(PHPartition().Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(PHPartition().Publish(Histogram({1.0}), 0.0, rng).ok());
+  PHPartition::Options options;
+  options.structure_budget_ratio = 1.5;
+  EXPECT_FALSE(
+      PHPartition(options).Publish(Histogram({1.0, 2.0}), 1.0, rng).ok());
+}
+
+TEST(PHPartitionTest, PreservesSizeAndDeterminism) {
+  PHPartition algo;
+  const Histogram truth = TwoPlateaus(48);
+  Rng a(2);
+  Rng b(2);
+  auto out_a = algo.Publish(truth, 1.0, a);
+  auto out_b = algo.Publish(truth, 1.0, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().size(), truth.size());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(PHPartitionTest, BucketCountIsPowerOfTwo) {
+  PHPartition::Options options;
+  options.num_buckets = 12;  // rounds down to 8
+  PHPartition algo(options);
+  const Histogram truth = TwoPlateaus(64);
+  Rng rng(3);
+  PHPartition::Details details;
+  auto out = algo.PublishWithDetails(truth, 1.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(details.num_buckets, 8u);
+  EXPECT_EQ(details.levels, 3u);
+  EXPECT_EQ(details.cuts.size(), 7u);
+}
+
+TEST(PHPartitionTest, SingleBucketSpendsEverythingOnCounts) {
+  PHPartition::Options options;
+  options.num_buckets = 1;
+  PHPartition algo(options);
+  const Histogram truth = TwoPlateaus(16);
+  Rng rng(4);
+  PHPartition::Details details;
+  auto out = algo.PublishWithDetails(truth, 1.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(details.num_buckets, 1u);
+  EXPECT_DOUBLE_EQ(details.structure_epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(details.count_epsilon, 1.0);
+}
+
+TEST(PHPartitionTest, BudgetSplitsSumToEpsilon) {
+  PHPartition::Options options;
+  options.num_buckets = 8;
+  options.structure_budget_ratio = 0.4;
+  PHPartition algo(options);
+  const Histogram truth = TwoPlateaus(64);
+  Rng rng(5);
+  PHPartition::Details details;
+  auto out = algo.PublishWithDetails(truth, 2.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(details.structure_epsilon, 0.8, 1e-12);
+  EXPECT_NEAR(details.count_epsilon, 1.2, 1e-12);
+}
+
+TEST(PHPartitionTest, HighBudgetFindsTheStep) {
+  // With a huge budget, the first bisection must land exactly on the
+  // plateau boundary (the only zero-cost split).
+  PHPartition::Options options;
+  options.num_buckets = 2;
+  PHPartition algo(options);
+  const std::size_t n = 32;
+  const Histogram truth = TwoPlateaus(n);
+  Rng rng(6);
+  PHPartition::Details details;
+  auto out = algo.PublishWithDetails(truth, 10000.0, rng, &details);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(details.cuts.size(), 1u);
+  EXPECT_EQ(details.cuts[0], n / 2);
+}
+
+TEST(PHPartitionTest, HandlesTinyDomains) {
+  PHPartition algo;
+  Rng rng(7);
+  for (std::size_t n : {1u, 2u, 3u}) {
+    const Histogram truth(std::vector<double>(n, 4.0));
+    auto out = algo.Publish(truth, 1.0, rng);
+    ASSERT_TRUE(out.ok()) << n;
+    EXPECT_EQ(out.value().size(), n);
+  }
+}
+
+TEST(PHPartitionTest, BeatsDworkOnPlateauDataAtSmallEpsilon) {
+  PHPartition::Options options;
+  options.num_buckets = 4;
+  PHPartition algo(options);
+  const std::size_t n = 128;
+  const Histogram truth = TwoPlateaus(n);
+  const double epsilon = 0.02;
+  Rng rng(8);
+  double php_sq = 0.0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = out.value().count(i) - truth.count(i);
+      php_sq += d * d;
+    }
+  }
+  const double php_mse = php_sq / (reps * static_cast<double>(n));
+  const double dwork_mse = 2.0 / (epsilon * epsilon);
+  EXPECT_LT(php_mse, dwork_mse * 0.5);
+}
+
+TEST(PHPartitionTest, ClampNonNegative) {
+  PHPartition::Options options;
+  options.clamp_nonnegative = true;
+  options.num_buckets = 4;
+  PHPartition algo(options);
+  const Histogram truth(std::vector<double>(64, 0.0));
+  Rng rng(9);
+  auto out = algo.Publish(truth, 0.05, rng);
+  ASSERT_TRUE(out.ok());
+  for (double v : out.value().counts()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

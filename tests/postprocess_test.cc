@@ -1,0 +1,151 @@
+#include "dphist/algorithms/postprocess.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(ClampNonNegativeTest, ClampsOnlyNegatives) {
+  const Histogram clamped =
+      ClampNonNegative(Histogram({-2.0, 0.0, 3.5, -0.1}));
+  const std::vector<double> expected = {0.0, 0.0, 3.5, 0.0};
+  EXPECT_EQ(clamped.counts(), expected);
+}
+
+TEST(ClampNonNegativeTest, NeverIncreasesErrorOnNonNegativeTruth) {
+  // For any true count t >= 0 and estimate e, |max(e,0) - t| <= |e - t|.
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double truth =
+        static_cast<double>(SampleUniformInt(rng, 0, 100));
+    const double estimate = truth + SampleLaplace(rng, 10.0);
+    const double clamped = estimate < 0.0 ? 0.0 : estimate;
+    EXPECT_LE(std::abs(clamped - truth), std::abs(estimate - truth) + 1e-12);
+  }
+}
+
+TEST(RoundToIntegersTest, Rounds) {
+  const Histogram rounded =
+      RoundToIntegers(Histogram({1.4, 1.6, -0.4, -0.6, 2.5}));
+  EXPECT_DOUBLE_EQ(rounded.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(rounded.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(rounded.count(2), 0.0);
+  EXPECT_DOUBLE_EQ(rounded.count(3), -1.0);
+  // Banker's rounding for .5 (nearbyint with default mode): 2.5 -> 2.
+  EXPECT_DOUBLE_EQ(rounded.count(4), 2.0);
+}
+
+TEST(NormalizeTotalTest, RescalesToKnownTotal) {
+  const Histogram normalized =
+      NormalizeTotal(Histogram({1.0, 3.0}), 100.0);
+  EXPECT_DOUBLE_EQ(normalized.count(0), 25.0);
+  EXPECT_DOUBLE_EQ(normalized.count(1), 75.0);
+}
+
+TEST(NormalizeTotalTest, ClampsNegativesBeforeScaling) {
+  const Histogram normalized =
+      NormalizeTotal(Histogram({-5.0, 2.0, 2.0}), 8.0);
+  EXPECT_DOUBLE_EQ(normalized.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(normalized.count(1), 4.0);
+  EXPECT_DOUBLE_EQ(normalized.count(2), 4.0);
+}
+
+TEST(NormalizeTotalTest, AllNegativeSpreadsUniformly) {
+  const Histogram normalized =
+      NormalizeTotal(Histogram({-1.0, -2.0, -3.0, -4.0}), 20.0);
+  for (double v : normalized.counts()) {
+    EXPECT_DOUBLE_EQ(v, 5.0);
+  }
+}
+
+TEST(NormalizeTotalTest, EmptyHistogram) {
+  const Histogram normalized = NormalizeTotal(Histogram(), 10.0);
+  EXPECT_TRUE(normalized.empty());
+}
+
+TEST(IsotonicTest, AlreadyMonotoneIsUnchanged) {
+  const std::vector<double> decreasing = {9.0, 7.0, 7.0, 2.0, 0.0};
+  EXPECT_EQ(IsotonicNonIncreasing(Histogram(decreasing)).counts(),
+            decreasing);
+  const std::vector<double> increasing = {0.0, 2.0, 7.0, 7.0, 9.0};
+  EXPECT_EQ(IsotonicNonDecreasing(Histogram(increasing)).counts(),
+            increasing);
+}
+
+TEST(IsotonicTest, PoolsAdjacentViolators) {
+  // Classic PAV example: (1, 3, 2) -> (1, 2.5, 2.5) for non-decreasing.
+  const Histogram fitted = IsotonicNonDecreasing(Histogram({1.0, 3.0, 2.0}));
+  EXPECT_DOUBLE_EQ(fitted.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(fitted.count(1), 2.5);
+  EXPECT_DOUBLE_EQ(fitted.count(2), 2.5);
+}
+
+TEST(IsotonicTest, OutputIsMonotone) {
+  Rng rng(2);
+  std::vector<double> noisy(50);
+  for (double& v : noisy) {
+    v = SampleLaplace(rng, 10.0);
+  }
+  const Histogram fitted = IsotonicNonIncreasing(Histogram(noisy));
+  for (std::size_t i = 1; i < fitted.size(); ++i) {
+    EXPECT_LE(fitted.count(i), fitted.count(i - 1) + 1e-9);
+  }
+  const Histogram fitted_up = IsotonicNonDecreasing(Histogram(noisy));
+  for (std::size_t i = 1; i < fitted_up.size(); ++i) {
+    EXPECT_GE(fitted_up.count(i), fitted_up.count(i - 1) - 1e-9);
+  }
+}
+
+TEST(IsotonicTest, PreservesTotalMass) {
+  // The L2 projection onto a monotone cone via PAV preserves the mean.
+  Rng rng(3);
+  std::vector<double> noisy(40);
+  for (double& v : noisy) {
+    v = SampleLaplace(rng, 5.0) + 10.0;
+  }
+  const Histogram original(noisy);
+  const Histogram fitted = IsotonicNonIncreasing(original);
+  EXPECT_NEAR(fitted.Total(), original.Total(), 1e-9);
+}
+
+TEST(IsotonicTest, NeverIncreasesErrorAgainstMonotoneTruth) {
+  // Projection property: for truth in the monotone cone, the projection of
+  // a noisy estimate is at least as close (L2) as the estimate itself.
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> truth(20);
+    double level = 100.0;
+    for (double& v : truth) {
+      v = level;
+      level -= static_cast<double>(SampleUniformInt(rng, 0, 5));
+    }
+    std::vector<double> noisy = truth;
+    for (double& v : noisy) {
+      v += SampleLaplace(rng, 8.0);
+    }
+    const Histogram fitted = IsotonicNonIncreasing(Histogram(noisy));
+    double err_raw = 0.0;
+    double err_fit = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      err_raw += (noisy[i] - truth[i]) * (noisy[i] - truth[i]);
+      err_fit +=
+          (fitted.count(i) - truth[i]) * (fitted.count(i) - truth[i]);
+    }
+    EXPECT_LE(err_fit, err_raw + 1e-9);
+  }
+}
+
+TEST(IsotonicTest, EmptyAndSingleton) {
+  EXPECT_TRUE(IsotonicNonIncreasing(Histogram()).empty());
+  const Histogram one = IsotonicNonIncreasing(Histogram({5.0}));
+  EXPECT_DOUBLE_EQ(one.count(0), 5.0);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,105 @@
+#include "dphist/algorithms/privelet.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(PriveletTest, Name) { EXPECT_EQ(Privelet().name(), "privelet"); }
+
+TEST(PriveletTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(Privelet().Publish(Histogram(), 1.0, rng).ok());
+  EXPECT_FALSE(Privelet().Publish(Histogram({1.0}), 0.0, rng).ok());
+}
+
+TEST(PriveletTest, PreservesSizeEvenWhenPadded) {
+  Privelet algo;
+  const Histogram truth({1.0, 2.0, 3.0, 4.0, 5.0});  // pads to 8
+  Rng rng(2);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 5u);
+}
+
+TEST(PriveletTest, DeterministicGivenSeed) {
+  Privelet algo;
+  const Histogram truth({10.0, 20.0, 30.0, 40.0});
+  Rng a(3);
+  Rng b(3);
+  auto out_a = algo.Publish(truth, 0.5, a);
+  auto out_b = algo.Publish(truth, 0.5, b);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(out_a.value().counts(), out_b.value().counts());
+}
+
+TEST(PriveletTest, ApproximatelyUnbiasedPerBin) {
+  Privelet algo;
+  const Histogram truth(std::vector<double>(16, 25.0));
+  Rng rng(4);
+  std::vector<double> sums(truth.size(), 0.0);
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, 1.0, rng);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      sums[i] += out.value().count(i);
+    }
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(sums[i] / reps, 25.0, 2.0);
+  }
+}
+
+TEST(PriveletTest, LongRangeVarianceBeatsDwork) {
+  Privelet algo;
+  const std::size_t n = 256;
+  const Histogram truth(std::vector<double>(n, 10.0));
+  const double epsilon = 1.0;
+  Rng rng(5);
+  double wavelet_sq = 0.0;
+  const int reps = 400;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto out = algo.Publish(truth, epsilon, rng);
+    ASSERT_TRUE(out.ok());
+    const double err = out.value().Total() - truth.Total();
+    wavelet_sq += err * err;
+  }
+  wavelet_sq /= reps;
+  const double dwork_variance =
+      static_cast<double>(n) * 2.0 / (epsilon * epsilon);
+  EXPECT_LT(wavelet_sq, dwork_variance / 2.0);
+}
+
+TEST(PriveletTest, SingleBinHistogram) {
+  Privelet algo;
+  const Histogram truth({12.0});
+  Rng rng(6);
+  auto out = algo.Publish(truth, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  // n = 1: rho = 1, weight = 1, so this reduces to plain Laplace.
+  EXPECT_NE(out.value().count(0), 12.0);
+}
+
+TEST(PriveletTest, ClampNonNegative) {
+  Privelet::Options options;
+  options.clamp_nonnegative = true;
+  Privelet algo(options);
+  const Histogram truth(std::vector<double>(32, 0.0));
+  Rng rng(7);
+  auto out = algo.Publish(truth, 0.1, rng);
+  ASSERT_TRUE(out.ok());
+  for (double v : out.value().counts()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,115 @@
+#include "dphist/query/range_query.h"
+#include "dphist/query/workload.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(RangeQueryTest, ValidateCatchesBadQueries) {
+  EXPECT_TRUE(ValidateQueries({{0, 5}, {4, 10}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{0, 11}}, 10).ok());   // beyond end
+  EXPECT_FALSE(ValidateQueries({{5, 5}}, 10).ok());    // empty
+  EXPECT_FALSE(ValidateQueries({{6, 5}}, 10).ok());    // inverted
+}
+
+TEST(RangeQueryTest, AnswerMatchesNaive) {
+  const std::vector<double> counts = {1.0, 2.0, 3.0, 4.0, 5.0};
+  Histogram h(counts);
+  const std::vector<RangeQuery> queries = {{0, 5}, {1, 3}, {4, 5}};
+  auto answers = AnswerQueries(h, queries);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_DOUBLE_EQ(answers.value()[0], 15.0);
+  EXPECT_DOUBLE_EQ(answers.value()[1], 5.0);
+  EXPECT_DOUBLE_EQ(answers.value()[2], 5.0);
+}
+
+TEST(RangeQueryTest, AnswerRejectsOutOfBounds) {
+  Histogram h({1.0, 2.0});
+  EXPECT_FALSE(AnswerQueries(h, {{0, 3}}).ok());
+}
+
+TEST(RandomRangeWorkloadTest, BoundsAndDeterminism) {
+  Rng a(1);
+  Rng b(1);
+  auto qa = RandomRangeWorkload(100, 500, a);
+  auto qb = RandomRangeWorkload(100, 500, b);
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qa.value().size(), 500u);
+  EXPECT_TRUE(ValidateQueries(qa.value(), 100).ok());
+  EXPECT_EQ(qa.value(), qb.value());
+}
+
+TEST(RandomRangeWorkloadTest, RejectsDegenerateArguments) {
+  Rng rng(2);
+  EXPECT_FALSE(RandomRangeWorkload(0, 10, rng).ok());
+  EXPECT_FALSE(RandomRangeWorkload(10, 0, rng).ok());
+}
+
+TEST(RandomRangeWorkloadTest, ProducesVariedLengths) {
+  Rng rng(3);
+  auto queries = RandomRangeWorkload(64, 1000, rng);
+  ASSERT_TRUE(queries.ok());
+  std::size_t min_len = 64;
+  std::size_t max_len = 0;
+  for (const RangeQuery& q : queries.value()) {
+    min_len = std::min(min_len, q.length());
+    max_len = std::max(max_len, q.length());
+  }
+  EXPECT_EQ(min_len, 1u);
+  EXPECT_GT(max_len, 32u);
+}
+
+TEST(FixedLengthWorkloadTest, AllQueriesHaveRequestedLength) {
+  Rng rng(4);
+  auto queries = FixedLengthWorkload(50, 7, 200, rng);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries.value().size(), 200u);
+  for (const RangeQuery& q : queries.value()) {
+    EXPECT_EQ(q.length(), 7u);
+    EXPECT_LE(q.end, 50u);
+  }
+}
+
+TEST(FixedLengthWorkloadTest, FullDomainLength) {
+  Rng rng(5);
+  auto queries = FixedLengthWorkload(50, 50, 10, rng);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : queries.value()) {
+    EXPECT_EQ(q.begin, 0u);
+    EXPECT_EQ(q.end, 50u);
+  }
+}
+
+TEST(FixedLengthWorkloadTest, RejectsBadLengths) {
+  Rng rng(6);
+  EXPECT_FALSE(FixedLengthWorkload(50, 0, 10, rng).ok());
+  EXPECT_FALSE(FixedLengthWorkload(50, 51, 10, rng).ok());
+}
+
+TEST(AllUnitWorkloadTest, OneQueryPerBin) {
+  const std::vector<RangeQuery> queries = AllUnitWorkload(4);
+  ASSERT_EQ(queries.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(queries[i].begin, i);
+    EXPECT_EQ(queries[i].end, i + 1);
+  }
+}
+
+TEST(AllPrefixWorkloadTest, PrefixesGrow) {
+  const std::vector<RangeQuery> queries = AllPrefixWorkload(4);
+  ASSERT_EQ(queries.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(queries[i].begin, 0u);
+    EXPECT_EQ(queries[i].end, i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

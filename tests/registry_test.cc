@@ -1,0 +1,67 @@
+#include "dphist/algorithms/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(RegistryTest, PaperNamesStable) {
+  const std::vector<std::string> names = PublisherRegistry::PaperNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "dwork");
+  EXPECT_EQ(names[1], "boost");
+  EXPECT_EQ(names[2], "privelet");
+  EXPECT_EQ(names[3], "noise_first");
+  EXPECT_EQ(names[4], "structure_first");
+}
+
+TEST(RegistryTest, BuiltinNamesExtendPaperNames) {
+  const std::vector<std::string> paper = PublisherRegistry::PaperNames();
+  const std::vector<std::string> all = PublisherRegistry::BuiltinNames();
+  ASSERT_EQ(all.size(), 11u);
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(all[i], paper[i]);
+  }
+  EXPECT_EQ(all[5], "geometric");
+  EXPECT_EQ(all[6], "efpa");
+  EXPECT_EQ(all[7], "mwem");
+  EXPECT_EQ(all[8], "p_hp");
+  EXPECT_EQ(all[9], "ahp");
+  EXPECT_EQ(all[10], "gs");
+}
+
+TEST(RegistryTest, MakeEveryBuiltin) {
+  for (const std::string& name : PublisherRegistry::BuiltinNames()) {
+    auto made = PublisherRegistry::Make(name);
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_EQ(made.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto made = PublisherRegistry::Make("dawa");
+  EXPECT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, MakePaperSuiteSize) {
+  EXPECT_EQ(PublisherRegistry::MakePaperSuite().size(), 5u);
+}
+
+TEST(RegistryTest, MakeAllReturnsWorkingPublishers) {
+  const Histogram truth({10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0});
+  Rng rng(1);
+  auto all = PublisherRegistry::MakeAll();
+  ASSERT_EQ(all.size(), 11u);
+  for (const auto& publisher : all) {
+    Rng local = rng.Fork();
+    auto out = publisher->Publish(truth, 1.0, local);
+    ASSERT_TRUE(out.ok()) << publisher->name();
+    EXPECT_EQ(out.value().size(), truth.size()) << publisher->name();
+  }
+}
+
+}  // namespace
+}  // namespace dphist

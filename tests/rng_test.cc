@@ -1,0 +1,104 @@
+#include "dphist/random/rng.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SmallSeedsAreWellMixed) {
+  // Seeds 0 and 1 should not produce correlated first outputs (SplitMix64
+  // expansion).
+  Rng a(0);
+  Rng b(1);
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, CopyIsIndependentFromSource) {
+  Rng a(99);
+  Rng b = a;
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());  // identical state at copy time
+  // Advancing one copy must not affect the other: replaying b from a fresh
+  // copy of the original seed matches even after a advanced further.
+  a.NextUint64();
+  Rng c(99);
+  c.NextUint64();  // align with b's position
+  EXPECT_EQ(b.NextUint64(), c.NextUint64());
+}
+
+TEST(RngTest, ForkProducesDistinctStream) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(7);
+  Rng p2(7);
+  Rng c1 = p1.Fork();
+  Rng c2 = p2.Fork();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c1.NextUint64(), c2.NextUint64());
+  }
+}
+
+TEST(RngTest, BitsLookBalanced) {
+  // Population count over many draws should be near 32 per word.
+  Rng rng(42);
+  double total_bits = 0.0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    total_bits += static_cast<double>(__builtin_popcountll(rng.NextUint64()));
+  }
+  const double mean_bits = total_bits / draws;
+  EXPECT_NEAR(mean_bits, 32.0, 0.2);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(3);
+  const std::uint64_t via_call = rng();
+  (void)via_call;
+}
+
+TEST(RngTest, NoShortCycles) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(rng.NextUint64());
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,118 @@
+#include "dphist/common/status.h"
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "dphist/common/result.h"
+
+namespace dphist {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("epsilon must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "epsilon must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: epsilon must be positive");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("missing");
+  Status t = s;
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.message(), "missing");
+}
+
+Status FailsThroughMacro(bool fail) {
+  DPHIST_RETURN_IF_ERROR(fail ? Status::Internal("inner")
+                              : Status::Ok());
+  return Status::NotFound("after");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThroughMacro(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsThroughMacro(false).code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("histogram"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "histogram");
+}
+
+TEST(ResultTest, CopyableWhenValueCopyable) {
+  Result<std::string> r(std::string("abc"));
+  Result<std::string> copy = r;
+  EXPECT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value(), "abc");
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return v / 2;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  DPHIST_ASSIGN_OR_RETURN(int half, Half(v));
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(9, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,58 @@
+#include "dphist/bench_util/table.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter table({"a", "bb"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowsAlign) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer_name", "2"});
+  const std::string out = table.ToString();
+  // Every line must have the same length (fixed-width alignment).
+  std::size_t expected = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (expected == std::string::npos) {
+      expected = len;
+    }
+    EXPECT_EQ(len, expected);
+    pos = nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, MissingCellsPrintEmpty) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only one"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsDropped) {
+  TablePrinter table({"a"});
+  table.AddRow({"x", "overflow"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out.find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0), "1");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::FormatDouble(12345.678, 4), "1.235e+04");
+}
+
+}  // namespace
+}  // namespace dphist

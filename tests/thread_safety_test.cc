@@ -1,0 +1,83 @@
+// Concurrency contract: publishers are immutable after construction
+// (Publish is const and all randomness flows through the caller's Rng), so
+// one instance may be shared across threads, each with its own generator.
+// These tests run the same publisher concurrently and check the results
+// are exactly the ones sequential execution produces.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/algorithms/registry.h"
+#include "dphist/data/generators.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(ThreadSafetyTest, SharedPublisherConcurrentPublishes) {
+  const Dataset dataset = MakeSearchLogs(128, 1);
+  const auto publishers = PublisherRegistry::MakeAll();
+  constexpr int kThreads = 8;
+
+  for (const auto& publisher : publishers) {
+    // Sequential reference: one release per seed.
+    std::vector<std::vector<double>> expected(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      auto out = publisher->Publish(dataset.histogram, 0.5, rng);
+      ASSERT_TRUE(out.ok()) << publisher->name();
+      expected[t] = out.value().counts();
+    }
+    // Concurrent: same seeds, shared publisher instance.
+    std::vector<std::vector<double>> actual(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        Rng rng(1000 + static_cast<std::uint64_t>(t));
+        auto out = publisher->Publish(dataset.histogram, 0.5, rng);
+        if (out.ok()) {
+          actual[t] = out.value().counts();
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(actual[t], expected[t])
+          << publisher->name() << " thread " << t;
+    }
+  }
+}
+
+TEST(ThreadSafetyTest, ConstHistogramSharedAcrossThreads) {
+  // Histogram's lazy prefix table is mutable; hammer RangeSum from many
+  // threads after a single-threaded warm-up (the documented safe pattern:
+  // warm the prefix before sharing, or share only after const use began).
+  const Dataset dataset = MakeAge(2);
+  const Histogram& histogram = dataset.histogram;
+  const double expected_total = histogram.Total();  // warm the prefix
+  std::vector<std::thread> threads;
+  std::vector<double> totals(8, 0.0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      double local = 0.0;
+      for (int rep = 0; rep < 1000; ++rep) {
+        local = histogram.RangeSumUnchecked(0, histogram.size());
+      }
+      totals[t] = local;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (double total : totals) {
+    EXPECT_DOUBLE_EQ(total, expected_total);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

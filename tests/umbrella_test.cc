@@ -1,0 +1,31 @@
+// Verifies the umbrella header is self-contained and the advertised
+// one-liner workflow compiles and runs.
+
+#include "dphist/dphist.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(UmbrellaTest, OneLinerWorkflow) {
+  Histogram truth({3.0, 1.0, 4.0, 1.0, 5.0});
+  Rng rng(42);
+  auto released = NoiseFirst().Publish(truth, 0.5, rng);
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(released.value().size(), truth.size());
+}
+
+TEST(UmbrellaTest, EveryMajorTypeIsVisible) {
+  // Spot-check one symbol per subsystem.
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(PublisherRegistry::PaperNames().size(), 5u);
+  EXPECT_TRUE(Bucketization::SingleBucket(4).ok());
+  EXPECT_TRUE(LaplaceMechanism::Create(1.0, 1.0).ok());
+  EXPECT_EQ(AllUnitWorkload(3).size(), 3u);
+  EXPECT_EQ(MakeAge(1).histogram.size(), 100u);
+  EXPECT_DOUBLE_EQ(HaarWavelet::GeneralizedSensitivity(8), 4.0);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,194 @@
+#include "dphist/hist/vopt_dp.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+std::vector<double> RandomCounts(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(n, 0.0);
+  for (double& c : counts) {
+    c = static_cast<double>(SampleUniformInt(rng, 0, 50));
+  }
+  return counts;
+}
+
+double NaiveCost(const std::vector<double>& x, std::size_t b, std::size_t e,
+                 CostKind kind) {
+  double sum = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    sum += x[i];
+  }
+  const double mu = sum / static_cast<double>(e - b);
+  double cost = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    cost += kind == CostKind::kSquared ? (x[i] - mu) * (x[i] - mu)
+                                       : std::abs(x[i] - mu);
+  }
+  return cost;
+}
+
+// Exhaustively enumerates all partitions of [0, n) into exactly k buckets
+// and returns the minimum total cost.
+double BruteForceMin(const std::vector<double>& x, std::size_t k,
+                     CostKind kind) {
+  const std::size_t n = x.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Choose k-1 cuts out of positions 1..n-1 via bitmask enumeration.
+  const std::size_t interior = n - 1;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << interior); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) != k - 1) {
+      continue;
+    }
+    double total = 0.0;
+    std::size_t begin = 0;
+    for (std::size_t cut = 1; cut <= interior; ++cut) {
+      if (mask & (std::size_t{1} << (cut - 1))) {
+        total += NaiveCost(x, begin, cut, kind);
+        begin = cut;
+      }
+    }
+    total += NaiveCost(x, begin, n, kind);
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+class VOptBruteForceSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, CostKind>> {};
+
+TEST_P(VOptBruteForceSweep, MatchesExhaustiveSearch) {
+  const auto [n, kind] = GetParam();
+  const std::vector<double> counts = RandomCounts(n, 100 + n);
+  IntervalCostTable::Options options;
+  options.kind = kind;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), /*max_buckets=*/0);
+  ASSERT_TRUE(solver.ok());
+  for (std::size_t k = 1; k <= n; ++k) {
+    EXPECT_NEAR(solver.value().MinCost(k), BruteForceMin(counts, k, kind),
+                1e-6)
+        << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallDomains, VOptBruteForceSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8, 10, 12),
+                       ::testing::Values(CostKind::kSquared,
+                                         CostKind::kAbsolute)));
+
+TEST(VOptSolverTest, CostIsNonIncreasingInK) {
+  const std::vector<double> counts = RandomCounts(40, 7);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 0);
+  ASSERT_TRUE(solver.ok());
+  for (std::size_t k = 2; k <= 40; ++k) {
+    EXPECT_LE(solver.value().MinCost(k), solver.value().MinCost(k - 1) + 1e-9);
+  }
+  // Identity structure has zero cost.
+  EXPECT_NEAR(solver.value().MinCost(40), 0.0, 1e-9);
+}
+
+TEST(VOptSolverTest, TracebackCostMatchesTableCost) {
+  const std::vector<double> counts = RandomCounts(30, 8);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 0);
+  ASSERT_TRUE(solver.ok());
+  for (std::size_t k = 1; k <= 10; ++k) {
+    auto structure = solver.value().Traceback(k);
+    ASSERT_TRUE(structure.ok());
+    EXPECT_EQ(structure.value().num_buckets(), k);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Bucket b = structure.value().bucket(i);
+      total += NaiveCost(counts, b.begin, b.end, CostKind::kSquared);
+    }
+    EXPECT_NEAR(total, solver.value().MinCost(k), 1e-6);
+  }
+}
+
+TEST(VOptSolverTest, RecoversPiecewiseConstantStructure) {
+  // Three exact plateaus: the 3-bucket solution has zero cost and the
+  // recovered cuts are the true change points.
+  std::vector<double> counts;
+  for (int i = 0; i < 6; ++i) counts.push_back(10.0);
+  for (int i = 0; i < 5; ++i) counts.push_back(40.0);
+  for (int i = 0; i < 7; ++i) counts.push_back(5.0);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 3);
+  ASSERT_TRUE(solver.ok());
+  EXPECT_NEAR(solver.value().MinCost(3), 0.0, 1e-9);
+  auto structure = solver.value().Traceback(3);
+  ASSERT_TRUE(structure.ok());
+  const std::vector<std::size_t> expected = {6, 11};
+  EXPECT_EQ(structure.value().cuts(), expected);
+}
+
+TEST(VOptSolverTest, MaxBucketsClampedToCandidates) {
+  const std::vector<double> counts = RandomCounts(5, 9);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 100);
+  ASSERT_TRUE(solver.ok());
+  EXPECT_EQ(solver.value().max_buckets(), 5u);
+}
+
+TEST(VOptSolverTest, InfeasibleCombinationsAreInfinite) {
+  const std::vector<double> counts = RandomCounts(5, 10);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 0);
+  ASSERT_TRUE(solver.ok());
+  EXPECT_TRUE(std::isinf(solver.value().PrefixCost(3, 2)));  // i < k
+  EXPECT_TRUE(std::isinf(solver.value().PrefixCost(0, 3)));  // k = 0
+  EXPECT_TRUE(std::isinf(solver.value().PrefixCost(6, 5)));  // k > max
+}
+
+TEST(VOptSolverTest, TracebackRejectsOutOfRangeK) {
+  const std::vector<double> counts = RandomCounts(5, 11);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 3);
+  ASSERT_TRUE(solver.ok());
+  EXPECT_FALSE(solver.value().Traceback(0).ok());
+  EXPECT_FALSE(solver.value().Traceback(4).ok());
+}
+
+TEST(VOptSolverTest, GridRestrictedSolveUsesOnlyGridCuts) {
+  const std::vector<double> counts = RandomCounts(20, 12);
+  IntervalCostTable::Options options;
+  options.grid_step = 4;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto solver = VOptSolver::Solve(table.value(), 3);
+  ASSERT_TRUE(solver.ok());
+  auto structure = solver.value().Traceback(3);
+  ASSERT_TRUE(structure.ok());
+  for (std::size_t cut : structure.value().cuts()) {
+    EXPECT_EQ(cut % 4, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dphist
