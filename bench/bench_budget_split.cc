@@ -30,8 +30,10 @@ int main() {
     return 1;
   }
 
-  std::printf("== F5: SF budget split on %s (n=%zu, eps=%g, reps=%zu) ==\n\n",
-              dataset.name.c_str(), n, epsilon, reps);
+  std::printf("== F5: SF budget split on %s "
+              "(n=%zu, eps=%g, reps=%zu, threads=%zu) ==\n\n",
+              dataset.name.c_str(), n, epsilon, reps,
+              dphist_bench::Threads());
   dphist::TablePrinter table(
       {"eps_s/eps", "mae(absolute)", "mae(squared,cap=1e4)"});
   for (double ratio : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
 
 namespace dphist_bench {
@@ -30,6 +31,13 @@ inline std::size_t Repetitions(std::size_t fallback = 5) {
     }
   }
   return fallback;
+}
+
+/// Worker threads RunCell fans repetitions across (the process-wide pool;
+/// override with DPHIST_THREADS=<k>). Results are thread-count-invariant;
+/// harnesses print this so wall times can be interpreted.
+inline std::size_t Threads() {
+  return dphist::ThreadPool::Global().thread_count();
 }
 
 /// The paper's dataset suite at the bench scale.

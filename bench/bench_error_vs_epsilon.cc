@@ -22,8 +22,9 @@ int main() {
   const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
 
   std::printf(
-      "== F1: MAE of 500 random range queries vs epsilon (reps=%zu) ==\n",
-      reps);
+      "== F1: MAE of 500 random range queries vs epsilon "
+      "(reps=%zu, threads=%zu) ==\n",
+      reps, dphist_bench::Threads());
   for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
     dphist::Rng workload_rng(7);
     auto queries =

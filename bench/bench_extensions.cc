@@ -28,7 +28,8 @@ int main() {
   datasets.push_back(dphist_bench::Suite()[1]);
 
   std::printf("== F7: extended algorithm comparison, MAE of 500 random "
-              "ranges (reps=%zu) ==\n", reps);
+              "ranges (reps=%zu, threads=%zu) ==\n",
+              reps, dphist_bench::Threads());
   for (const dphist::Dataset& dataset : datasets) {
     dphist::Rng workload_rng(31);
     auto queries = dphist::RandomRangeWorkload(dataset.histogram.size(), 500,

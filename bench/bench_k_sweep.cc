@@ -29,8 +29,9 @@ int main() {
   const std::vector<dphist::RangeQuery> unit = dphist::AllUnitWorkload(n);
 
   std::printf("== F4: unit-bin MAE vs fixed bucket count k on %s "
-              "(n=%zu, eps=%g, reps=%zu) ==\n\n",
-              dataset.name.c_str(), n, epsilon, reps);
+              "(n=%zu, eps=%g, reps=%zu, threads=%zu) ==\n\n",
+              dataset.name.c_str(), n, epsilon, reps,
+              dphist_bench::Threads());
   dphist::TablePrinter table({"k", "noise_first", "structure_first"});
   for (std::size_t k = 2; k <= n / 2; k *= 2) {
     dphist::NoiseFirst::Options nf_options;

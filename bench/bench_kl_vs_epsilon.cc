@@ -20,7 +20,9 @@ int main() {
   const std::vector<double> epsilons = {0.01, 0.05, 0.1, 0.5, 1.0};
   const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
 
-  std::printf("== F3: KL(true || released) vs epsilon (reps=%zu) ==\n", reps);
+  std::printf("== F3: KL(true || released) vs epsilon "
+              "(reps=%zu, threads=%zu) ==\n",
+              reps, dphist_bench::Threads());
   for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
     std::printf("\n-- dataset: %s (n=%zu) --\n", dataset.name.c_str(),
                 dataset.histogram.size());

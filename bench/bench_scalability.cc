@@ -8,14 +8,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "dphist/algorithms/noise_first.h"
 #include "dphist/algorithms/registry.h"
 #include "dphist/algorithms/structure_first.h"
+#include "dphist/bench_util/experiment.h"
 #include "dphist/bench_util/table.h"
+#include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
+#include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
 
 namespace {
@@ -103,5 +107,88 @@ int main() {
              4)});
   }
   ablation.Print();
+
+  // F6c — the parallel execution engine: one RunCell cell (repetitions
+  // fanned across an explicit pool) timed at increasing thread counts.
+  // The error aggregates must be bit-identical at every thread count —
+  // the engine's determinism contract, enforced here at bench scale —
+  // so only the wall clock may move. Machine-readable JSON lines follow
+  // the table for dashboard ingestion.
+  const std::size_t sweep_reps = dphist_bench::Repetitions(8);
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  std::printf("\n== F6c: RunCell wall time vs threads "
+              "(eps=%g, reps=%zu, hardware=%zu) ==\n\n",
+              epsilon, sweep_reps, dphist::ThreadPool::DefaultThreadCount());
+  dphist::TablePrinter sweep(
+      {"algo", "n", "threads", "cell ms", "speedup", "mae"});
+  std::vector<std::string> json_lines;
+  bool deterministic = true;
+  for (std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
+    const dphist::Dataset dataset = dphist::MakeNetTrace(n, 23);
+    dphist::Rng workload_rng(77);
+    auto queries = dphist::RandomRangeWorkload(n, 200, workload_rng);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n",
+                   queries.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::unique_ptr<dphist::HistogramPublisher>> subjects;
+    subjects.push_back(std::make_unique<dphist::NoiseFirst>());
+    subjects.push_back(std::make_unique<dphist::StructureFirst>());
+    for (const auto& publisher : subjects) {
+      double base_ms = 0.0;
+      double base_mae = 0.0;
+      for (std::size_t threads : thread_counts) {
+        dphist::ThreadPool pool(threads);
+        dphist::RunCellOptions options;
+        options.pool = &pool;
+        const auto start = std::chrono::steady_clock::now();
+        auto cell = dphist::RunCell(*publisher, dataset.histogram,
+                                    queries.value(), epsilon, sweep_reps,
+                                    /*seed=*/9500 + n, options);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!cell.ok()) {
+          std::fprintf(stderr, "cell failed: %s\n",
+                       cell.status().ToString().c_str());
+          return 1;
+        }
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        const double mae = cell.value().workload_mae.mean;
+        if (threads == thread_counts.front()) {
+          base_ms = wall_ms;
+          base_mae = mae;
+        } else if (mae != base_mae) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %s n=%zu threads=%zu "
+                       "mae %.17g != single-thread mae %.17g\n",
+                       publisher->name().c_str(), n, threads, mae, base_mae);
+          deterministic = false;
+        }
+        const double speedup = wall_ms > 0.0 ? base_ms / wall_ms : 0.0;
+        sweep.AddRow({publisher->name(), std::to_string(n),
+                      std::to_string(threads),
+                      dphist::TablePrinter::FormatDouble(wall_ms, 2),
+                      dphist::TablePrinter::FormatDouble(speedup, 2),
+                      dphist::TablePrinter::FormatDouble(mae, 6)});
+        char json[256];
+        std::snprintf(json, sizeof(json),
+                      "{\"bench\":\"scalability_threads\",\"algo\":\"%s\","
+                      "\"n\":%zu,\"threads\":%zu,\"reps\":%zu,"
+                      "\"wall_ms\":%.3f,\"speedup\":%.3f,\"mae\":%.6f}",
+                      publisher->name().c_str(), n, threads, sweep_reps,
+                      wall_ms, speedup, mae);
+        json_lines.emplace_back(json);
+      }
+    }
+  }
+  sweep.Print();
+  std::printf("\n-- F6c json --\n");
+  for (const std::string& line : json_lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  if (!deterministic) {
+    return 1;
+  }
   return 0;
 }

@@ -35,47 +35,77 @@ Result<CellResult> RunCell(const HistogramPublisher& publisher,
                            const Histogram& truth,
                            const std::vector<RangeQuery>& queries,
                            double epsilon, std::size_t repetitions,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           const RunCellOptions& options) {
   if (repetitions == 0) {
     return Status::InvalidArgument("RunCell requires repetitions >= 1");
   }
+  // Fork every repetition's stream up front, in repetition order: the child
+  // streams are then a pure function of `seed`, independent of how the
+  // repetitions are later scheduled across threads.
   Rng root(seed);
-  std::vector<double> maes;
-  std::vector<double> mses;
-  std::vector<double> kls;
-  std::vector<double> times;
-  maes.reserve(repetitions);
-  mses.reserve(repetitions);
-  kls.reserve(repetitions);
-  times.reserve(repetitions);
+  std::vector<Rng> streams;
+  streams.reserve(repetitions);
   for (std::size_t rep = 0; rep < repetitions; ++rep) {
-    Rng rng = root.Fork();
+    streams.push_back(root.Fork());
+  }
+  std::vector<double> maes(repetitions, 0.0);
+  std::vector<double> mses(repetitions, 0.0);
+  std::vector<double> kls(repetitions, 0.0);
+  std::vector<double> times(repetitions, 0.0);
+  std::vector<Status> statuses(repetitions);
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Global();
+  pool.ParallelFor(0, repetitions, [&](std::size_t rep) {
+    Rng rng = streams[rep];
     const auto start = std::chrono::steady_clock::now();
     auto released = publisher.Publish(truth, epsilon, rng);
     const auto stop = std::chrono::steady_clock::now();
     if (!released.ok()) {
-      return released.status();
+      statuses[rep] = released.status();
+      return;
     }
-    times.push_back(
-        std::chrono::duration<double, std::milli>(stop - start).count());
+    times[rep] =
+        std::chrono::duration<double, std::milli>(stop - start).count();
     auto workload = EvaluateWorkload(truth, released.value(), queries);
     if (!workload.ok()) {
-      return workload.status();
+      statuses[rep] = workload.status();
+      return;
     }
-    maes.push_back(workload.value().mean_absolute);
-    mses.push_back(workload.value().mean_squared);
+    maes[rep] = workload.value().mean_absolute;
+    mses[rep] = workload.value().mean_squared;
     auto kl = KlDivergence(truth, released.value());
     if (!kl.ok()) {
-      return kl.status();
+      statuses[rep] = kl.status();
+      return;
     }
-    kls.push_back(kl.value());
+    kls[rep] = kl.value();
+  });
+  // Report the lowest-index failure, matching the status the sequential
+  // loop would have stopped on.
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      return status;
+    }
   }
   CellResult cell;
   cell.workload_mae = ComputeAggregate(maes);
   cell.workload_mse = ComputeAggregate(mses);
   cell.kl_divergence = ComputeAggregate(kls);
   cell.publish_ms = ComputeAggregate(times);
+  if (options.collect_samples) {
+    cell.mae_samples = std::move(maes);
+  }
   return cell;
+}
+
+Result<CellResult> RunCell(const HistogramPublisher& publisher,
+                           const Histogram& truth,
+                           const std::vector<RangeQuery>& queries,
+                           double epsilon, std::size_t repetitions,
+                           std::uint64_t seed) {
+  return RunCell(publisher, truth, queries, epsilon, repetitions, seed,
+                 RunCellOptions{});
 }
 
 }  // namespace dphist

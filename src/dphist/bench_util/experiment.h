@@ -7,6 +7,7 @@
 
 #include "dphist/algorithms/publisher.h"
 #include "dphist/common/result.h"
+#include "dphist/common/thread_pool.h"
 #include "dphist/hist/histogram.h"
 #include "dphist/metrics/metrics.h"
 #include "dphist/query/range_query.h"
@@ -28,8 +29,23 @@ struct CellResult {
   Aggregate workload_mae;
   Aggregate workload_mse;
   Aggregate kl_divergence;
-  /// Wall time per publication, in milliseconds.
+  /// Wall time per publication, in milliseconds. The only field whose
+  /// *samples* depend on machine load; the error aggregates above are
+  /// bit-identical across thread counts (see RunCellOptions).
   Aggregate publish_ms;
+  /// Per-repetition workload MAE in repetition order; filled only when
+  /// RunCellOptions::collect_samples is set (distribution-level tests).
+  std::vector<double> mae_samples;
+};
+
+/// \brief Execution knobs for RunCell.
+struct RunCellOptions {
+  /// Pool that repetitions fan out across; nullptr means the process-wide
+  /// ThreadPool::Global(). A pool with thread_count() == 1 reproduces the
+  /// sequential path exactly (it *is* the sequential path).
+  ThreadPool* pool = nullptr;
+  /// Record the raw per-repetition MAE samples in CellResult::mae_samples.
+  bool collect_samples = false;
 };
 
 /// \brief Runs `publisher` on `truth` `repetitions` times (fresh noise each
@@ -38,6 +54,20 @@ struct CellResult {
 ///
 /// This is the inner loop of every figure harness: one call = one point of
 /// a paper figure.
+///
+/// Determinism contract: one child Rng per repetition is forked from the
+/// root seed *before* any repetition is dispatched, and every repetition
+/// writes its metrics into its own slot, so all error statistics (and any
+/// returned error Status) are bit-identical for any thread count and any
+/// scheduling. Parallelism only changes the wall clock.
+Result<CellResult> RunCell(const HistogramPublisher& publisher,
+                           const Histogram& truth,
+                           const std::vector<RangeQuery>& queries,
+                           double epsilon, std::size_t repetitions,
+                           std::uint64_t seed,
+                           const RunCellOptions& options);
+
+/// Convenience overload running on the global pool with default options.
 Result<CellResult> RunCell(const HistogramPublisher& publisher,
                            const Histogram& truth,
                            const std::vector<RangeQuery>& queries,

@@ -1,0 +1,162 @@
+#include "dphist/common/thread_pool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <exception>
+
+namespace dphist {
+
+namespace {
+
+// Set while a thread executes tasks for a pool; lets a nested ParallelFor
+// on the same pool detect that blocking on the queue would deadlock.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  const char* env = std::getenv("DPHIST_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0' && parsed > 0 &&
+        parsed < LONG_MAX) {
+      return static_cast<std::size_t>(parsed);
+    }
+    // Unparseable or non-positive values fall through to the hardware
+    // default rather than silently serializing the process.
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads must outlive every static-destruction
+  // user, and joining threads during process teardown is a classic
+  // shutdown hazard. One pool per process, reclaimed by the OS.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  thread_count_ = num_threads == 0 ? DefaultThreadCount() : num_threads;
+  if (thread_count_ < 2) {
+    return;  // Inline mode: no workers, no queue traffic.
+  }
+  workers_.reserve(thread_count_);
+  for (std::size_t t = 0; t < thread_count_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and fully drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::MustRunInline() const {
+  return thread_count_ < 2 || current_worker_pool == this;
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  ParallelForChunks(begin, end, /*min_chunk=*/1,
+                    [&body](std::size_t chunk_begin, std::size_t chunk_end) {
+                      for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                        body(i);
+                      }
+                    });
+}
+
+void ThreadPool::ParallelForChunks(
+    std::size_t begin, std::size_t end, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  if (min_chunk == 0) {
+    min_chunk = 1;
+  }
+  const std::size_t max_chunks = (n + min_chunk - 1) / min_chunk;
+  const std::size_t num_chunks = std::min(max_chunks, thread_count_);
+  if (num_chunks < 2 || MustRunInline()) {
+    body(begin, end);
+    return;
+  }
+
+  // Per-batch join state, shared by the chunk tasks of this call only, so
+  // concurrent ParallelFor calls from different submitter threads never
+  // wait on each other's work.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  Batch batch;
+  batch.remaining = num_chunks;
+
+  const std::size_t base = n / num_chunks;
+  const std::size_t extra = n % num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t chunk_begin = begin;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t chunk_end =
+          chunk_begin + base + (c < extra ? 1 : 0);
+      queue_.emplace_back([&batch, &body, chunk_begin, chunk_end] {
+        std::exception_ptr error;
+        try {
+          body(chunk_begin, chunk_end);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(batch.mutex);
+        if (error && !batch.error) {
+          batch.error = error;
+        }
+        if (--batch.remaining == 0) {
+          batch.done.notify_all();
+        }
+      });
+      chunk_begin = chunk_end;
+    }
+  }
+  work_available_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+}  // namespace dphist

@@ -1,0 +1,97 @@
+#ifndef DPHIST_COMMON_THREAD_POOL_H_
+#define DPHIST_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dphist {
+
+/// \brief A fixed-size worker pool with a blocking fork/join `ParallelFor`.
+///
+/// dphist's workloads are embarrassingly parallel loops whose iterations are
+/// *independent and deterministic*: repetitions of an experiment cell (each
+/// driven by a pre-forked `Rng` stream), the per-prefix cells of one row of
+/// the v-opt dynamic program, and the per-endpoint sweeps of the
+/// absolute-cost builder. The pool therefore only offers bulk-synchronous
+/// loops — no futures, no task graphs — which keeps the determinism contract
+/// trivial to state: **a `ParallelFor` computes exactly what the equivalent
+/// sequential loop computes, for any thread count and any scheduling**,
+/// because every index writes to its own slot and the call does not return
+/// until all indices ran.
+///
+/// Concurrency rules:
+///  * A pool may be driven from several submitter threads at once; batches
+///    interleave in the shared queue but each blocks only on its own work.
+///  * A `ParallelFor` issued *from inside a worker of the same pool* (e.g.
+///    a parallel `RunCell` repetition whose publisher parallelizes its
+///    dynamic program on the global pool) runs inline on that worker. This
+///    makes nested parallelism deadlock-free without a work-stealing
+///    scheduler, at the cost of no extra speedup for the inner loop.
+///  * With `thread_count() == 1` no worker threads exist and every loop
+///    runs inline on the caller — the graceful sequential fallback.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` means
+  /// `DefaultThreadCount()` (the `DPHIST_THREADS` env var, else the
+  /// hardware concurrency). A count of 1 spawns no threads at all.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers after draining queued tasks. Destroying a pool while
+  /// another thread is inside `ParallelFor` on it is undefined behavior.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism (>= 1). 1 means all loops run inline.
+  std::size_t thread_count() const { return thread_count_; }
+
+  /// Resolves the default pool size: `DPHIST_THREADS` when it parses as a
+  /// positive integer (invalid or non-positive values are ignored),
+  /// otherwise `std::thread::hardware_concurrency()`, never less than 1.
+  static std::size_t DefaultThreadCount();
+
+  /// The process-wide shared pool, sized with `DefaultThreadCount()` on
+  /// first use. Benches and library internals default to this pool so a
+  /// single `DPHIST_THREADS=k` controls the whole process.
+  static ThreadPool& Global();
+
+  /// Runs `body(i)` for every i in [begin, end) and blocks until all calls
+  /// returned. Iterations must be independent; each is invoked exactly
+  /// once. If any invocation throws, one of the thrown exceptions is
+  /// rethrown on the calling thread after the loop completes. (dphist code
+  /// reports errors by writing a `Status` into a per-index slot instead.)
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end) into at most `thread_count()` contiguous chunks of at
+  /// least `min_chunk` indices. Use when per-chunk state (e.g. a scratch
+  /// Fenwick tree) amortizes setup cost across iterations.
+  void ParallelForChunks(
+      std::size_t begin, std::size_t end, std::size_t min_chunk,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  /// True when the calling thread must run loops inline: single-threaded
+  /// pool, or the caller is one of this pool's own workers.
+  bool MustRunInline() const;
+
+  std::size_t thread_count_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_THREAD_POOL_H_

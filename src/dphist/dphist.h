@@ -31,6 +31,7 @@
 #include "dphist/common/math_util.h"
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
+#include "dphist/common/thread_pool.h"
 #include "dphist/data/csv.h"
 #include "dphist/data/dataset.h"
 #include "dphist/data/generators.h"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dphist/common/math_util.h"
+#include "dphist/common/thread_pool.h"
 #include "dphist/hist/fenwick.h"
 
 namespace dphist {
@@ -44,7 +45,7 @@ Result<IntervalCostTable> IntervalCostTable::Create(
           "absolute-cost matrix would exceed max_table_cells; "
           "increase grid_step");
     }
-    table.BuildAbsoluteMatrix(counts);
+    table.BuildAbsoluteMatrix(counts, options);
   }
   return table;
 }
@@ -72,7 +73,8 @@ double IntervalCostTable::SquaredCostOf(std::size_t begin,
   return sse > 0.0 ? sse : 0.0;
 }
 
-void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts) {
+void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts,
+                                            const Options& options) {
   const std::size_t m = positions_.size();
   absolute_costs_.assign(m * m, 0.0);
 
@@ -88,40 +90,54 @@ void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts) {
         sorted.begin());
   }
 
-  RankedFenwick fenwick(sorted.size());
   // For each candidate end position, sweep the start leftwards, inserting
   // one unit bin at a time; at every candidate start, evaluate the cost of
-  // the interval currently held in the Fenwick tree.
-  for (std::size_t b = 1; b < m; ++b) {
-    fenwick.Clear();
-    const std::size_t end = positions_[b];
-    std::size_t a = b;  // index of the next candidate start to the left
-    for (std::size_t j = end; j-- > 0;) {
-      fenwick.Insert(rank_of[j], counts[j]);
-      if (a > 0 && positions_[a - 1] == j) {
-        --a;
-        const std::size_t begin = positions_[a];
-        const double length = static_cast<double>(end - begin);
-        const double total = fenwick.TotalSum();
-        const double mu = total / length;
-        // Largest rank whose value is <= mu.
-        const auto it =
-            std::upper_bound(sorted.begin(), sorted.end(), mu);
-        double below_sum = 0.0;
-        double below_count = 0.0;
-        if (it != sorted.begin()) {
-          const std::size_t rank =
-              static_cast<std::size_t>(it - sorted.begin()) - 1;
-          below_sum = fenwick.SumUpTo(rank);
-          below_count = static_cast<double>(fenwick.CountUpTo(rank));
+  // the interval currently held in the Fenwick tree. Distinct end positions
+  // touch disjoint matrix cells (column b), so the sweeps fan out across
+  // the pool with one scratch Fenwick tree per chunk; each column's values
+  // are computed by exactly the sequential sweep, so the matrix is
+  // bit-identical for any thread count.
+  auto sweep_columns = [&](std::size_t b_begin, std::size_t b_end) {
+    RankedFenwick fenwick(sorted.size());
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      fenwick.Clear();
+      const std::size_t end = positions_[b];
+      std::size_t a = b;  // index of the next candidate start to the left
+      for (std::size_t j = end; j-- > 0;) {
+        fenwick.Insert(rank_of[j], counts[j]);
+        if (a > 0 && positions_[a - 1] == j) {
+          --a;
+          const std::size_t begin = positions_[a];
+          const double length = static_cast<double>(end - begin);
+          const double total = fenwick.TotalSum();
+          const double mu = total / length;
+          // Largest rank whose value is <= mu.
+          const auto it =
+              std::upper_bound(sorted.begin(), sorted.end(), mu);
+          double below_sum = 0.0;
+          double below_count = 0.0;
+          if (it != sorted.begin()) {
+            const std::size_t rank =
+                static_cast<std::size_t>(it - sorted.begin()) - 1;
+            below_sum = fenwick.SumUpTo(rank);
+            below_count = static_cast<double>(fenwick.CountUpTo(rank));
+          }
+          const double above_sum = total - below_sum;
+          const double above_count = length - below_count;
+          const double cost =
+              (mu * below_count - below_sum) + (above_sum - mu * above_count);
+          absolute_costs_[a * m + b] = cost > 0.0 ? cost : 0.0;
         }
-        const double above_sum = total - below_sum;
-        const double above_count = length - below_count;
-        const double cost =
-            (mu * below_count - below_sum) + (above_sum - mu * above_count);
-        absolute_costs_[a * m + b] = cost > 0.0 ? cost : 0.0;
       }
     }
+  };
+
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
+  if (pool.thread_count() > 1 && m >= options.min_parallel_candidates) {
+    pool.ParallelForChunks(1, m, /*min_chunk=*/8, sweep_columns);
+  } else {
+    sweep_columns(1, m);
   }
 }
 

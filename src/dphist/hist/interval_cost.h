@@ -9,6 +9,8 @@
 
 namespace dphist {
 
+class ThreadPool;
+
 /// \brief The merge-cost measure used when scoring a candidate bucket.
 enum class CostKind {
   /// Sum of squared errors: sum_i (x_i - mean)^2 — the classical v-optimal
@@ -47,6 +49,13 @@ class IntervalCostTable {
     /// fails with InvalidArgument when (m+1)^2 would exceed it; increase
     /// grid_step in that case.
     std::size_t max_table_cells = 1ULL << 26;
+    /// Pool for the absolute-cost matrix build (the per-endpoint Fenwick
+    /// sweeps are independent); nullptr means ThreadPool::Global(). The
+    /// resulting table is bit-identical for any thread count.
+    ThreadPool* pool = nullptr;
+    /// The matrix build only parallelizes when there are at least this
+    /// many candidates; small tables stay on the sequential path.
+    std::size_t min_parallel_candidates = 128;
   };
 
   /// Builds the table for `counts`. Fails for an empty histogram, a zero
@@ -83,7 +92,8 @@ class IntervalCostTable {
  private:
   IntervalCostTable() = default;
 
-  void BuildAbsoluteMatrix(const std::vector<double>& counts);
+  void BuildAbsoluteMatrix(const std::vector<double>& counts,
+                           const Options& options);
 
   double AbsoluteAt(std::size_t a, std::size_t b) const {
     return absolute_costs_[a * positions_.size() + b];

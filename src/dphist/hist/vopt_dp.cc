@@ -3,14 +3,29 @@
 #include <algorithm>
 #include <limits>
 
+#include "dphist/common/thread_pool.h"
+
 namespace dphist {
 
 namespace {
+
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Minimum indices per chunk when a row is parallelized: each cell already
+// costs O(i) cost lookups, so modest chunks amortize dispatch fine while
+// keeping the tail balanced.
+constexpr std::size_t kRowMinChunk = 32;
+
 }  // namespace
 
 Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
                                      std::size_t max_buckets) {
+  return Solve(costs, max_buckets, SolveOptions{});
+}
+
+Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
+                                     std::size_t max_buckets,
+                                     const SolveOptions& options) {
   const std::size_t m = costs.num_candidates();
   if (m == 0) {
     return Status::InvalidArgument("VOptSolver: no candidate intervals");
@@ -32,11 +47,19 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
     solver.parent_[1 * width + i] = 0;
   }
 
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
+  const bool parallel_rows =
+      pool.thread_count() > 1 && m >= options.min_parallel_candidates;
+
   for (std::size_t k = 2; k <= cap; ++k) {
     const double* prev = &solver.table_[(k - 1) * width];
     double* curr = &solver.table_[k * width];
     std::int32_t* par = &solver.parent_[k * width];
-    for (std::size_t i = k; i <= m; ++i) {
+    // Each cell i reads only the finished row k-1 and writes only its own
+    // slots, so the row fans out with no synchronization; the ParallelFor
+    // barrier between rows provides the k-1 -> k dependency.
+    auto fill_cell = [&costs, prev, curr, par, k](std::size_t i) {
       double best = kInfinity;
       std::int32_t best_j = -1;
       for (std::size_t j = k - 1; j < i; ++j) {
@@ -51,6 +74,18 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
       }
       curr[i] = best;
       par[i] = best_j;
+    };
+    if (parallel_rows) {
+      pool.ParallelForChunks(k, m + 1, kRowMinChunk,
+                             [&fill_cell](std::size_t begin, std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 fill_cell(i);
+                               }
+                             });
+    } else {
+      for (std::size_t i = k; i <= m; ++i) {
+        fill_cell(i);
+      }
     }
   }
   return solver;

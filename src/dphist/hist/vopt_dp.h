@@ -12,6 +12,8 @@
 
 namespace dphist {
 
+class ThreadPool;
+
 /// \brief The v-optimal histogram dynamic program (Jagadish et al.,
 /// VLDB'98), generalized to an arbitrary interval-cost measure.
 ///
@@ -28,12 +30,34 @@ namespace dphist {
 /// samples boundaries from the suffix costs T[k][j] + c(p_j, p_end).
 class VOptSolver {
  public:
+  /// \brief Execution knobs for Solve.
+  ///
+  /// Within one row k of the table, every cell T[k][i] depends only on the
+  /// completed row k-1, so the i loop parallelizes with a barrier between
+  /// rows. Cells are pure min-reductions over identical double arithmetic,
+  /// so the table (and hence every Traceback) is **bit-identical** for any
+  /// thread count — parallelism never changes a published structure.
+  struct SolveOptions {
+    /// Pool for row-level parallelism; nullptr means ThreadPool::Global().
+    ThreadPool* pool = nullptr;
+    /// Rows are only parallelized when the candidate count m is at least
+    /// this large; below it the fork/join overhead dwarfs the row work and
+    /// the solver stays on the sequential path.
+    std::size_t min_parallel_candidates = 256;
+  };
+
   /// Runs the dynamic program for up to `max_buckets` buckets.
   /// `max_buckets` is clamped to the number of candidate intervals m;
   /// passing 0 means "up to m". Fails only on m == 0 (cannot happen for a
   /// valid cost table).
   static Result<VOptSolver> Solve(const IntervalCostTable& costs,
                                   std::size_t max_buckets);
+
+  /// As above with explicit execution options (thread pool, sequential
+  /// cut-over). The result is bit-identical across all option choices.
+  static Result<VOptSolver> Solve(const IntervalCostTable& costs,
+                                  std::size_t max_buckets,
+                                  const SolveOptions& options);
 
   /// Largest bucket count the table covers.
   std::size_t max_buckets() const { return max_buckets_; }

@@ -1,0 +1,218 @@
+// The parallel execution engine's determinism contract, enforced per
+// publisher: RunCell fans repetitions across a thread pool, but every
+// error statistic it publishes must be bit-identical to the sequential
+// run — parallelism may only change the wall clock. A two-sample
+// Kolmogorov–Smirnov check on the raw per-repetition samples additionally
+// guards against the failure mode bitwise equality cannot see from a
+// *different* seed: accidental reuse of one Rng stream across threads
+// would warp the sample distribution itself.
+
+#include "dphist/bench_util/experiment.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/algorithms/identity_laplace.h"
+#include "dphist/algorithms/registry.h"
+#include "dphist/common/thread_pool.h"
+#include "dphist/data/generators.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+#include "testing/statistical.h"
+
+namespace dphist {
+namespace {
+
+void ExpectBitIdentical(const CellResult& sequential,
+                        const CellResult& parallel,
+                        const std::string& label) {
+  // EXPECT_EQ on doubles is exact equality — the contract is bitwise, not
+  // within-epsilon. publish_ms is excluded: wall time is the one field
+  // parallelism is allowed to change.
+  EXPECT_EQ(sequential.workload_mae.mean, parallel.workload_mae.mean)
+      << label;
+  EXPECT_EQ(sequential.workload_mae.std_error, parallel.workload_mae.std_error)
+      << label;
+  EXPECT_EQ(sequential.workload_mse.mean, parallel.workload_mse.mean)
+      << label;
+  EXPECT_EQ(sequential.workload_mse.std_error, parallel.workload_mse.std_error)
+      << label;
+  EXPECT_EQ(sequential.kl_divergence.mean, parallel.kl_divergence.mean)
+      << label;
+  EXPECT_EQ(sequential.kl_divergence.std_error,
+            parallel.kl_divergence.std_error)
+      << label;
+  EXPECT_EQ(sequential.workload_mae.repetitions,
+            parallel.workload_mae.repetitions)
+      << label;
+}
+
+TEST(ParallelExperimentTest, EveryPublisherBitIdenticalAcrossThreadCounts) {
+  const Dataset dataset = MakeSearchLogs(64, 5);
+  Rng workload_rng(17);
+  auto queries = RandomRangeWorkload(dataset.histogram.size(), 30,
+                                     workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  ThreadPool sequential_pool(1);
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  for (const auto& publisher : PublisherRegistry::MakeAll()) {
+    RunCellOptions sequential;
+    sequential.pool = &sequential_pool;
+    auto reference = RunCell(*publisher, dataset.histogram, queries.value(),
+                             0.5, /*repetitions=*/6, /*seed=*/321,
+                             sequential);
+    ASSERT_TRUE(reference.ok()) << publisher->name();
+    for (ThreadPool* pool : {&pool2, &pool8}) {
+      RunCellOptions options;
+      options.pool = pool;
+      auto cell = RunCell(*publisher, dataset.histogram, queries.value(),
+                          0.5, /*repetitions=*/6, /*seed=*/321, options);
+      ASSERT_TRUE(cell.ok()) << publisher->name();
+      ExpectBitIdentical(reference.value(), cell.value(),
+                         publisher->name() + " threads=" +
+                             std::to_string(pool->thread_count()));
+    }
+  }
+}
+
+TEST(ParallelExperimentTest, RepetitionCountSweepIncludingDegenerate) {
+  const Dataset dataset = MakeAge(3);
+  Rng workload_rng(23);
+  auto queries = RandomRangeWorkload(dataset.histogram.size(), 20,
+                                     workload_rng);
+  ASSERT_TRUE(queries.ok());
+  IdentityLaplace publisher;
+
+  ThreadPool sequential_pool(1);
+  ThreadPool parallel_pool(4);
+  for (std::size_t repetitions : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{2}, std::size_t{5},
+                                  std::size_t{17}}) {
+    RunCellOptions sequential;
+    sequential.pool = &sequential_pool;
+    RunCellOptions parallel;
+    parallel.pool = &parallel_pool;
+    auto a = RunCell(publisher, dataset.histogram, queries.value(), 0.1,
+                     repetitions, /*seed=*/repetitions + 11, sequential);
+    auto b = RunCell(publisher, dataset.histogram, queries.value(), 0.1,
+                     repetitions, /*seed=*/repetitions + 11, parallel);
+    if (repetitions == 0) {
+      // Both paths must reject zero repetitions identically.
+      EXPECT_FALSE(a.ok());
+      EXPECT_FALSE(b.ok());
+      EXPECT_EQ(a.status().code(), b.status().code());
+      continue;
+    }
+    ASSERT_TRUE(a.ok()) << "reps=" << repetitions;
+    ASSERT_TRUE(b.ok()) << "reps=" << repetitions;
+    ExpectBitIdentical(a.value(), b.value(),
+                       "reps=" + std::to_string(repetitions));
+  }
+}
+
+TEST(ParallelExperimentTest, DefaultOverloadMatchesExplicitGlobalPool) {
+  const Dataset dataset = MakeAge(4);
+  Rng workload_rng(29);
+  auto queries = RandomRangeWorkload(dataset.histogram.size(), 10,
+                                     workload_rng);
+  ASSERT_TRUE(queries.ok());
+  IdentityLaplace publisher;
+  auto implicit = RunCell(publisher, dataset.histogram, queries.value(), 0.5,
+                          4, 99);
+  RunCellOptions options;  // pool=nullptr → global
+  auto explicit_global = RunCell(publisher, dataset.histogram,
+                                 queries.value(), 0.5, 4, 99, options);
+  ASSERT_TRUE(implicit.ok());
+  ASSERT_TRUE(explicit_global.ok());
+  ExpectBitIdentical(implicit.value(), explicit_global.value(), "global");
+}
+
+TEST(ParallelExperimentTest, ErrorStatusIsDeterministicAcrossThreadCounts) {
+  // A negative epsilon makes every repetition fail; both paths must report
+  // the same (lowest-repetition) failure.
+  const Dataset dataset = MakeAge(6);
+  IdentityLaplace publisher;
+  const std::vector<RangeQuery> unit = {{0, 1}};
+  ThreadPool sequential_pool(1);
+  ThreadPool parallel_pool(4);
+  RunCellOptions sequential;
+  sequential.pool = &sequential_pool;
+  RunCellOptions parallel;
+  parallel.pool = &parallel_pool;
+  auto a = RunCell(publisher, dataset.histogram, unit, -1.0, 8, 5,
+                   sequential);
+  auto b = RunCell(publisher, dataset.histogram, unit, -1.0, 8, 5, parallel);
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(a.status().code(), b.status().code());
+  EXPECT_EQ(a.status().message(), b.status().message());
+}
+
+TEST(ParallelExperimentTest, ParallelSamplesMatchSequentialDistribution) {
+  // Distribution-level guard: a parallel run and a sequential run with
+  // *different* seeds are independent draws from the same per-repetition
+  // MAE distribution. If forked streams were reused or correlated across
+  // threads, the parallel sample would contain duplicated/degenerate
+  // values and the KS test would reject. Seeds are fixed, so this test is
+  // deterministic.
+  const Dataset dataset = MakeAge(7);
+  Rng workload_rng(41);
+  auto queries = RandomRangeWorkload(dataset.histogram.size(), 25,
+                                     workload_rng);
+  ASSERT_TRUE(queries.ok());
+  IdentityLaplace publisher;
+  constexpr std::size_t kReps = 150;
+
+  ThreadPool sequential_pool(1);
+  ThreadPool parallel_pool(8);
+  RunCellOptions sequential;
+  sequential.pool = &sequential_pool;
+  sequential.collect_samples = true;
+  RunCellOptions parallel;
+  parallel.pool = &parallel_pool;
+  parallel.collect_samples = true;
+
+  auto a = RunCell(publisher, dataset.histogram, queries.value(), 0.2, kReps,
+                   /*seed=*/1001, sequential);
+  auto b = RunCell(publisher, dataset.histogram, queries.value(), 0.2, kReps,
+                   /*seed=*/2002, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().mae_samples.size(), kReps);
+  ASSERT_EQ(b.value().mae_samples.size(), kReps);
+  EXPECT_TRUE(testing::KsSameDistribution(a.value().mae_samples,
+                                          b.value().mae_samples))
+      << "KS distance "
+      << testing::KsStatistic(a.value().mae_samples, b.value().mae_samples);
+
+  // Power check: the same test must reject when the distributions truly
+  // differ (quadrupling epsilon quarters the error scale).
+  auto c = RunCell(publisher, dataset.histogram, queries.value(), 0.8, kReps,
+                   /*seed=*/3003, parallel);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(testing::KsSameDistribution(a.value().mae_samples,
+                                           c.value().mae_samples));
+
+  // And the identical-seed parallel run reproduces the sequential samples
+  // exactly, repetition by repetition.
+  auto d = RunCell(publisher, dataset.histogram, queries.value(), 0.2, kReps,
+                   /*seed=*/1001, parallel);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(a.value().mae_samples, d.value().mae_samples);
+}
+
+TEST(ParallelExperimentTest, SamplesOnlyCollectedWhenRequested) {
+  const Dataset dataset = MakeAge(8);
+  const std::vector<RangeQuery> unit = {{0, 1}};
+  IdentityLaplace publisher;
+  auto cell = RunCell(publisher, dataset.histogram, unit, 1.0, 3, 1);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_TRUE(cell.value().mae_samples.empty());
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,98 @@
+// Self-tests for the test-only two-sample Kolmogorov–Smirnov helper.
+
+#include "testing/statistical.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(KsStatisticTest, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> samples = {1.0, 2.0, 3.5, 3.5, 7.0};
+  EXPECT_DOUBLE_EQ(testing::KsStatistic(samples, samples), 0.0);
+}
+
+TEST(KsStatisticTest, DisjointSupportsHaveDistanceOne) {
+  const std::vector<double> low = {0.0, 0.1, 0.2, 0.3};
+  const std::vector<double> high = {10.0, 10.1, 10.2};
+  EXPECT_DOUBLE_EQ(testing::KsStatistic(low, high), 1.0);
+  EXPECT_DOUBLE_EQ(testing::KsStatistic(high, low), 1.0);
+}
+
+TEST(KsStatisticTest, KnownSmallExample) {
+  // F_a jumps at {1,2}, F_b jumps at {1.5,2}; at x=1 the gap is
+  // |1/2 - 0| = 0.5, never exceeded later.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.5, 2.0};
+  EXPECT_DOUBLE_EQ(testing::KsStatistic(a, b), 0.5);
+}
+
+TEST(KsPValueTest, ZeroDistanceIsNotRejected) {
+  EXPECT_GT(testing::KsPValue(0.0, 100, 100), 0.999);
+}
+
+TEST(KsPValueTest, FullDistanceIsRejected) {
+  EXPECT_LT(testing::KsPValue(1.0, 100, 100), 1e-6);
+}
+
+TEST(KsPValueTest, MonotoneInDistance) {
+  double previous = 1.1;
+  for (double d : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const double p = testing::KsPValue(d, 200, 200);
+    EXPECT_LT(p, previous) << "d=" << d;
+    previous = p;
+  }
+}
+
+TEST(KsSameDistributionTest, AcceptsTwoLaplaceSamplesSameScale) {
+  Rng rng(12345);
+  std::vector<double> a(400);
+  std::vector<double> b(400);
+  for (double& x : a) {
+    x = SampleLaplace(rng, /*scale=*/2.0);
+  }
+  for (double& x : b) {
+    x = SampleLaplace(rng, /*scale=*/2.0);
+  }
+  EXPECT_TRUE(testing::KsSameDistribution(a, b));
+}
+
+TEST(KsSameDistributionTest, RejectsShiftedSample) {
+  Rng rng(6789);
+  std::vector<double> a(400);
+  std::vector<double> b(400);
+  for (double& x : a) {
+    x = SampleLaplace(rng, 1.0);
+  }
+  for (double& x : b) {
+    x = SampleLaplace(rng, 1.0) + 3.0;
+  }
+  EXPECT_FALSE(testing::KsSameDistribution(a, b));
+}
+
+TEST(KsSameDistributionTest, RejectsReusedStream) {
+  // The failure mode the parallel-engine tests guard against: repetitions
+  // that copy one Rng instead of forking fresh streams all reproduce the
+  // same draw, collapsing the empirical CDF to a near-step function that
+  // an independent sample immediately exposes.
+  Rng rng(1357);
+  std::vector<double> reused(400);
+  for (double& x : reused) {
+    Rng copy = rng;  // the bug: copying instead of forking
+    x = SampleLaplace(copy, 1.0);
+  }
+  std::vector<double> independent(400);
+  for (double& x : independent) {
+    x = SampleLaplace(rng, 1.0);
+  }
+  EXPECT_FALSE(testing::KsSameDistribution(reused, independent));
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,88 @@
+#ifndef DPHIST_TESTS_TESTING_STATISTICAL_H_
+#define DPHIST_TESTS_TESTING_STATISTICAL_H_
+
+// Statistical test helpers for dphist's own test suite (not part of the
+// library API). The two-sample Kolmogorov–Smirnov test compares empirical
+// distributions without assuming a parametric family, which is exactly what
+// the parallel-execution tests need: if the engine ever reused one Rng
+// stream across threads (or correlated streams), the per-repetition error
+// samples would stop looking like independent draws from the sequential
+// distribution, and the KS distance between a parallel run and a
+// sequential run with a different seed would blow up.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dphist {
+namespace testing {
+
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F_a(x) - F_b(x)| of the
+/// empirical CDFs of `a` and `b`. Both samples must be non-empty. Takes
+/// copies because it sorts.
+inline double KsStatistic(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) {
+      ++i;
+    }
+    while (j < b.size() && b[j] <= x) {
+      ++j;
+    }
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+/// Asymptotic two-sided p-value of the two-sample KS statistic `d` for
+/// sample sizes `n1`, `n2`: the Kolmogorov Q function
+///   Q(t) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 t^2)
+/// with the Stephens small-sample correction
+///   t = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * d,  ne = n1*n2/(n1+n2).
+inline double KsPValue(double d, std::size_t n1, std::size_t n2) {
+  const double ne = static_cast<double>(n1) * static_cast<double>(n2) /
+                    static_cast<double>(n1 + n2);
+  const double sqrt_ne = std::sqrt(ne);
+  const double t = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  if (t < 0.05) {
+    // The alternating theta series converges too slowly below ~0.05, and
+    // Q(t) is 1 to far more digits than any test cares about there.
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * t * t * static_cast<double>(j) *
+                                 static_cast<double>(j));
+    sum += sign * term;
+    if (term < 1e-12) {
+      break;
+    }
+    sign = -sign;
+  }
+  const double p = 2.0 * sum;
+  return std::min(1.0, std::max(0.0, p));
+}
+
+/// True when the KS test does NOT reject "same distribution" at level
+/// `alpha`. Tests that use this with fixed seeds are deterministic; pick
+/// seeds for which the (correct) implementation passes comfortably.
+inline bool KsSameDistribution(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               double alpha = 1e-3) {
+  return KsPValue(KsStatistic(a, b), a.size(), b.size()) > alpha;
+}
+
+}  // namespace testing
+}  // namespace dphist
+
+#endif  // DPHIST_TESTS_TESTING_STATISTICAL_H_

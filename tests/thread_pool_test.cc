@@ -1,0 +1,241 @@
+#include "dphist/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/common/status.h"
+
+namespace dphist {
+namespace {
+
+std::size_t HardwareDefault() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+// RAII guard so DPHIST_THREADS manipulation never leaks across tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      saved_ = old;
+      had_value_ = true;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ThreadPoolTest, ConstructionAndTeardownAcrossSizes) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+  }
+  // Pools are destroyed at scope exit; reaching here without hanging is
+  // the teardown assertion.
+}
+
+TEST(ThreadPoolTest, ZeroMeansDefaultThreadCount) {
+  ScopedEnv env("DPHIST_THREADS", nullptr);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::DefaultThreadCount());
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  // Each index writes its own slot, so no synchronization is needed and a
+  // double visit would show up as a count of 2.
+  std::vector<int> visits(kN, 0);
+  pool.ParallelFor(0, kN, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<int> visits(20, 0);
+  pool.ParallelFor(5, 17, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i], (i >= 5 && i < 17) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, 3, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(7, 8, [&calls](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionsContiguously) {
+  ThreadPool pool(4);
+  std::vector<int> visits(100, 0);
+  std::atomic<int> chunks{0};
+  pool.ParallelForChunks(0, 100, /*min_chunk=*/10,
+                         [&](std::size_t begin, std::size_t end) {
+                           ASSERT_LT(begin, end);
+                           ++chunks;
+                           for (std::size_t i = begin; i < end; ++i) {
+                             ++visits[i];
+                           }
+                         });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 100);
+  EXPECT_GE(chunks.load(), 2);
+  EXPECT_LE(chunks.load(), 4);
+  for (int v : visits) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadFallbackRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.ParallelFor(0, seen.size(), [&seen](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [](std::size_t i) {
+                         if (i == 57) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must remain usable after a throwing batch.
+  std::vector<int> visits(10, 0);
+  pool.ParallelFor(0, 10, [&visits](std::size_t i) { ++visits[i]; });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 10);
+}
+
+TEST(ThreadPoolTest, StatusPropagationPattern) {
+  // The library's own convention: fallible per-index work writes a Status
+  // into its slot; the caller scans in index order so the reported error is
+  // deterministic regardless of scheduling.
+  ThreadPool pool(4);
+  std::vector<Status> statuses(64);
+  pool.ParallelFor(0, statuses.size(), [&statuses](std::size_t i) {
+    if (i % 17 == 3) {
+      statuses[i] = Status::InvalidArgument("index " + std::to_string(i));
+    }
+  });
+  Status first;
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      first = status;
+      break;
+    }
+  }
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.message(), "index 3");
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::vector<int>> inner(8, std::vector<int>(32, 0));
+  pool.ParallelFor(0, inner.size(), [&](std::size_t outer) {
+    // Same pool from inside a worker: must fall back to inline execution
+    // instead of blocking on the queue it is supposed to drain.
+    pool.ParallelFor(0, inner[outer].size(),
+                     [&inner, outer](std::size_t i) { ++inner[outer][i]; });
+  });
+  for (const auto& row : inner) {
+    for (int v : row) {
+      EXPECT_EQ(v, 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersShareOnePool) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  std::vector<long> sums(kSubmitters, 0);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sums, s] {
+      std::vector<long> slots(200, 0);
+      pool.ParallelFor(0, slots.size(), [&slots](std::size_t i) {
+        slots[i] = static_cast<long>(i);
+      });
+      long total = 0;
+      for (long v : slots) {
+        total += v;
+      }
+      sums[s] = total;
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  for (long total : sums) {
+    EXPECT_EQ(total, 199L * 200L / 2);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountParsesEnv) {
+  {
+    ScopedEnv env("DPHIST_THREADS", "3");
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  }
+  {
+    ScopedEnv env("DPHIST_THREADS", "1");
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), 1u);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 1u);
+  }
+  {
+    ScopedEnv env("DPHIST_THREADS", nullptr);
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), HardwareDefault());
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountRejectsInvalidEnv) {
+  const std::size_t hardware = HardwareDefault();
+  for (const char* bad : {"0", "-4", "abc", "2x", "", "9999999999999999999"}) {
+    ScopedEnv env("DPHIST_THREADS", bad);
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), hardware)
+        << "DPHIST_THREADS=\"" << bad << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace dphist

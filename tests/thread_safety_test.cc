@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include "dphist/algorithms/noise_first.h"
 #include "dphist/algorithms/registry.h"
+#include "dphist/algorithms/structure_first.h"
+#include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
 #include "dphist/random/rng.h"
 
@@ -50,6 +53,84 @@ TEST(ThreadSafetyTest, SharedPublisherConcurrentPublishes) {
       EXPECT_EQ(actual[t], expected[t])
           << publisher->name() << " thread " << t;
     }
+  }
+}
+
+TEST(ThreadSafetyTest, SharedPublisherConcurrentWithInternalPool) {
+  // The concurrency contract must survive publishers that themselves use
+  // the global ThreadPool: at n=512 with grid_step 1 the v-opt rows
+  // exceed the parallel threshold, so every Publish below fans row work
+  // into the shared pool while eight external threads submit concurrently
+  // (and, when the global pool has workers, nested ParallelFor calls run
+  // inline on them). Results must still be exactly the sequential ones.
+  const Dataset dataset = MakeSearchLogs(512, 3);
+  NoiseFirst::Options nf_options;
+  nf_options.grid_step = 1;
+  const NoiseFirst noise_first(nf_options);
+  StructureFirst::Options sf_options;
+  sf_options.grid_step = 1;
+  const StructureFirst structure_first(sf_options);
+  const std::vector<const HistogramPublisher*> publishers = {
+      &noise_first, &structure_first};
+  constexpr int kThreads = 8;
+
+  for (const HistogramPublisher* publisher : publishers) {
+    std::vector<std::vector<double>> expected(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      Rng rng(4000 + static_cast<std::uint64_t>(t));
+      auto out = publisher->Publish(dataset.histogram, 0.5, rng);
+      ASSERT_TRUE(out.ok()) << publisher->name();
+      expected[t] = out.value().counts();
+    }
+    std::vector<std::vector<double>> actual(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        Rng rng(4000 + static_cast<std::uint64_t>(t));
+        auto out = publisher->Publish(dataset.histogram, 0.5, rng);
+        if (out.ok()) {
+          actual[t] = out.value().counts();
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(actual[t], expected[t])
+          << publisher->name() << " thread " << t;
+    }
+  }
+}
+
+TEST(ThreadSafetyTest, GlobalPoolServesConcurrentSubmitters) {
+  // Many threads driving ThreadPool::Global() at once models the parallel
+  // RunCell + parallel publisher composition; each submitter's loop must
+  // see exactly its own work completed.
+  constexpr int kSubmitters = 8;
+  std::vector<double> totals(kSubmitters, 0.0);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&totals, s]() {
+      std::vector<double> slots(500, 0.0);
+      ThreadPool::Global().ParallelFor(0, slots.size(),
+                                       [&slots](std::size_t i) {
+                                         slots[i] = static_cast<double>(i);
+                                       });
+      double total = 0.0;
+      for (double v : slots) {
+        total += v;
+      }
+      totals[s] = total;
+    });
+  }
+  for (std::thread& thread : submitters) {
+    thread.join();
+  }
+  for (double total : totals) {
+    EXPECT_DOUBLE_EQ(total, 499.0 * 500.0 / 2.0);
   }
 }
 

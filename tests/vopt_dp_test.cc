@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dphist/common/thread_pool.h"
 #include "dphist/random/distributions.h"
 #include "dphist/random/rng.h"
 
@@ -173,6 +174,108 @@ TEST(VOptSolverTest, TracebackRejectsOutOfRangeK) {
   ASSERT_TRUE(solver.ok());
   EXPECT_FALSE(solver.value().Traceback(0).ok());
   EXPECT_FALSE(solver.value().Traceback(4).ok());
+}
+
+// Parallel-vs-sequential equivalence for the row-parallel dynamic program.
+// The contract is bitwise: the full PrefixCost table and every Traceback
+// must match exactly, for any thread count, because publishers must never
+// release a different histogram just because more cores were available.
+class VOptParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, CostKind>> {};
+
+TEST_P(VOptParallelEquivalence, FullTableAndTracebacksMatchSequential) {
+  const auto [n, kind] = GetParam();
+  const std::vector<double> counts = RandomCounts(n, 500 + n);
+  IntervalCostTable::Options options;
+  options.kind = kind;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+
+  ThreadPool sequential_pool(1);
+  VOptSolver::SolveOptions sequential;
+  sequential.pool = &sequential_pool;
+  auto reference = VOptSolver::Solve(table.value(), 0, sequential);
+  ASSERT_TRUE(reference.ok());
+
+  ThreadPool parallel_pool(4);
+  VOptSolver::SolveOptions parallel;
+  parallel.pool = &parallel_pool;
+  parallel.min_parallel_candidates = 1;  // force row parallelism even here
+  auto solver = VOptSolver::Solve(table.value(), 0, parallel);
+  ASSERT_TRUE(solver.ok());
+
+  const std::size_t m = reference.value().num_candidates();
+  ASSERT_EQ(solver.value().num_candidates(), m);
+  for (std::size_t k = 1; k <= reference.value().max_buckets(); ++k) {
+    for (std::size_t i = 0; i <= m; ++i) {
+      // Exact equality, infinities included.
+      EXPECT_EQ(reference.value().PrefixCost(k, i),
+                solver.value().PrefixCost(k, i))
+          << "k=" << k << " i=" << i;
+    }
+    auto expected = reference.value().Traceback(k);
+    auto actual = solver.value().Traceback(k);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(expected.value().cuts(), actual.value().cuts()) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTables, VOptParallelEquivalence,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 33, 64, 130),
+                       ::testing::Values(CostKind::kSquared,
+                                         CostKind::kAbsolute)));
+
+TEST(VOptSolverTest, ParallelCostTableBuildMatchesSequential) {
+  // The absolute-cost matrix build fans endpoint sweeps across the pool;
+  // the resulting costs feed the DP, so they must also be bit-identical.
+  const std::vector<double> counts = RandomCounts(220, 77);
+  IntervalCostTable::Options sequential_options;
+  sequential_options.kind = CostKind::kAbsolute;
+  ThreadPool sequential_pool(1);
+  sequential_options.pool = &sequential_pool;
+  auto reference = IntervalCostTable::Create(counts, sequential_options);
+  ASSERT_TRUE(reference.ok());
+
+  IntervalCostTable::Options parallel_options;
+  parallel_options.kind = CostKind::kAbsolute;
+  ThreadPool parallel_pool(4);
+  parallel_options.pool = &parallel_pool;
+  parallel_options.min_parallel_candidates = 1;  // force the parallel path
+  auto parallel = IntervalCostTable::Create(counts, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+
+  const std::size_t m = reference.value().num_candidates();
+  ASSERT_EQ(parallel.value().num_candidates(), m);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b <= m; ++b) {
+      EXPECT_EQ(reference.value().CostBetween(a, b),
+                parallel.value().CostBetween(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(VOptSolverTest, ThresholdKeepsSmallInputsSequentialButEquivalent) {
+  // Below min_parallel_candidates the solver must stay on the sequential
+  // path (no way to observe scheduling directly, but the result contract
+  // is checkable: default options equal explicit sequential options).
+  const std::vector<double> counts = RandomCounts(60, 13);
+  IntervalCostTable::Options options;
+  auto table = IntervalCostTable::Create(counts, options);
+  ASSERT_TRUE(table.ok());
+  auto by_default = VOptSolver::Solve(table.value(), 0);
+  ThreadPool pool(4);
+  VOptSolver::SolveOptions huge_threshold;
+  huge_threshold.pool = &pool;
+  huge_threshold.min_parallel_candidates = 1'000'000;
+  auto sequential = VOptSolver::Solve(table.value(), 0, huge_threshold);
+  ASSERT_TRUE(by_default.ok());
+  ASSERT_TRUE(sequential.ok());
+  for (std::size_t k = 1; k <= 60; ++k) {
+    EXPECT_EQ(by_default.value().MinCost(k), sequential.value().MinCost(k));
+  }
 }
 
 TEST(VOptSolverTest, GridRestrictedSolveUsesOnlyGridCuts) {
