@@ -29,6 +29,7 @@ int main() {
     std::fprintf(stderr, "workload failed\n");
     return 1;
   }
+  dphist_bench::BenchJsonWriter json("budget_split");
 
   std::printf("== F5: SF budget split on %s "
               "(n=%zu, eps=%g, reps=%zu, threads=%zu) ==\n\n",
@@ -62,7 +63,24 @@ int main() {
                       abs_cell.value().workload_mae.mean, 4),
                   dphist::TablePrinter::FormatDouble(
                       sq_cell.value().workload_mae.mean, 4)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("score", "absolute")
+                    .Num("ratio", ratio)
+                    .Num("epsilon", epsilon)
+                    .Int("reps", reps)
+                    .Num("mae", abs_cell.value().workload_mae.mean)
+                    .Num("wall_ms", abs_cell.value().publish_ms.mean));
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("score", "squared")
+                    .Num("ratio", ratio)
+                    .Num("epsilon", epsilon)
+                    .Int("reps", reps)
+                    .Num("mae", sq_cell.value().workload_mae.mean)
+                    .Num("wall_ms", sq_cell.value().publish_ms.mean));
   }
   table.Print();
+  json.Finish();
   return 0;
 }

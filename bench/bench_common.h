@@ -5,12 +5,17 @@
 // uses the same dataset suite and seeds so results are comparable across
 // binaries, and honors DPHIST_BENCH_REPS to trade runtime for variance.
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
+#include "dphist/obs/export.h"
 
 namespace dphist_bench {
 
@@ -44,6 +49,57 @@ inline std::size_t Threads() {
 inline std::vector<dphist::Dataset> Suite() {
   return dphist::MakePaperSuite(kTraceDomain, kSuiteSeed);
 }
+
+/// \brief The one JSON-lines emitter shared by every bench harness.
+///
+/// Each result row is a flat JSON object tagged
+/// `{"bench":<name>,"type":"row",...}` built with obs::JsonObjectWriter, so
+/// rows share a schema (and a parser: obs::ParseFlatJson) with the obs
+/// snapshot exporter. Finish() prints the rows under a `-- bench json --`
+/// stdout marker, appends them to the file named by `DPHIST_BENCH_JSON`
+/// (if set; "-" is a stdout no-op since the marker section already covers
+/// it), and exports the obs registry snapshot via `DPHIST_OBS_OUT`.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Starts a row pre-tagged with this bench's identity; chain fields onto
+  /// the returned builder and pass it to AddRow.
+  dphist::obs::JsonObjectWriter Row() const {
+    dphist::obs::JsonObjectWriter row;
+    row.Str("bench", bench_name_).Str("type", "row");
+    return row;
+  }
+
+  void AddRow(const dphist::obs::JsonObjectWriter& row) {
+    lines_.push_back(row.Finish());
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  /// Emits everything; returns the number of result rows written.
+  std::size_t Finish() const {
+    std::printf("\n-- bench json --\n");
+    for (const std::string& line : lines_) {
+      std::printf("%s\n", line.c_str());
+    }
+    const char* path = std::getenv("DPHIST_BENCH_JSON");
+    if (path != nullptr && *path != '\0' &&
+        std::string_view(path) != "-") {
+      std::ofstream out(path, std::ios::app);
+      for (const std::string& line : lines_) {
+        out << line << '\n';
+      }
+    }
+    dphist::obs::ExportToEnv(bench_name_);
+    return lines_.size();
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> lines_;
+};
 
 }  // namespace dphist_bench
 

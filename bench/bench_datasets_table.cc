@@ -10,6 +10,7 @@
 int main() {
   std::printf("== T1: dataset statistics (synthetic stand-ins, seed %llu) ==\n\n",
               static_cast<unsigned long long>(dphist_bench::kSuiteSeed));
+  dphist_bench::BenchJsonWriter json("datasets_table");
   dphist::TablePrinter table(
       {"dataset", "bins", "records", "nonzero", "max", "mean"});
   for (const dphist::Dataset& dataset : dphist_bench::Suite()) {
@@ -19,6 +20,13 @@ int main() {
                   std::to_string(stats.nonzero_bins),
                   dphist::TablePrinter::FormatDouble(stats.max_count, 6),
                   dphist::TablePrinter::FormatDouble(stats.mean_count, 4)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Int("bins", stats.domain_size)
+                    .Num("records", stats.total_records)
+                    .Int("nonzero", stats.nonzero_bins)
+                    .Num("max", stats.max_count)
+                    .Num("mean", stats.mean_count));
   }
   table.Print();
   std::printf("\nProvenance:\n");
@@ -26,5 +34,6 @@ int main() {
     std::printf("  %-11s %s\n", dataset.name.c_str(),
                 dataset.description.c_str());
   }
+  json.Finish();
   return 0;
 }

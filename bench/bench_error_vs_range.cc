@@ -20,6 +20,7 @@
 int main() {
   const std::size_t reps = dphist_bench::Repetitions();
   const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
+  dphist_bench::BenchJsonWriter json("error_vs_range");
   // The network trace shows the crossover most clearly.
   const dphist::Dataset dataset = dphist_bench::Suite()[1];
   const std::size_t n = dataset.histogram.size();
@@ -80,12 +81,20 @@ int main() {
     for (std::size_t l = 0; l < lengths.size(); ++l) {
       std::vector<std::string> row = {std::to_string(lengths[l])};
       for (std::size_t a = 0; a < publishers.size(); ++a) {
-        row.push_back(dphist::TablePrinter::FormatDouble(
-            errors[a][l] / static_cast<double>(reps), 4));
+        const double mae = errors[a][l] / static_cast<double>(reps);
+        row.push_back(dphist::TablePrinter::FormatDouble(mae, 4));
+        json.AddRow(json.Row()
+                        .Str("dataset", dataset.name)
+                        .Str("algo", publishers[a]->name())
+                        .Num("epsilon", epsilon)
+                        .Int("length", lengths[l])
+                        .Int("reps", reps)
+                        .Num("mae", mae));
       }
       table.AddRow(std::move(row));
     }
     table.Print();
   }
+  json.Finish();
   return 0;
 }

@@ -21,6 +21,7 @@ int main() {
   const std::size_t reps = dphist_bench::Repetitions();
   const std::vector<double> epsilons = {0.01, 0.1, 1.0};
   const auto publishers = dphist::PublisherRegistry::MakeAll();
+  dphist_bench::BenchJsonWriter json("extensions");
 
   // Age (smooth: EFPA's home turf) and NetTrace (spiky: its worst case).
   std::vector<dphist::Dataset> datasets;
@@ -59,10 +60,18 @@ int main() {
         }
         row.push_back(dphist::TablePrinter::FormatDouble(
             cell.value().workload_mae.mean, 4));
+        json.AddRow(json.Row()
+                        .Str("dataset", dataset.name)
+                        .Str("algo", publisher->name())
+                        .Num("epsilon", epsilon)
+                        .Int("reps", reps)
+                        .Num("mae", cell.value().workload_mae.mean)
+                        .Num("wall_ms", cell.value().publish_ms.mean));
       }
       table.AddRow(std::move(row));
     }
     table.Print();
   }
+  json.Finish();
   return 0;
 }

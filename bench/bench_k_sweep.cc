@@ -27,6 +27,7 @@ int main() {
   const std::size_t n = dataset.histogram.size();
   const double epsilon = 0.1;
   const std::vector<dphist::RangeQuery> unit = dphist::AllUnitWorkload(n);
+  dphist_bench::BenchJsonWriter json("k_sweep");
 
   std::printf("== F4: unit-bin MAE vs fixed bucket count k on %s "
               "(n=%zu, eps=%g, reps=%zu, threads=%zu) ==\n\n",
@@ -53,6 +54,22 @@ int main() {
                       nf_cell.value().workload_mae.mean, 4),
                   dphist::TablePrinter::FormatDouble(
                       sf_cell.value().workload_mae.mean, 4)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("algo", "noise_first")
+                    .Int("k", k)
+                    .Num("epsilon", epsilon)
+                    .Int("reps", reps)
+                    .Num("mae", nf_cell.value().workload_mae.mean)
+                    .Num("wall_ms", nf_cell.value().publish_ms.mean));
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("algo", "structure_first")
+                    .Int("k", k)
+                    .Num("epsilon", epsilon)
+                    .Int("reps", reps)
+                    .Num("mae", sf_cell.value().workload_mae.mean)
+                    .Num("wall_ms", sf_cell.value().publish_ms.mean));
   }
   table.Print();
 
@@ -141,5 +158,6 @@ int main() {
     }
   }
   ablation.Print();
+  json.Finish();
   return 0;
 }

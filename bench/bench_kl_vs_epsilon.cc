@@ -19,6 +19,7 @@ int main() {
   const std::size_t reps = dphist_bench::Repetitions();
   const std::vector<double> epsilons = {0.01, 0.05, 0.1, 0.5, 1.0};
   const auto publishers = dphist::PublisherRegistry::MakePaperSuite();
+  dphist_bench::BenchJsonWriter json("kl_vs_epsilon");
 
   std::printf("== F3: KL(true || released) vs epsilon "
               "(reps=%zu, threads=%zu) ==\n",
@@ -48,10 +49,18 @@ int main() {
         }
         row.push_back(dphist::TablePrinter::FormatDouble(
             cell.value().kl_divergence.mean, 4));
+        json.AddRow(json.Row()
+                        .Str("dataset", dataset.name)
+                        .Str("algo", publisher->name())
+                        .Num("epsilon", epsilon)
+                        .Int("reps", reps)
+                        .Num("kl", cell.value().kl_divergence.mean)
+                        .Num("wall_ms", cell.value().publish_ms.mean));
       }
       table.AddRow(std::move(row));
     }
     table.Print();
   }
+  json.Finish();
   return 0;
 }

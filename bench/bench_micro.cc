@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dphist/hist/fenwick.h"
+#include "dphist/obs/export.h"
 #include "dphist/hist/interval_cost.h"
 #include "dphist/hist/vopt_dp.h"
 #include "dphist/privacy/exponential_mechanism.h"
@@ -121,3 +122,17 @@ void BM_VOptSolve(benchmark::State& state) {
 BENCHMARK(BM_VOptSolve)->Arg(256)->Arg(1024);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the obs registry snapshot —
+// solver counters, interval-cost build stats, draw counts — is exported
+// after the benchmarks run when DPHIST_OBS_OUT is set.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dphist::obs::ExportToEnv("micro");
+  return 0;
+}

@@ -35,6 +35,7 @@ int main() {
 
   std::printf("== F8: post-processing gains on %s (unit-bin MAE, "
               "reps=%zu) ==\n\n", dataset.name.c_str(), reps);
+  dphist_bench::BenchJsonWriter json("postprocess");
   dphist::TablePrinter table(
       {"epsilon", "algorithm", "raw", "+clamp", "+normalize", "+isotonic"});
   for (double epsilon : {0.01, 0.1}) {
@@ -70,6 +71,15 @@ int main() {
                     dphist::TablePrinter::FormatDouble(clamped / r, 4),
                     dphist::TablePrinter::FormatDouble(normalized / r, 4),
                     dphist::TablePrinter::FormatDouble(isotonic / r, 4)});
+      json.AddRow(json.Row()
+                      .Str("dataset", dataset.name)
+                      .Str("algo", name)
+                      .Num("epsilon", epsilon)
+                      .Int("reps", reps)
+                      .Num("raw", raw / r)
+                      .Num("clamp", clamped / r)
+                      .Num("normalize", normalized / r)
+                      .Num("isotonic", isotonic / r));
     }
   }
   table.Print();
@@ -78,5 +88,6 @@ int main() {
               "publicly known to be (near-)monotone; it is free accuracy\n"
               "where the prior holds and a modeling error where it does\n"
               "not.\n");
+  json.Finish();
   return 0;
 }

@@ -8,7 +8,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -52,6 +54,7 @@ int main() {
   const double epsilon = 0.1;
   const std::vector<std::size_t> sizes = {256, 512, 1024, 2048, 4096};
   const auto publishers = dphist::PublisherRegistry::MakeAll();
+  dphist_bench::BenchJsonWriter json("scalability");
 
   std::printf("== F6: publish wall time (ms) vs domain size "
               "(eps=%g, reps=%zu) ==\n\n", epsilon, reps);
@@ -64,10 +67,16 @@ int main() {
     const dphist::Dataset dataset = dphist::MakeNetTrace(n, 21);
     std::vector<std::string> row = {std::to_string(n)};
     for (const auto& publisher : publishers) {
-      row.push_back(dphist::TablePrinter::FormatDouble(
-          TimePublishMs(*publisher, dataset.histogram, epsilon, reps,
-                        9000 + n),
-          4));
+      const double wall_ms = TimePublishMs(*publisher, dataset.histogram,
+                                           epsilon, reps, 9000 + n);
+      row.push_back(dphist::TablePrinter::FormatDouble(wall_ms, 4));
+      json.AddRow(json.Row()
+                      .Str("fig", "f6")
+                      .Str("algo", publisher->name())
+                      .Int("n", n)
+                      .Num("epsilon", epsilon)
+                      .Int("reps", reps)
+                      .Num("wall_ms", wall_ms));
     }
     table.AddRow(std::move(row));
   }
@@ -87,24 +96,33 @@ int main() {
     sf_exact.grid_step = 1;
     dphist::StructureFirst::Options sf_grid;
     sf_grid.grid_step = 8;
+    const double nf_exact_ms = TimePublishMs(
+        dphist::NoiseFirst(nf_exact), dataset.histogram, epsilon, reps,
+        9100 + n);
+    const double nf_grid_ms = TimePublishMs(
+        dphist::NoiseFirst(nf_grid), dataset.histogram, epsilon, reps,
+        9200 + n);
+    const double sf_exact_ms = TimePublishMs(
+        dphist::StructureFirst(sf_exact), dataset.histogram, epsilon, reps,
+        9300 + n);
+    const double sf_grid_ms = TimePublishMs(
+        dphist::StructureFirst(sf_grid), dataset.histogram, epsilon, reps,
+        9400 + n);
     ablation.AddRow(
         {std::to_string(n),
-         dphist::TablePrinter::FormatDouble(
-             TimePublishMs(dphist::NoiseFirst(nf_exact), dataset.histogram,
-                           epsilon, reps, 9100 + n),
-             4),
-         dphist::TablePrinter::FormatDouble(
-             TimePublishMs(dphist::NoiseFirst(nf_grid), dataset.histogram,
-                           epsilon, reps, 9200 + n),
-             4),
-         dphist::TablePrinter::FormatDouble(
-             TimePublishMs(dphist::StructureFirst(sf_exact),
-                           dataset.histogram, epsilon, reps, 9300 + n),
-             4),
-         dphist::TablePrinter::FormatDouble(
-             TimePublishMs(dphist::StructureFirst(sf_grid), dataset.histogram,
-                           epsilon, reps, 9400 + n),
-             4)});
+         dphist::TablePrinter::FormatDouble(nf_exact_ms, 4),
+         dphist::TablePrinter::FormatDouble(nf_grid_ms, 4),
+         dphist::TablePrinter::FormatDouble(sf_exact_ms, 4),
+         dphist::TablePrinter::FormatDouble(sf_grid_ms, 4)});
+    json.AddRow(json.Row()
+                    .Str("fig", "f6b")
+                    .Int("n", n)
+                    .Num("epsilon", epsilon)
+                    .Int("reps", reps)
+                    .Num("nf_exact_ms", nf_exact_ms)
+                    .Num("nf_grid_ms", nf_grid_ms)
+                    .Num("sf_exact_ms", sf_exact_ms)
+                    .Num("sf_grid_ms", sf_grid_ms));
   }
   ablation.Print();
 
@@ -112,8 +130,9 @@ int main() {
   // fanned across an explicit pool) timed at increasing thread counts.
   // The error aggregates must be bit-identical at every thread count —
   // the engine's determinism contract, enforced here at bench scale —
-  // so only the wall clock may move. Machine-readable JSON lines follow
-  // the table for dashboard ingestion.
+  // so only the wall clock may move. Rows go through BenchJsonWriter and
+  // the determinism check below reads them back through obs::ParseFlatJson,
+  // so it also proves the emitted JSON round-trips the mae exactly.
   const std::size_t sweep_reps = dphist_bench::Repetitions(8);
   const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
   std::printf("\n== F6c: RunCell wall time vs threads "
@@ -121,8 +140,6 @@ int main() {
               epsilon, sweep_reps, dphist::ThreadPool::DefaultThreadCount());
   dphist::TablePrinter sweep(
       {"algo", "n", "threads", "cell ms", "speedup", "mae"});
-  std::vector<std::string> json_lines;
-  bool deterministic = true;
   for (std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
     const dphist::Dataset dataset = dphist::MakeNetTrace(n, 23);
     dphist::Rng workload_rng(77);
@@ -137,7 +154,6 @@ int main() {
     subjects.push_back(std::make_unique<dphist::StructureFirst>());
     for (const auto& publisher : subjects) {
       double base_ms = 0.0;
-      double base_mae = 0.0;
       for (std::size_t threads : thread_counts) {
         dphist::ThreadPool pool(threads);
         dphist::RunCellOptions options;
@@ -157,13 +173,6 @@ int main() {
         const double mae = cell.value().workload_mae.mean;
         if (threads == thread_counts.front()) {
           base_ms = wall_ms;
-          base_mae = mae;
-        } else if (mae != base_mae) {
-          std::fprintf(stderr,
-                       "DETERMINISM VIOLATION: %s n=%zu threads=%zu "
-                       "mae %.17g != single-thread mae %.17g\n",
-                       publisher->name().c_str(), n, threads, mae, base_mae);
-          deterministic = false;
         }
         const double speedup = wall_ms > 0.0 ? base_ms / wall_ms : 0.0;
         sweep.AddRow({publisher->name(), std::to_string(n),
@@ -171,22 +180,53 @@ int main() {
                       dphist::TablePrinter::FormatDouble(wall_ms, 2),
                       dphist::TablePrinter::FormatDouble(speedup, 2),
                       dphist::TablePrinter::FormatDouble(mae, 6)});
-        char json[256];
-        std::snprintf(json, sizeof(json),
-                      "{\"bench\":\"scalability_threads\",\"algo\":\"%s\","
-                      "\"n\":%zu,\"threads\":%zu,\"reps\":%zu,"
-                      "\"wall_ms\":%.3f,\"speedup\":%.3f,\"mae\":%.6f}",
-                      publisher->name().c_str(), n, threads, sweep_reps,
-                      wall_ms, speedup, mae);
-        json_lines.emplace_back(json);
+        json.AddRow(json.Row()
+                        .Str("fig", "f6c")
+                        .Str("algo", publisher->name())
+                        .Int("n", n)
+                        .Int("threads", threads)
+                        .Int("reps", sweep_reps)
+                        .Num("wall_ms", wall_ms)
+                        .Num("speedup", speedup)
+                        .Num("mae", mae));
       }
     }
   }
   sweep.Print();
-  std::printf("\n-- F6c json --\n");
-  for (const std::string& line : json_lines) {
-    std::printf("%s\n", line.c_str());
+
+  // Determinism check over the emitted rows: parse every f6c line back
+  // (writer and reader share one schema definition) and require the mae of
+  // each (algo, n) group to be identical across thread counts. %.17g
+  // output makes the comparison exact, not approximate.
+  bool deterministic = true;
+  std::map<std::string, double> group_mae;
+  for (const std::string& line : json.lines()) {
+    auto parsed = dphist::obs::ParseFlatJson(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "emitted row failed to parse back: %s\n  %s\n",
+                   parsed.status().ToString().c_str(), line.c_str());
+      return 1;
+    }
+    const dphist::obs::JsonObject& row = parsed.value();
+    const auto fig = row.find("fig");
+    if (fig == row.end() || fig->second.string_value != "f6c") {
+      continue;
+    }
+    const std::string key = row.at("algo").string_value + "/n=" +
+                            std::to_string(static_cast<std::size_t>(
+                                row.at("n").number_value));
+    const double mae = row.at("mae").number_value;
+    const auto [it, inserted] = group_mae.emplace(key, mae);
+    if (!inserted && it->second != mae) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %s threads=%g mae %.17g != "
+                   "single-thread mae %.17g\n",
+                   key.c_str(), row.at("threads").number_value, mae,
+                   it->second);
+      deterministic = false;
+    }
   }
+  json.Finish();
   if (!deterministic) {
     return 1;
   }

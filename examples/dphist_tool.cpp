@@ -19,6 +19,7 @@
 #include "dphist/data/csv.h"
 #include "dphist/data/generators.h"
 #include "dphist/metrics/metrics.h"
+#include "dphist/obs/export.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
 
@@ -195,17 +196,20 @@ int main(int argc, char** argv) {
     return Usage();
   }
   const std::string command = argv[1];
+  int rc = 0;
   if (command == "generate") {
-    return RunGenerate(argc, argv);
+    rc = RunGenerate(argc, argv);
+  } else if (command == "publish") {
+    rc = RunPublish(argc, argv);
+  } else if (command == "evaluate") {
+    rc = RunEvaluate(argc, argv);
+  } else if (command == "list") {
+    rc = RunList();
+  } else {
+    rc = Usage();
   }
-  if (command == "publish") {
-    return RunPublish(argc, argv);
-  }
-  if (command == "evaluate") {
-    return RunEvaluate(argc, argv);
-  }
-  if (command == "list") {
-    return RunList();
-  }
-  return Usage();
+  // Flush obs metrics (no-op unless DPHIST_OBS_OUT is set), so `publish`
+  // runs report draw counts and solver timings like the bench binaries do.
+  dphist::obs::ExportToEnv("dphist_tool/" + command);
+  return rc;
 }

@@ -1,5 +1,8 @@
 #include "dphist/algorithms/registry.h"
 
+#include <chrono>
+#include <utility>
+
 #include "dphist/algorithms/ahp.h"
 #include "dphist/algorithms/boost_tree.h"
 #include "dphist/algorithms/efpa.h"
@@ -11,8 +14,65 @@
 #include "dphist/algorithms/p_hp.h"
 #include "dphist/algorithms/privelet.h"
 #include "dphist/algorithms/structure_first.h"
+#include "dphist/obs/obs.h"
 
 namespace dphist {
+
+namespace {
+
+/// Decorator recording per-publisher metrics; see PublisherRegistry docs.
+/// All metric handles are resolved once at construction, so the enabled
+/// Publish path touches no registry locks, and the disabled path is a
+/// single branch plus the virtual dispatch.
+class InstrumentedPublisher : public HistogramPublisher {
+ public:
+  explicit InstrumentedPublisher(std::unique_ptr<HistogramPublisher> inner)
+      : inner_(std::move(inner)),
+        name_(inner_->name()),
+        runs_(obs::Registry::Global().GetCounter("publisher/" + name_ +
+                                                 "/runs")),
+        laplace_draws_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/laplace_draws")),
+        geometric_draws_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/geometric_draws")),
+        wall_ms_(
+            obs::Registry::Global().GetDistribution("publisher/" + name_)),
+        epsilon_(obs::Registry::Global().GetDistribution("publisher/" +
+                                                         name_ + "/epsilon")) {
+  }
+
+  std::string name() const override { return name_; }
+
+  Result<Histogram> Publish(const Histogram& histogram, double epsilon,
+                            Rng& rng) const override {
+    if (!obs::Enabled()) {
+      return inner_->Publish(histogram, epsilon, rng);
+    }
+    runs_.Increment();
+    epsilon_.Record(epsilon);
+    // Draws happen on this thread (samplers are never parallelized), so a
+    // thread-local attribution scope routes them to this publisher even
+    // when RunCell publishes several cells concurrently.
+    obs::DrawAttributionScope attribution(&laplace_draws_, &geometric_draws_);
+    const auto start = std::chrono::steady_clock::now();
+    auto released = inner_->Publish(histogram, epsilon, rng);
+    wall_ms_.Record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+    return released;
+  }
+
+ private:
+  std::unique_ptr<HistogramPublisher> inner_;
+  std::string name_;
+  obs::Counter& runs_;
+  obs::Counter& laplace_draws_;
+  obs::Counter& geometric_draws_;
+  obs::Distribution& wall_ms_;
+  obs::Distribution& epsilon_;
+};
+
+}  // namespace
 
 std::vector<std::string> PublisherRegistry::PaperNames() {
   return {"dwork", "boost", "privelet", "noise_first", "structure_first"};
@@ -29,8 +89,9 @@ std::vector<std::string> PublisherRegistry::BuiltinNames() {
   return names;
 }
 
-Result<std::unique_ptr<HistogramPublisher>> PublisherRegistry::Make(
-    std::string_view name) {
+namespace {
+
+std::unique_ptr<HistogramPublisher> MakeRaw(std::string_view name) {
   if (name == "dwork") {
     return std::unique_ptr<HistogramPublisher>(new IdentityLaplace());
   }
@@ -64,7 +125,27 @@ Result<std::unique_ptr<HistogramPublisher>> PublisherRegistry::Make(
   if (name == "gs") {
     return std::unique_ptr<HistogramPublisher>(new GroupingSmoothing());
   }
-  return Status::NotFound("unknown publisher: " + std::string(name));
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HistogramPublisher>> PublisherRegistry::Make(
+    std::string_view name) {
+  auto publisher = MakeRaw(name);
+  if (publisher == nullptr) {
+    return Status::NotFound("unknown publisher: " + std::string(name));
+  }
+  return Instrument(std::move(publisher));
+}
+
+std::unique_ptr<HistogramPublisher> PublisherRegistry::Instrument(
+    std::unique_ptr<HistogramPublisher> publisher) {
+  if (publisher == nullptr) {
+    return publisher;
+  }
+  return std::unique_ptr<HistogramPublisher>(
+      new InstrumentedPublisher(std::move(publisher)));
 }
 
 namespace {

@@ -20,6 +20,14 @@ namespace dphist {
 ///   "geometric", "efpa", "mwem", "p_hp", "ahp", "gs".
 /// Each factory call returns a fresh instance with the library defaults
 /// (customize by constructing the concrete class directly).
+///
+/// Every publisher the factory returns is wrapped in an observability
+/// decorator (see `Instrument`) that records, per publisher name and only
+/// while obs is enabled: publication count, per-run wall time, epsilon per
+/// run, and Laplace/geometric draws consumed. The wrapper preserves
+/// `name()` and the thread-safety contract, and forwards everything else
+/// untouched — parallel_experiment_test proves the published histograms
+/// are unchanged bit-for-bit.
 class PublisherRegistry {
  public:
   /// The paper's algorithm names, in presentation order.
@@ -37,6 +45,15 @@ class PublisherRegistry {
 
   /// Creates every built-in publisher, in BuiltinNames() order.
   static std::vector<std::unique_ptr<HistogramPublisher>> MakeAll();
+
+  /// Wraps `publisher` in the timing/counting decorator the factory applies
+  /// to every built-in. Exposed so directly constructed publishers (custom
+  /// Options) can opt into the same per-publisher metrics:
+  ///   `publisher/<name>/runs` (counter), `publisher/<name>` (wall-ms
+  ///   distribution), `publisher/<name>/epsilon` (distribution),
+  ///   `publisher/<name>/laplace_draws` / `geometric_draws` (counters).
+  static std::unique_ptr<HistogramPublisher> Instrument(
+      std::unique_ptr<HistogramPublisher> publisher);
 };
 
 }  // namespace dphist

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "dphist/obs/obs.h"
 #include "dphist/random/rng.h"
 
 namespace dphist {
@@ -86,6 +87,21 @@ Result<CellResult> RunCell(const HistogramPublisher& publisher,
   for (const Status& status : statuses) {
     if (!status.ok()) {
       return status;
+    }
+  }
+  if (obs::Enabled()) {
+    // Recorded in repetition order after the join so the distribution's
+    // ingest sequence (hence its P-square state) is scheduling-independent.
+    static obs::Counter& cells_run =
+        obs::Registry::Global().GetCounter("runcell/cells");
+    static obs::Counter& reps_run =
+        obs::Registry::Global().GetCounter("runcell/repetitions");
+    obs::Distribution& latency =
+        obs::Registry::Global().GetDistribution("runcell/publish_ms");
+    cells_run.Increment();
+    reps_run.Add(repetitions);
+    for (double ms : times) {
+      latency.Record(ms);
     }
   }
   CellResult cell;

@@ -1,10 +1,15 @@
 #include "dphist/common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <climits>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
+
+#include "dphist/obs/obs.h"
 
 namespace dphist {
 
@@ -107,10 +112,29 @@ void ThreadPool::ParallelForChunks(
   }
   const std::size_t max_chunks = (n + min_chunk - 1) / min_chunk;
   const std::size_t num_chunks = std::min(max_chunks, thread_count_);
+  // Counters are resolved once (static locals) so the disabled path costs
+  // one branch per call, not a registry lookup.
+  static obs::Counter& inline_loops =
+      obs::Registry::Global().GetCounter("threadpool/inline_loops");
+  static obs::Counter& batches =
+      obs::Registry::Global().GetCounter("threadpool/batches");
+  static obs::Counter& tasks_dispatched =
+      obs::Registry::Global().GetCounter("threadpool/tasks_dispatched");
   if (num_chunks < 2 || MustRunInline()) {
+    inline_loops.Increment();
     body(begin, end);
     return;
   }
+
+  // Instrumentation is decided once per batch (not per chunk) and baked
+  // into the dispatched tasks so an obs toggle mid-batch cannot tear the
+  // batch's bookkeeping.
+  const bool instrumented = obs::Enabled();
+  batches.Increment();
+  tasks_dispatched.Add(num_chunks);
+  const auto dispatch_start = instrumented
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point();
 
   // Per-batch join state, shared by the chunk tasks of this call only, so
   // concurrent ParallelFor calls from different submitter threads never
@@ -120,6 +144,9 @@ void ThreadPool::ParallelForChunks(
     std::condition_variable done;
     std::size_t remaining;
     std::exception_ptr error;
+    // Summed wall time the chunks spent executing; with the batch wall
+    // clock this yields the batch's worker utilization.
+    std::atomic<std::int64_t> busy_ns{0};
   };
   Batch batch;
   batch.remaining = num_chunks;
@@ -132,12 +159,30 @@ void ThreadPool::ParallelForChunks(
     for (std::size_t c = 0; c < num_chunks; ++c) {
       const std::size_t chunk_end =
           chunk_begin + base + (c < extra ? 1 : 0);
-      queue_.emplace_back([&batch, &body, chunk_begin, chunk_end] {
+      queue_.emplace_back([&batch, &body, chunk_begin, chunk_end,
+                           instrumented, dispatch_start] {
+        const auto task_start = instrumented
+                                    ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point();
+        if (instrumented) {
+          obs::Registry::Global()
+              .GetDistribution("threadpool/queue_wait_ms")
+              .Record(std::chrono::duration<double, std::milli>(
+                          task_start - dispatch_start)
+                          .count());
+        }
         std::exception_ptr error;
         try {
           body(chunk_begin, chunk_end);
         } catch (...) {
           error = std::current_exception();
+        }
+        if (instrumented) {
+          batch.busy_ns.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - task_start)
+                  .count(),
+              std::memory_order_relaxed);
         }
         std::lock_guard<std::mutex> batch_lock(batch.mutex);
         if (error && !batch.error) {
@@ -154,6 +199,23 @@ void ThreadPool::ParallelForChunks(
 
   std::unique_lock<std::mutex> lock(batch.mutex);
   batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  lock.unlock();
+  if (instrumented) {
+    const double wall_ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() -
+                                dispatch_start)
+                                .count());
+    if (wall_ns > 0.0) {
+      // 1.0 = every dispatched chunk's worker was busy for the whole batch
+      // (perfect overlap); low values expose dispatch overhead or skew.
+      obs::Registry::Global()
+          .GetDistribution("threadpool/utilization")
+          .Record(static_cast<double>(batch.busy_ns.load(
+                      std::memory_order_relaxed)) /
+                  (wall_ns * static_cast<double>(num_chunks)));
+    }
+  }
   if (batch.error) {
     std::rethrow_exception(batch.error);
   }

@@ -6,6 +6,7 @@
 #include "dphist/common/math_util.h"
 #include "dphist/common/thread_pool.h"
 #include "dphist/hist/fenwick.h"
+#include "dphist/obs/obs.h"
 
 namespace dphist {
 
@@ -28,6 +29,10 @@ Result<IntervalCostTable> IntervalCostTable::Create(
   if (options.grid_step == 0) {
     return Status::InvalidArgument("grid_step must be >= 1");
   }
+  obs::ScopedTimer build_timer("interval_cost/build");
+  static obs::Counter& builds =
+      obs::Registry::Global().GetCounter("interval_cost/builds");
+  builds.Increment();
   IntervalCostTable table;
   table.domain_size_ = counts.size();
   table.kind_ = options.kind;
@@ -77,6 +82,10 @@ void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts,
                                             const Options& options) {
   const std::size_t m = positions_.size();
   absolute_costs_.assign(m * m, 0.0);
+  // Bulk-counted (one Add per build): the cells the Fenwick sweeps fill.
+  static obs::Counter& absolute_cells =
+      obs::Registry::Global().GetCounter("interval_cost/absolute_cells");
+  absolute_cells.Add(m * (m - 1) / 2);
 
   // Rank every distinct count value so a Fenwick tree over ranks can answer
   // "count and sum of inserted values <= mu" queries.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "dphist/common/thread_pool.h"
+#include "dphist/obs/obs.h"
 
 namespace dphist {
 
@@ -32,6 +33,33 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
   }
   std::size_t cap = max_buckets == 0 ? m : std::min(max_buckets, m);
 
+  // Whole-solve span plus bulk work counters. The counts are computed
+  // arithmetically outside the DP loops, so the per-cell hot path carries
+  // zero instrumentation; everything here is a pure function of (m, cap)
+  // and therefore bit-identical across thread counts.
+  obs::ScopedTimer solve_timer("vopt/solve");
+  static obs::Counter& solves =
+      obs::Registry::Global().GetCounter("vopt/solves");
+  static obs::Counter& rows = obs::Registry::Global().GetCounter("vopt/rows");
+  static obs::Counter& cells =
+      obs::Registry::Global().GetCounter("vopt/cells");
+  static obs::Counter& cost_lookups =
+      obs::Registry::Global().GetCounter("vopt/cost_lookups");
+  solves.Increment();
+  if (obs::Enabled()) {
+    std::uint64_t cell_count = m;  // base row
+    std::uint64_t lookup_count = m;
+    for (std::size_t k = 2; k <= cap; ++k) {
+      // Row k has cells i in [k, m], and cell i scans i-k+1 predecessors.
+      const std::uint64_t row_cells = m - k + 1;
+      cell_count += row_cells;
+      lookup_count += row_cells * (row_cells + 1) / 2;
+    }
+    rows.Add(cap);
+    cells.Add(cell_count);
+    cost_lookups.Add(lookup_count);
+  }
+
   VOptSolver solver;
   solver.max_buckets_ = cap;
   solver.num_candidates_ = m;
@@ -41,10 +69,13 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
   solver.table_.assign((cap + 1) * width, kInfinity);
   solver.parent_.assign((cap + 1) * width, -1);
 
-  // Base row: one bucket covering the prefix.
-  for (std::size_t i = 1; i <= m; ++i) {
-    solver.table_[1 * width + i] = costs.CostBetween(0, i);
-    solver.parent_[1 * width + i] = 0;
+  {
+    // Base row: one bucket covering the prefix.
+    obs::ScopedTimer base_timer("base_row");  // -> vopt/solve/base_row
+    for (std::size_t i = 1; i <= m; ++i) {
+      solver.table_[1 * width + i] = costs.CostBetween(0, i);
+      solver.parent_[1 * width + i] = 0;
+    }
   }
 
   ThreadPool& pool =
@@ -52,6 +83,7 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
   const bool parallel_rows =
       pool.thread_count() > 1 && m >= options.min_parallel_candidates;
 
+  obs::ScopedTimer rows_timer("dp_rows");  // -> vopt/solve/dp_rows
   for (std::size_t k = 2; k <= cap; ++k) {
     const double* prev = &solver.table_[(k - 1) * width];
     double* curr = &solver.table_[k * width];

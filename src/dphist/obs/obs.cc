@@ -1,0 +1,316 @@
+#include "dphist/obs/obs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace dphist {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{std::getenv("DPHIST_OBS_OUT") != nullptr &&
+                            *std::getenv("DPHIST_OBS_OUT") != '\0'};
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// P2Quantile
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = i + 1;
+      }
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * quantile_;
+      desired_[2] = 1.0 + 4.0 * quantile_;
+      desired_[3] = 3.0 + 2.0 * quantile_;
+      desired_[4] = 5.0;
+      increments_[0] = 0.0;
+      increments_[1] = quantile_ / 2.0;
+      increments_[2] = quantile_;
+      increments_[3] = (1.0 + quantile_) / 2.0;
+      increments_[4] = 1.0;
+    }
+    return;
+  }
+
+  // Locate the cell containing x, extending the extreme markers if needed.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust the three interior markers toward their desired positions using
+  // the piecewise-parabolic (P^2) prediction, falling back to linear when
+  // the parabola would leave the bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double gap_next = positions_[i + 1] - positions_[i];
+    const double gap_prev = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && gap_next > 1.0) || (d <= -1.0 && gap_prev < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          sign / span *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / gap_next +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = sign > 0.0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    // Exact quantile of the buffered samples (nearest-rank on a copy).
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double rank = quantile_ * static_cast<double>(count_ - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+// ---------------------------------------------------------------------------
+// Distribution
+
+Distribution::Distribution(std::string name)
+    : name_(std::move(name)), p50_(0.5), p95_(0.95) {}
+
+void Distribution::Record(double value) {
+  if (!Enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  p50_.Add(value);
+  p95_.Add(value);
+}
+
+DistributionSnapshot Distribution::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DistributionSnapshot snapshot;
+  snapshot.name = name_;
+  snapshot.count = count_;
+  if (count_ > 0) {
+    snapshot.min = min_;
+    snapshot.max = max_;
+    snapshot.mean = sum_ / static_cast<double>(count_);
+    snapshot.p50 = p50_.Estimate();
+    snapshot.p95 = p95_.Estimate();
+  }
+  return snapshot;
+}
+
+void Distribution::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+  sum_ = 0.0;
+  p50_ = P2Quantile(0.5);
+  p95_ = P2Quantile(0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Registry() = default;
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrumentation sites may record during static
+  // destruction of other objects; the OS reclaims the registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::unique_ptr<Counter>(new Counter(
+                                             std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Distribution& Registry::GetDistribution(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_
+             .emplace(std::string(name),
+                      std::unique_ptr<Distribution>(
+                          new Distribution(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::set_enabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map iterates in name order, so the snapshot is stable by
+  // construction.
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.distributions.reserve(distributions_.size());
+  for (const auto& [name, distribution] : distributions_) {
+    snapshot.distributions.push_back(distribution->Snapshot());
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->ResetForTest();
+  }
+  for (auto& [name, distribution] : distributions_) {
+    distribution->ResetForTest();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+
+namespace {
+thread_local ScopedTimer* current_span = nullptr;
+}  // namespace
+
+ScopedTimer::ScopedTimer(std::string_view name) {
+  if (!Enabled()) {
+    return;
+  }
+  active_ = true;
+  if (current_span != nullptr) {
+    path_.reserve(current_span->path_.size() + 1 + name.size());
+    path_ = current_span->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = std::string(name);
+  }
+  parent_ = current_span;
+  current_span = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) {
+    return;
+  }
+  const double ms = elapsed_ms();
+  current_span = parent_;
+  Registry::Global().GetDistribution(path_).Record(ms);
+}
+
+double ScopedTimer::elapsed_ms() const {
+  if (!active_) {
+    return 0.0;
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Draw counting
+
+namespace {
+thread_local Counter* attributed_laplace = nullptr;
+thread_local Counter* attributed_geometric = nullptr;
+}  // namespace
+
+DrawAttributionScope::DrawAttributionScope(Counter* laplace,
+                                           Counter* geometric)
+    : previous_laplace_(attributed_laplace),
+      previous_geometric_(attributed_geometric) {
+  attributed_laplace = laplace;
+  attributed_geometric = geometric;
+}
+
+DrawAttributionScope::~DrawAttributionScope() {
+  attributed_laplace = previous_laplace_;
+  attributed_geometric = previous_geometric_;
+}
+
+void CountLaplaceDraws(std::uint64_t n) {
+  if (!Enabled()) {
+    return;
+  }
+  // Resolved once: draw counting runs per sample, so even the enabled path
+  // must avoid the registry map lookup.
+  static Counter& global = Registry::Global().GetCounter("rng/laplace_draws");
+  global.Add(n);
+  if (attributed_laplace != nullptr) {
+    attributed_laplace->Add(n);
+  }
+}
+
+void CountGeometricDraws(std::uint64_t n) {
+  if (!Enabled()) {
+    return;
+  }
+  static Counter& global =
+      Registry::Global().GetCounter("rng/geometric_draws");
+  global.Add(n);
+  if (attributed_geometric != nullptr) {
+    attributed_geometric->Add(n);
+  }
+}
+
+}  // namespace obs
+}  // namespace dphist

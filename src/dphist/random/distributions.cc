@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "dphist/obs/obs.h"
+
 namespace dphist {
 
 double SampleUniformDouble(Rng& rng) {
@@ -43,6 +45,9 @@ double SampleExponential(Rng& rng, double rate) {
 }
 
 double SampleLaplace(Rng& rng, double scale) {
+  // One branch when obs is disabled; attributes the draw to the publisher
+  // whose decorator installed a DrawAttributionScope on this thread.
+  obs::CountLaplaceDraws(1);
   // Difference of two exponentials: numerically stable in both tails and
   // symmetric by construction.
   const double e1 = -std::log(SampleUniformDoublePositive(rng));
@@ -68,6 +73,7 @@ std::int64_t SampleGeometric(Rng& rng, double p) {
 }
 
 std::int64_t SampleTwoSidedGeometric(Rng& rng, double alpha) {
+  obs::CountGeometricDraws(1);
   if (alpha <= 0.0) {
     return 0;
   }

@@ -10,6 +10,8 @@
 #include "dphist/bench_util/experiment.h"
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +20,7 @@
 #include "dphist/algorithms/registry.h"
 #include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
+#include "dphist/obs/obs.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
 #include "testing/statistical.h"
@@ -203,6 +206,58 @@ TEST(ParallelExperimentTest, ParallelSamplesMatchSequentialDistribution) {
                    /*seed=*/1001, parallel);
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(a.value().mae_samples, d.value().mae_samples);
+}
+
+TEST(ParallelExperimentTest, ObsCountersIdenticalAcrossThreadCounts) {
+  // The obs determinism split: work counters (draws consumed, DP cells
+  // filled, publications run) are a pure function of the workload, so the
+  // same RunCell at 1 and 4 threads must leave them bit-identical. Only
+  // threadpool/* counters and wall-time distributions may differ — they
+  // measure scheduling, not work.
+  const Dataset dataset = MakeSearchLogs(64, 9);
+  Rng workload_rng(53);
+  auto queries = RandomRangeWorkload(dataset.histogram.size(), 20,
+                                     workload_rng);
+  ASSERT_TRUE(queries.ok());
+  auto publisher = PublisherRegistry::Make("structure_first");
+  ASSERT_TRUE(publisher.ok());
+
+  const bool was_enabled = obs::Enabled();
+  obs::Registry::Global().set_enabled(true);
+
+  auto run_and_snapshot = [&](std::size_t threads) {
+    obs::Registry::Global().Reset();
+    ThreadPool pool(threads);
+    RunCellOptions options;
+    options.pool = &pool;
+    auto cell = RunCell(*publisher.value(), dataset.histogram,
+                        queries.value(), 0.5, /*repetitions=*/6,
+                        /*seed=*/77, options);
+    EXPECT_TRUE(cell.ok());
+    // Scheduling-dependent metrics are excluded by name prefix; the rest
+    // must match exactly.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    for (const auto& [name, value] :
+         obs::Registry::Global().Snapshot().counters) {
+      if (name.rfind("threadpool/", 0) != 0) {
+        counters.emplace_back(name, value);
+      }
+    }
+    return counters;
+  };
+
+  const auto sequential = run_and_snapshot(1);
+  const auto parallel = run_and_snapshot(4);
+  obs::Registry::Global().Reset();
+  obs::Registry::Global().set_enabled(was_enabled);
+
+  EXPECT_EQ(sequential, parallel);
+  // Sanity: the run actually recorded work (draws, solves, runcell).
+  bool saw_nonzero = false;
+  for (const auto& [name, value] : sequential) {
+    saw_nonzero |= value > 0;
+  }
+  EXPECT_TRUE(saw_nonzero);
 }
 
 TEST(ParallelExperimentTest, SamplesOnlyCollectedWhenRequested) {

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Compare bench JSON rows against a committed baseline.
+
+The bench harnesses emit one flat JSON object per result row (see
+bench/bench_common.h). This tool either captures those rows into a
+baseline file, or compares a fresh run against the committed baseline and
+exits non-zero on regression:
+
+  # Capture: bench-rows.jsonl -> BENCH_BASELINE.json (sorted JSON array)
+  tools/check_bench_regression.py --capture bench-rows.jsonl \
+      --out BENCH_BASELINE.json
+
+  # Check: exit 1 if any timing metric regressed beyond --max-ratio or
+  # any quality metric drifted beyond --metric-rtol.
+  tools/check_bench_regression.py --baseline BENCH_BASELINE.json \
+      --fresh bench-rows.jsonl --max-ratio 5 --metric-rtol 0.05
+
+Timing metrics (wall-clock fields) are machine-dependent, so they are
+gated by a generous fresh/baseline *ratio*. Quality metrics (mae, kl,
+...) are pure functions of the seeds, so they are gated by a tight
+relative tolerance; a drift there means the algorithms changed behavior,
+not that the machine was slow.
+
+--inject-slowdown N multiplies every fresh timing metric by N before the
+comparison. CI uses it to prove the gate actually trips: comparing a
+baseline against itself with --inject-slowdown 5 --max-ratio 4 must fail
+on any machine.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify a row rather than measure it.
+ID_FIELDS = {
+    "bench", "type", "fig", "dataset", "algo", "score",
+    "n", "threads", "reps", "k", "length", "bins", "epsilon", "ratio",
+}
+
+# Measured wall-clock fields: machine-dependent, ratio-gated.
+TIMING_SUFFIX = "_ms"
+
+# Derived-from-timing fields that would double-count a slowdown.
+IGNORED_FIELDS = {"speedup"}
+
+
+def is_timing(field):
+    return field.endswith(TIMING_SUFFIX)
+
+
+def load_rows(path):
+    """Loads rows from a JSON array file or a JSON-lines file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("["):
+        rows = json.loads(text)
+    else:
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    # Obs snapshot lines share the stream when DPHIST_OBS_OUT points at the
+    # same file; keep only bench result rows.
+    return [r for r in rows if r.get("type") == "row"]
+
+
+def row_key(row):
+    """Stable identity of a row: its id fields, sorted."""
+    return json.dumps(
+        {k: v for k, v in row.items() if k in ID_FIELDS}, sort_keys=True)
+
+
+def metrics_of(row):
+    return {
+        k: v
+        for k, v in row.items()
+        if k not in ID_FIELDS and k not in IGNORED_FIELDS
+        and isinstance(v, (int, float))
+    }
+
+
+def capture(args):
+    rows = load_rows(args.capture)
+    if not rows:
+        print("capture: no rows found in", args.capture, file=sys.stderr)
+        return 1
+    rows.sort(key=row_key)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"captured {len(rows)} rows -> {args.out}")
+    return 0
+
+
+def check(args):
+    baseline = {row_key(r): r for r in load_rows(args.baseline)}
+    fresh = {row_key(r): r for r in load_rows(args.fresh)}
+    if not baseline:
+        print("check: baseline is empty:", args.baseline, file=sys.stderr)
+        return 1
+
+    failures = []
+    missing = sorted(set(baseline) - set(fresh))
+    for key in missing:
+        failures.append(f"row missing from fresh run: {key}")
+    extra = len(set(fresh) - set(baseline))
+    if extra:
+        print(f"note: {extra} fresh row(s) not in baseline (new coverage)")
+
+    compared = 0
+    for key, base_row in baseline.items():
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            continue
+        base_metrics = metrics_of(base_row)
+        fresh_metrics = metrics_of(fresh_row)
+        for field, base_value in base_metrics.items():
+            if field not in fresh_metrics:
+                failures.append(f"{key}: metric '{field}' missing from fresh")
+                continue
+            fresh_value = fresh_metrics[field]
+            compared += 1
+            if is_timing(field):
+                fresh_value *= args.inject_slowdown
+                # Guard with an absolute floor: sub-ms timings are noise.
+                if (fresh_value > args.timing_floor_ms
+                        and fresh_value > base_value * args.max_ratio
+                        and fresh_value > base_value + args.timing_floor_ms):
+                    failures.append(
+                        f"{key}: {field} {fresh_value:.4g} > "
+                        f"{args.max_ratio}x baseline {base_value:.4g}")
+            else:
+                tolerance = args.metric_rtol * max(abs(base_value), 1e-12)
+                if abs(fresh_value - base_value) > tolerance:
+                    failures.append(
+                        f"{key}: {field} {fresh_value:.17g} != baseline "
+                        f"{base_value:.17g} (rtol {args.metric_rtol})")
+
+    for failure in failures:
+        print("REGRESSION:", failure, file=sys.stderr)
+    status = "FAIL" if failures else "OK"
+    print(f"{status}: {compared} metrics compared across "
+          f"{len(baseline) - len(missing)}/{len(baseline)} baseline rows, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--capture", metavar="ROWS",
+                        help="capture ROWS (jsonl or array) into --out")
+    parser.add_argument("--out", default="BENCH_BASELINE.json",
+                        help="output path for --capture")
+    parser.add_argument("--baseline", help="committed baseline file")
+    parser.add_argument("--fresh", help="fresh bench rows to check")
+    parser.add_argument("--max-ratio", type=float, default=5.0,
+                        help="max fresh/baseline ratio for *_ms metrics")
+    parser.add_argument("--metric-rtol", type=float, default=0.05,
+                        help="relative tolerance for quality metrics")
+    parser.add_argument("--timing-floor-ms", type=float, default=5.0,
+                        help="ignore timing metrics below this many ms")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0,
+                        help="multiply fresh timings by N (gate self-test)")
+    args = parser.parse_args()
+
+    if args.capture:
+        return capture(args)
+    if not args.baseline or not args.fresh:
+        parser.error("need --capture, or both --baseline and --fresh")
+    return check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
