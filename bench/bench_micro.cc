@@ -11,6 +11,7 @@
 #include "dphist/obs/export.h"
 #include "dphist/hist/interval_cost.h"
 #include "dphist/hist/vopt_dp.h"
+#include "dphist/privacy/budget.h"
 #include "dphist/privacy/exponential_mechanism.h"
 #include "dphist/random/distributions.h"
 #include "dphist/random/rng.h"
@@ -96,6 +97,24 @@ void BM_FenwickInsertQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FenwickInsertQuery);
+
+void BM_BudgetChargeSequential(benchmark::State& state) {
+  // Per-charge cost must stay flat as the ledger grows: spent_epsilon is
+  // maintained incrementally, not recomputed over all prior charges (the
+  // historical O(n) per charge made long-lived accountants quadratic).
+  const std::size_t charges = static_cast<std::size_t>(state.range(0));
+  const double total = static_cast<double>(charges);
+  for (auto _ : state) {
+    dphist::BudgetAccountant budget(total);
+    for (std::size_t i = 0; i < charges; ++i) {
+      benchmark::DoNotOptimize(budget.ChargeSequential(0.5, "q"));
+    }
+    benchmark::DoNotOptimize(budget.spent_epsilon());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(charges));
+}
+BENCHMARK(BM_BudgetChargeSequential)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_IntervalCostBuildAbsolute(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

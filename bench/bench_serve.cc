@@ -1,0 +1,154 @@
+// Serving-layer benchmark: (a) hit-rate sweep — end-to-end batch latency
+// as the fraction of requests answered from the release cache rises from
+// 0% to ~99% (the cache's entire value proposition: a hit skips the
+// publisher, the ledger, and the noise sampling entirely); (b) batch-size
+// scaling — per-query cost of AnswerBatch as batches grow past the
+// parallel fan-out threshold.
+//
+// Expected shape: (a) mean batch latency collapses as hit rate rises,
+// since only misses pay the publish; (b) per-query nanoseconds flat or
+// falling with batch size (each answer is one prefix-sum subtraction;
+// large batches amortize fan-out overhead across the pool).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dphist/bench_util/table.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+#include "dphist/serve/release_server.h"
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = dphist_bench::Repetitions(3);
+  const dphist::Dataset dataset = dphist_bench::Suite()[1];  // nettrace
+  const std::size_t n = dataset.histogram.size();
+  dphist_bench::BenchJsonWriter json("serve");
+
+  std::printf("== Serve: release cache + batched range queries on %s "
+              "(n=%zu, reps=%zu, threads=%zu) ==\n\n",
+              dataset.name.c_str(), n, reps, dphist_bench::Threads());
+
+  // -- (a) hit-rate sweep ------------------------------------------------
+  // `kBatches` batches cycle through `distinct` seeds; after the first
+  // pass every repeat is a cache hit, so the long-run hit rate is
+  // 1 - distinct/kBatches.
+  constexpr std::size_t kBatches = 64;
+  dphist::Rng workload_rng(21);
+  auto sweep_queries = dphist::RandomRangeWorkload(n, 256, workload_rng);
+  if (!sweep_queries.ok()) {
+    std::fprintf(stderr, "workload failed\n");
+    return 1;
+  }
+  dphist::TablePrinter sweep_table(
+      {"distinct", "hit_rate", "mean_batch_ms", "cache_entries"});
+  for (std::size_t distinct : {64, 32, 8, 1}) {
+    double total_ms = 0.0;
+    std::size_t entries = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      dphist::serve::ReleaseServer server(dataset.histogram,
+                                          /*total_epsilon=*/1.0e9);
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        dphist::serve::ServeRequest request;
+        request.publisher = "noise_first";
+        request.epsilon = 0.1;
+        request.seed = 100 + b % distinct;
+        auto batch = server.AnswerBatch(sweep_queries.value(), request);
+        if (!batch.ok()) {
+          std::fprintf(stderr, "batch failed: %s\n",
+                       batch.status().ToString().c_str());
+          return 1;
+        }
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      total_ms += ElapsedMs(start, stop);
+      entries = server.cache().size();
+    }
+    const double hit_rate =
+        1.0 - static_cast<double>(distinct) / static_cast<double>(kBatches);
+    const double mean_batch_ms =
+        total_ms / static_cast<double>(reps * kBatches);
+    sweep_table.AddRow(
+        {std::to_string(distinct),
+         dphist::TablePrinter::FormatDouble(hit_rate, 3),
+         dphist::TablePrinter::FormatDouble(mean_batch_ms, 4),
+         std::to_string(entries)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("mode", "hit_rate_sweep")
+                    .Int("n", n)
+                    .Int("batches", kBatches)
+                    .Int("distinct_releases", distinct)
+                    .Num("hit_rate", hit_rate)
+                    .Int("cache_entries", entries)
+                    .Int("reps", reps)
+                    .Num("mean_batch_ms", mean_batch_ms));
+  }
+  sweep_table.Print();
+
+  // -- (b) batch-size scaling --------------------------------------------
+  // One cached release; batches below the fan-out threshold answer
+  // inline, larger ones fan across the pool.
+  std::printf("\n");
+  dphist::TablePrinter scale_table(
+      {"batch_size", "mean_batch_ms", "ns_per_query"});
+  for (std::size_t batch_size : {64, 256, 1024, 4096, 16384}) {
+    dphist::Rng scale_rng(33);
+    auto queries = dphist::RandomRangeWorkload(n, batch_size, scale_rng);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload failed\n");
+      return 1;
+    }
+    dphist::serve::ReleaseServer server(dataset.histogram,
+                                        /*total_epsilon=*/1.0);
+    dphist::serve::ServeRequest request;
+    request.publisher = "noise_first";
+    request.epsilon = 0.1;
+    request.seed = 7;
+    // Warm the cache so the loop measures pure cached serving.
+    auto warm = server.AnswerBatch(queries.value(), request);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warm-up failed\n");
+      return 1;
+    }
+    const std::size_t iters = reps * 20;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      auto batch = server.AnswerBatch(queries.value(), request);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "batch failed\n");
+        return 1;
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double mean_batch_ms =
+        ElapsedMs(start, stop) / static_cast<double>(iters);
+    const double ns_per_query =
+        mean_batch_ms * 1.0e6 / static_cast<double>(batch_size);
+    scale_table.AddRow(
+        {std::to_string(batch_size),
+         dphist::TablePrinter::FormatDouble(mean_batch_ms, 4),
+         dphist::TablePrinter::FormatDouble(ns_per_query, 1)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("mode", "batch_scaling")
+                    .Int("n", n)
+                    .Int("batch_size", batch_size)
+                    .Int("reps", reps)
+                    .Num("mean_batch_ms", mean_batch_ms));
+  }
+  scale_table.Print();
+  json.Finish();
+  return 0;
+}

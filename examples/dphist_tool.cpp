@@ -5,6 +5,8 @@
 //   generate <age|nettrace|searchlogs|social> <out.csv> [--n N] [--seed S]
 //   publish  <algorithm> <epsilon> <in.csv> <out.csv> [--seed S]
 //   evaluate <truth.csv> <released.csv> [--queries Q] [--seed S]
+//   serve    <algorithm> <epsilon> <in.csv> [--budget E] [--batches B]
+//            [--queries Q] [--seed S]
 //   list
 //
 // Exit code 0 on success; errors go to stderr.
@@ -13,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dphist/algorithms/registry.h"
@@ -22,6 +25,7 @@
 #include "dphist/obs/export.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
+#include "dphist/serve/release_server.h"
 
 namespace {
 
@@ -29,9 +33,12 @@ struct Flags {
   std::size_t n = 1024;
   std::uint64_t seed = 42;
   std::size_t queries = 500;
+  double budget = 1.0;
+  std::size_t batches = 8;
 };
 
-// Parses trailing --n/--seed/--queries flags from argv[start..).
+// Parses trailing --n/--seed/--queries/--budget/--batches flags from
+// argv[start..).
 bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
   for (int i = start; i < argc; ++i) {
     auto need_value = [&](const char* name) -> const char* {
@@ -54,6 +61,15 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       if (value == nullptr) return false;
       flags->queries =
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      const char* value = need_value("--budget");
+      if (value == nullptr) return false;
+      flags->budget = std::atof(value);
+    } else if (std::strcmp(argv[i], "--batches") == 0) {
+      const char* value = need_value("--batches");
+      if (value == nullptr) return false;
+      flags->batches =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -72,6 +88,8 @@ int Usage() {
       " [--seed S]\n"
       "  dphist_tool evaluate <truth.csv> <released.csv> [--queries Q]"
       " [--seed S]\n"
+      "  dphist_tool serve <algorithm> <epsilon-per-release> <in.csv>"
+      " [--budget E] [--batches B] [--queries Q] [--seed S]\n"
       "  dphist_tool list\n");
   return 2;
 }
@@ -181,6 +199,83 @@ int RunEvaluate(int argc, char** argv) {
   return 0;
 }
 
+// Demonstrates the serving layer: load a CSV histogram, stand up a
+// ReleaseServer with a lifetime budget, and drive `--batches` query
+// batches at distinct seeds until the ledger refuses and batches degrade
+// to stale cached releases.
+int RunServe(int argc, char** argv) {
+  if (argc < 5) {
+    return Usage();
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, 5, &flags)) {
+    return 2;
+  }
+  const double epsilon = std::atof(argv[3]);
+  auto truth = dphist::LoadHistogramCsv(argv[4]);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t domain = truth.value().size();
+  dphist::serve::ReleaseServer server(std::move(truth).value(), flags.budget);
+  std::printf("serving %s (n=%zu, fingerprint=%016llx) with budget "
+              "epsilon=%g, %g per release\n",
+              argv[4], domain,
+              static_cast<unsigned long long>(server.fingerprint()),
+              flags.budget, epsilon);
+
+  dphist::Rng workload_rng(flags.seed);
+  auto queries =
+      dphist::RandomRangeWorkload(domain, flags.queries, workload_rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  std::size_t fresh = 0;
+  std::size_t hits = 0;
+  std::size_t stale = 0;
+  for (std::size_t b = 0; b < flags.batches; ++b) {
+    dphist::serve::ServeRequest request;
+    request.publisher = argv[2];
+    request.epsilon = epsilon;
+    request.seed = flags.seed + b;
+    auto batch = server.AnswerBatch(queries.value(), request);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "batch %zu failed: %s\n", b,
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    double total = 0.0;
+    for (double answer : batch.value().answers) {
+      total += answer;
+    }
+    const char* kind = batch.value().stale
+                           ? "stale"
+                           : (batch.value().cache_hit ? "hit" : "fresh");
+    std::printf("  batch %zu: seed=%llu -> %s (served seed=%llu, "
+                "mean answer=%.3f)\n",
+                b, static_cast<unsigned long long>(request.seed), kind,
+                static_cast<unsigned long long>(batch.value().served.seed),
+                total / static_cast<double>(batch.value().answers.size()));
+    if (batch.value().stale) {
+      ++stale;
+    } else if (batch.value().cache_hit) {
+      ++hits;
+    } else {
+      ++fresh;
+    }
+  }
+  std::printf("batches: %zu fresh, %zu cache hits, %zu stale\n", fresh, hits,
+              stale);
+  std::printf("cache: %zu release(s); ledger: spent %.4f of %.4f "
+              "(%zu charges)\n",
+              server.cache().size(), server.ledger().spent_epsilon(),
+              server.ledger().total_epsilon(),
+              server.ledger().charge_count());
+  return 0;
+}
+
 int RunList() {
   std::printf("available algorithms:\n");
   for (const std::string& name : dphist::PublisherRegistry::BuiltinNames()) {
@@ -203,6 +298,8 @@ int main(int argc, char** argv) {
     rc = RunPublish(argc, argv);
   } else if (command == "evaluate") {
     rc = RunEvaluate(argc, argv);
+  } else if (command == "serve") {
+    rc = RunServe(argc, argv);
   } else if (command == "list") {
     rc = RunList();
   } else {

@@ -1,0 +1,29 @@
+#ifndef DPHIST_COMMON_PARALLEL_DEFAULTS_H_
+#define DPHIST_COMMON_PARALLEL_DEFAULTS_H_
+
+#include <cstddef>
+
+namespace dphist {
+
+/// \brief The one size threshold below which a parallelizable stage stays
+/// on its sequential path.
+///
+/// Both stages of a v-opt solve consult it — the absolute-cost matrix
+/// build (`IntervalCostTable::Options::min_parallel_candidates`) and the
+/// row-parallel dynamic program
+/// (`VOptSolver::SolveOptions::min_parallel_candidates`) — as does the
+/// serve layer's batched range-query fan-out. Sharing one constant keeps
+/// the stages of a single solve from flipping strategies at different
+/// candidate counts (they used to cut over at 128 and 256 respectively),
+/// which made "is this run parallel?" depend on which stage you asked.
+///
+/// The value is the measured break-even region on the bench machines:
+/// below ~256 independent work items, ThreadPool fork/join overhead
+/// (dispatch + wake + barrier) dwarfs the per-item work of a DP row cell
+/// or a Fenwick sweep column. Results are bit-identical on either path;
+/// only wall clock changes, so tuning it is always safe.
+inline constexpr std::size_t kDefaultMinParallelCandidates = 256;
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_PARALLEL_DEFAULTS_H_

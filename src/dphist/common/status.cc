@@ -18,6 +18,10 @@ Status Status::ParseError(std::string_view message) {
   return Status(StatusCode::kParseError, message);
 }
 
+Status Status::ResourceExhausted(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, message);
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "OK";
@@ -40,6 +44,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,10 @@ enum class StatusCode : int {
   kNotFound = 3,
   /// Input data could not be parsed (CSV loader).
   kParseError = 4,
+  /// A finite resource is spent (privacy budget exhausted). Unlike
+  /// kInvalidArgument this is an expected runtime outcome the serving
+  /// layer reacts to (degrade to a cached release), not a caller bug.
+  kResourceExhausted = 5,
 };
 
 /// \brief Lightweight status object carrying a code and a human-readable
@@ -46,6 +50,8 @@ class Status {
   static Status NotFound(std::string_view message);
   /// Returns a ParseError status with the given message.
   static Status ParseError(std::string_view message);
+  /// Returns a ResourceExhausted status with the given message.
+  static Status ResourceExhausted(std::string_view message);
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }

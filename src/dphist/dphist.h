@@ -29,6 +29,7 @@
 #include "dphist/algorithms/registry.h"
 #include "dphist/algorithms/structure_first.h"
 #include "dphist/common/math_util.h"
+#include "dphist/common/parallel_defaults.h"
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
 #include "dphist/common/thread_pool.h"
@@ -50,6 +51,9 @@
 #include "dphist/query/workload.h"
 #include "dphist/random/distributions.h"
 #include "dphist/random/rng.h"
+#include "dphist/serve/budget_ledger.h"
+#include "dphist/serve/release_cache.h"
+#include "dphist/serve/release_server.h"
 #include "dphist/transform/fourier.h"
 #include "dphist/transform/haar_wavelet.h"
 #include "dphist/transform/interval_tree.h"

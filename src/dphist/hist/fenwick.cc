@@ -1,13 +1,28 @@
 #include "dphist/hist/fenwick.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dphist {
 
 RankedFenwick::RankedFenwick(std::size_t num_ranks)
     : size_(num_ranks), count_(num_ranks + 1, 0), sum_(num_ranks + 1, 0.0) {}
 
+void RankedFenwick::CheckRank(std::size_t rank, const char* op) const {
+  if (rank < size_) {
+    return;
+  }
+  // Not an assert(): an out-of-range update silently corrupts every
+  // downstream absolute cost, so the check must survive NDEBUG builds.
+  std::fprintf(stderr,
+               "RankedFenwick::%s: rank %zu out of range (num_ranks %zu)\n",
+               op, rank, size_);
+  std::abort();
+}
+
 void RankedFenwick::Insert(std::size_t rank, double value) {
+  CheckRank(rank, "Insert");
   for (std::size_t i = rank + 1; i <= size_; i += i & (~i + 1)) {
     count_[i] += 1;
     sum_[i] += value;
@@ -15,6 +30,7 @@ void RankedFenwick::Insert(std::size_t rank, double value) {
 }
 
 void RankedFenwick::Remove(std::size_t rank, double value) {
+  CheckRank(rank, "Remove");
   for (std::size_t i = rank + 1; i <= size_; i += i & (~i + 1)) {
     count_[i] -= 1;
     sum_[i] -= value;
@@ -27,18 +43,18 @@ void RankedFenwick::Clear() {
 }
 
 std::int64_t RankedFenwick::CountUpTo(std::size_t rank) const {
+  CheckRank(rank, "CountUpTo");
   std::int64_t total = 0;
-  std::size_t i = std::min(rank + 1, size_);
-  for (; i > 0; i -= i & (~i + 1)) {
+  for (std::size_t i = rank + 1; i > 0; i -= i & (~i + 1)) {
     total += count_[i];
   }
   return total;
 }
 
 double RankedFenwick::SumUpTo(std::size_t rank) const {
+  CheckRank(rank, "SumUpTo");
   double total = 0.0;
-  std::size_t i = std::min(rank + 1, size_);
-  for (; i > 0; i -= i & (~i + 1)) {
+  for (std::size_t i = rank + 1; i > 0; i -= i & (~i + 1)) {
     total += sum_[i];
   }
   return total;

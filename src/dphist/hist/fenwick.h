@@ -14,6 +14,13 @@ namespace dphist {
 /// interval we insert each count at its value rank, and can then answer
 /// "how many inserted values are <= t, and what is their sum" in O(log R)
 /// — exactly what evaluating sum_i |x_i - mu| around a mean mu needs.
+///
+/// Rank contract: every rank argument must be < num_ranks(). A violation
+/// aborts the process with a diagnostic (in every build type, not just
+/// with assertions on): an out-of-range Insert/Remove would otherwise
+/// silently drop the value — the update loop never executes — leaving
+/// TotalCount/TotalSum quietly wrong, and an out-of-range query would
+/// silently answer for a different rank than the caller asked about.
 class RankedFenwick {
  public:
   /// Creates a tree over `num_ranks` ranks (0 .. num_ranks-1).
@@ -22,20 +29,24 @@ class RankedFenwick {
   /// Number of ranks.
   std::size_t num_ranks() const { return size_; }
 
-  /// Inserts one occurrence of `value` at `rank`. Requires rank < num_ranks.
+  /// Inserts one occurrence of `value` at `rank`. Aborts unless
+  /// rank < num_ranks().
   void Insert(std::size_t rank, double value);
 
   /// Removes one occurrence of `value` at `rank` (inverse of Insert).
+  /// Aborts unless rank < num_ranks().
   void Remove(std::size_t rank, double value);
 
   /// Resets the tree to empty without reallocating.
   void Clear();
 
   /// Number of inserted values with rank <= `rank`. A rank of
-  /// num_ranks()-1 returns the total insert count.
+  /// num_ranks()-1 returns the total insert count. Aborts unless
+  /// rank < num_ranks().
   std::int64_t CountUpTo(std::size_t rank) const;
 
-  /// Sum of inserted values with rank <= `rank`.
+  /// Sum of inserted values with rank <= `rank`. Aborts unless
+  /// rank < num_ranks().
   double SumUpTo(std::size_t rank) const;
 
   /// Total number of inserted values.
@@ -45,6 +56,9 @@ class RankedFenwick {
   double TotalSum() const;
 
  private:
+  /// Aborts with a diagnostic naming `op` when rank >= num_ranks().
+  void CheckRank(std::size_t rank, const char* op) const;
+
   std::size_t size_;
   std::vector<std::int64_t> count_;
   std::vector<double> sum_;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dphist/common/parallel_defaults.h"
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
 
@@ -54,8 +55,10 @@ class IntervalCostTable {
     /// resulting table is bit-identical for any thread count.
     ThreadPool* pool = nullptr;
     /// The matrix build only parallelizes when there are at least this
-    /// many candidates; small tables stay on the sequential path.
-    std::size_t min_parallel_candidates = 128;
+    /// many candidates; small tables stay on the sequential path. Shared
+    /// with the v-opt solver (common/parallel_defaults.h) so both stages
+    /// of one solve cut over at the same size.
+    std::size_t min_parallel_candidates = kDefaultMinParallelCandidates;
   };
 
   /// Builds the table for `counts`. Fails for an empty histogram, a zero

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dphist/common/parallel_defaults.h"
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
 #include "dphist/hist/bucketization.h"
@@ -42,8 +43,10 @@ class VOptSolver {
     ThreadPool* pool = nullptr;
     /// Rows are only parallelized when the candidate count m is at least
     /// this large; below it the fork/join overhead dwarfs the row work and
-    /// the solver stays on the sequential path.
-    std::size_t min_parallel_candidates = 256;
+    /// the solver stays on the sequential path. Shared with the
+    /// absolute-cost build (common/parallel_defaults.h) so both stages of
+    /// one solve cut over at the same size.
+    std::size_t min_parallel_candidates = kDefaultMinParallelCandidates;
   };
 
   /// Runs the dynamic program for up to `max_buckets` buckets.

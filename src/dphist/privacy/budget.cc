@@ -1,7 +1,6 @@
 #include "dphist/privacy/budget.h"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 #include <utility>
 
@@ -22,9 +21,10 @@ Status BudgetAccountant::ChargeSequential(double epsilon, std::string label) {
   }
   if (spent_epsilon() + epsilon >
       total_epsilon_ * (1.0 + kBudgetSlack) + kBudgetSlack) {
-    return Status::InvalidArgument("privacy budget exhausted: charge '" +
-                                   label + "' exceeds remaining epsilon");
+    return Status::ResourceExhausted("privacy budget exhausted: charge '" +
+                                     label + "' exceeds remaining epsilon");
   }
+  sequential_sum_ += epsilon;
   charges_.push_back(
       BudgetCharge{epsilon, std::move(label), /*parallel=*/false, ""});
   return Status::Ok();
@@ -35,35 +35,36 @@ Status BudgetAccountant::ChargeParallel(double epsilon, std::string group,
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("budget charge must have epsilon > 0");
   }
-  // Compute what the new spend would be with this charge included.
-  const double before = spent_epsilon();
-  charges_.push_back(BudgetCharge{epsilon, std::move(label),
-                                  /*parallel=*/true, std::move(group)});
+  // Tentatively raise the group's max, evaluate the prospective spend, and
+  // roll the table back on refusal — the same accept/reject arithmetic as
+  // recording the charge and recomputing from scratch, at O(groups) cost.
+  const auto [it, inserted] = group_max_.try_emplace(group, 0.0);
+  const double old_max = it->second;
+  it->second = std::max(old_max, epsilon);
   const double after = spent_epsilon();
   if (after > total_epsilon_ * (1.0 + kBudgetSlack) + kBudgetSlack) {
-    charges_.pop_back();
-    return Status::InvalidArgument(
+    if (inserted) {
+      group_max_.erase(it);
+    } else {
+      it->second = old_max;
+    }
+    return Status::ResourceExhausted(
         "privacy budget exhausted by parallel charge");
   }
-  (void)before;
+  charges_.push_back(BudgetCharge{epsilon, std::move(label),
+                                  /*parallel=*/true, std::move(group)});
   return Status::Ok();
 }
 
 double BudgetAccountant::spent_epsilon() const {
-  double sequential = 0.0;
-  std::map<std::string, double> group_max;
-  for (const BudgetCharge& charge : charges_) {
-    if (charge.parallel) {
-      double& current = group_max[charge.parallel_group];
-      current = std::max(current, charge.epsilon);
-    } else {
-      sequential += charge.epsilon;
-    }
+  // group_max_ iterates in key order, the same order the historical
+  // from-scratch recomputation summed its per-group maxima in, so the
+  // additions (and therefore every accept/reject decision) are identical.
+  double spent = sequential_sum_;
+  for (const auto& [group, eps] : group_max_) {
+    spent += eps;
   }
-  for (const auto& [group, eps] : group_max) {
-    sequential += eps;
-  }
-  return sequential;
+  return spent;
 }
 
 double BudgetAccountant::remaining_epsilon() const {

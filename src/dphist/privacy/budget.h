@@ -1,6 +1,7 @@
 #ifndef DPHIST_PRIVACY_BUDGET_H_
 #define DPHIST_PRIVACY_BUDGET_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,15 @@ struct BudgetCharge {
 /// the same group act on disjoint data partitions, so the group costs the
 /// maximum of its members' epsilons rather than the sum (Theorem of McSherry,
 /// "Privacy integrated queries").
+///
+/// Complexity: the spend is maintained incrementally (a running sequential
+/// sum plus a per-group max table), so each charge and each
+/// `spent_epsilon()` call costs O(number of parallel groups), not O(number
+/// of charges) — a long-lived accountant (e.g. behind `serve::BudgetLedger`)
+/// stays O(n) over n charges instead of O(n^2). The incremental totals
+/// perform the identical floating-point additions, in the identical order,
+/// as a from-scratch recomputation over `charges()`, so accept/reject
+/// decisions are bit-for-bit unchanged (asserted by budget_test).
 class BudgetAccountant {
  public:
   /// Creates an accountant with `total_epsilon` to spend.
@@ -42,8 +52,9 @@ class BudgetAccountant {
   explicit BudgetAccountant(double total_epsilon);
 
   /// Records a sequential charge of `epsilon` with `label`.
-  /// Fails with InvalidArgument if epsilon <= 0 or the remaining budget is
-  /// insufficient (up to a small floating-point tolerance).
+  /// Fails with InvalidArgument if epsilon <= 0, and with ResourceExhausted
+  /// if the remaining budget is insufficient (up to a small floating-point
+  /// tolerance).
   Status ChargeSequential(double epsilon, std::string label);
 
   /// Records a parallel charge of `epsilon` under `group`: all charges with
@@ -68,6 +79,12 @@ class BudgetAccountant {
  private:
   double total_epsilon_;
   std::vector<BudgetCharge> charges_;
+  /// Running sum of sequential charges, in charge order (bit-identical to
+  /// re-summing `charges_`).
+  double sequential_sum_ = 0.0;
+  /// Max epsilon per parallel group; summed in key order by
+  /// `spent_epsilon()`, matching a from-scratch recomputation.
+  std::map<std::string, double> group_max_;
 };
 
 }  // namespace dphist

@@ -1,0 +1,79 @@
+#include "dphist/serve/budget_ledger.h"
+
+#include <utility>
+
+#include "dphist/obs/obs.h"
+
+namespace dphist {
+namespace serve {
+
+namespace {
+
+obs::Counter& ChargeCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/ledger/charges");
+  return counter;
+}
+
+obs::Counter& RefusalCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/ledger/refusals");
+  return counter;
+}
+
+// Records the charge outcome in the serve counters. Only budget refusals
+// count as refusals; argument errors (epsilon <= 0) are caller bugs, not
+// serving events.
+Status Record(Status status) {
+  if (status.ok()) {
+    ChargeCounter().Increment();
+  } else if (status.code() == StatusCode::kResourceExhausted) {
+    RefusalCounter().Increment();
+  }
+  return status;
+}
+
+}  // namespace
+
+BudgetLedger::BudgetLedger(double total_epsilon)
+    : accountant_(total_epsilon) {}
+
+Status BudgetLedger::Charge(double epsilon, std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Record(accountant_.ChargeSequential(epsilon, std::move(label)));
+}
+
+Status BudgetLedger::ChargeParallel(double epsilon, std::string group,
+                                    std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Record(accountant_.ChargeParallel(epsilon, std::move(group),
+                                           std::move(label)));
+}
+
+double BudgetLedger::total_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.total_epsilon();
+}
+
+double BudgetLedger::spent_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.spent_epsilon();
+}
+
+double BudgetLedger::remaining_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.remaining_epsilon();
+}
+
+std::size_t BudgetLedger::charge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.charges().size();
+}
+
+std::string BudgetLedger::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.ToString();
+}
+
+}  // namespace serve
+}  // namespace dphist

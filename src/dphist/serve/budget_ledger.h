@@ -1,0 +1,66 @@
+#ifndef DPHIST_SERVE_BUDGET_LEDGER_H_
+#define DPHIST_SERVE_BUDGET_LEDGER_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "dphist/common/status.h"
+#include "dphist/privacy/budget.h"
+
+namespace dphist {
+namespace serve {
+
+/// \brief A per-dataset, thread-safe privacy budget: `BudgetAccountant`
+/// behind one mutex, so concurrent publish requests against the same
+/// dataset compose *sequentially* — each charge sees every previously
+/// accepted charge, and the accountant's accept/reject arithmetic is
+/// exactly the single-threaded one. Refusal is a typed Status
+/// (`kResourceExhausted`), never a crash; the serving front-end reacts to
+/// it by degrading to a cached release.
+///
+/// The wrapped accountant maintains its spend incrementally (see
+/// privacy/budget.h), so a long-lived ledger absorbing millions of charges
+/// stays O(1) per charge instead of the historical O(n).
+///
+/// Obs: `serve/ledger/charges` counts accepted charges,
+/// `serve/ledger/refusals` counts ResourceExhausted rejections.
+class BudgetLedger {
+ public:
+  /// Creates a ledger with `total_epsilon` to spend (non-positive pins to
+  /// 0, same as BudgetAccountant: everything refuses loudly).
+  explicit BudgetLedger(double total_epsilon);
+
+  BudgetLedger(const BudgetLedger&) = delete;
+  BudgetLedger& operator=(const BudgetLedger&) = delete;
+
+  /// Sequential charge; see BudgetAccountant::ChargeSequential.
+  Status Charge(double epsilon, std::string label);
+
+  /// Parallel-composition charge; see BudgetAccountant::ChargeParallel.
+  Status ChargeParallel(double epsilon, std::string group, std::string label);
+
+  /// Total epsilon granted at construction.
+  double total_epsilon() const;
+
+  /// Epsilon consumed so far.
+  double spent_epsilon() const;
+
+  /// Remaining epsilon (never negative).
+  double remaining_epsilon() const;
+
+  /// Number of accepted charges.
+  std::size_t charge_count() const;
+
+  /// Human-readable ledger (BudgetAccountant::ToString under the lock).
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mutex_;
+  BudgetAccountant accountant_;
+};
+
+}  // namespace serve
+}  // namespace dphist
+
+#endif  // DPHIST_SERVE_BUDGET_LEDGER_H_

@@ -1,0 +1,146 @@
+#include "dphist/serve/release_cache.h"
+
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "dphist/common/math_util.h"
+#include "dphist/obs/obs.h"
+
+namespace dphist {
+namespace serve {
+
+namespace {
+
+// Counter references resolved once (Registry::GetCounter takes a mutex).
+obs::Counter& HitCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/cache/hits");
+  return counter;
+}
+
+obs::Counter& MissCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/cache/misses");
+  return counter;
+}
+
+obs::Counter& EntryCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/cache/entries");
+  return counter;
+}
+
+}  // namespace
+
+std::uint64_t FingerprintHistogram(const Histogram& histogram) {
+  // FNV-1a over the size and the raw double bits of every count. Bit-level
+  // (not value-level) identity: -0.0 vs 0.0 or different NaN payloads are
+  // different inputs to a publisher and must not alias in the cache.
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  auto mix = [](std::uint64_t hash, std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xffULL;
+      hash *= kPrime;
+    }
+    return hash;
+  };
+  std::uint64_t hash = mix(kOffset, histogram.size());
+  for (const double count : histogram.counts()) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &count, sizeof(bits));
+    hash = mix(hash, bits);
+  }
+  return hash;
+}
+
+bool ReleaseKeyLess::operator()(const ReleaseKey& a,
+                                const ReleaseKey& b) const {
+  return std::tie(a.dataset_fingerprint, a.publisher, a.epsilon, a.seed) <
+         std::tie(b.dataset_fingerprint, b.publisher, b.epsilon, b.seed);
+}
+
+CachedRelease::CachedRelease(ReleaseKey key, Histogram histogram)
+    : key_(std::move(key)),
+      histogram_(std::move(histogram)),
+      prefix_(PrefixSums(histogram_.counts())) {}
+
+Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
+    const ReleaseKey& key, const PublishFn& publish) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+    } else if (it->second->release != nullptr) {
+      HitCounter().Increment();
+      return it->second->release;
+    }
+    entry = it->second;
+  }
+  // Serialize publish attempts for this key. Waiters blocked here while
+  // the winner publishes wake up, re-check, and take the hit path below
+  // without ever invoking their own callback.
+  std::lock_guard<std::mutex> publish_lock(entry->publish_mutex);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry->release != nullptr) {
+      HitCounter().Increment();
+      return entry->release;
+    }
+  }
+  MissCounter().Increment();
+  Result<Histogram> published = publish();
+  if (!published.ok()) {
+    return published.status();
+  }
+  auto release = std::make_shared<CachedRelease>(
+      key, std::move(published).value());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    release->sequence_ = next_sequence_++;
+    entry->release = std::move(release);
+    EntryCounter().Increment();
+    return entry->release;
+  }
+}
+
+std::shared_ptr<const CachedRelease> ReleaseCache::Lookup(
+    const ReleaseKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second->release;
+}
+
+std::shared_ptr<const CachedRelease> ReleaseCache::NewestFor(
+    std::uint64_t dataset_fingerprint, std::string_view publisher) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const CachedRelease> newest;
+  for (const auto& [key, entry] : entries_) {
+    if (key.dataset_fingerprint != dataset_fingerprint ||
+        entry->release == nullptr) {
+      continue;
+    }
+    if (!publisher.empty() && key.publisher != publisher) {
+      continue;
+    }
+    if (newest == nullptr || entry->release->sequence() > newest->sequence()) {
+      newest = entry->release;
+    }
+  }
+  return newest;
+}
+
+std::size_t ReleaseCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    ready += entry->release != nullptr ? 1 : 0;
+  }
+  return ready;
+}
+
+}  // namespace serve
+}  // namespace dphist

@@ -1,0 +1,143 @@
+#ifndef DPHIST_SERVE_RELEASE_CACHE_H_
+#define DPHIST_SERVE_RELEASE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/hist/histogram.h"
+
+namespace dphist {
+namespace serve {
+
+/// 64-bit FNV-1a fingerprint of a histogram's exact bit pattern (size and
+/// every count's double bits). Two histograms share a fingerprint iff they
+/// are bit-identical, which is the right identity for a release cache: the
+/// same truth published by the same publisher at the same (epsilon, seed)
+/// is the same deterministic release.
+std::uint64_t FingerprintHistogram(const Histogram& histogram);
+
+/// \brief Identity of one published release: which data, which algorithm,
+/// at what budget, with which noise stream. Publishers are deterministic
+/// functions of (histogram, epsilon, rng seed), so equal keys imply
+/// bit-identical releases — the invariant that makes caching sound (a
+/// cache hit re-serves the *same* release, costing zero extra privacy).
+struct ReleaseKey {
+  std::uint64_t dataset_fingerprint = 0;
+  std::string publisher;
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const ReleaseKey&, const ReleaseKey&) = default;
+};
+
+/// Strict weak order over ReleaseKey for map storage (field-wise
+/// lexicographic; epsilon compared as a double, which is exact for the
+/// cache's purposes — keys come from caller-supplied values, not derived
+/// arithmetic).
+struct ReleaseKeyLess {
+  bool operator()(const ReleaseKey& a, const ReleaseKey& b) const;
+};
+
+/// \brief An immutable published histogram plus its precomputed prefix-sum
+/// array, so any range query on a cached release is O(1) with no lazy
+/// state — safe to share across serving threads with no synchronization.
+class CachedRelease {
+ public:
+  /// Builds the prefix table eagerly (Kahan-compensated, same as the
+  /// Histogram-internal one).
+  CachedRelease(ReleaseKey key, Histogram histogram);
+
+  const ReleaseKey& key() const { return key_; }
+  const Histogram& histogram() const { return histogram_; }
+
+  /// Domain size in unit bins.
+  std::size_t size() const { return histogram_.size(); }
+
+  /// Sum of released counts in [begin, end); O(1). Requires
+  /// begin <= end <= size() (validated by the serving front-end).
+  double RangeSum(std::size_t begin, std::size_t end) const {
+    return prefix_[end] - prefix_[begin];
+  }
+
+  /// Monotone insertion index within the owning cache (0 for a release
+  /// constructed outside one); newer releases have larger sequences —
+  /// what the degraded "serve newest cached" path orders by.
+  std::uint64_t sequence() const { return sequence_; }
+
+ private:
+  friend class ReleaseCache;
+
+  ReleaseKey key_;
+  Histogram histogram_;
+  std::vector<double> prefix_;  // prefix_[i] = sum of counts [0, i)
+  std::uint64_t sequence_ = 0;
+};
+
+/// \brief Thread-safe memo of published releases keyed by ReleaseKey.
+///
+/// Concurrency contract: for any key, the publish callback passed to
+/// `GetOrPublish` runs **at most once concurrently and exactly once
+/// successfully** — racing callers coalesce onto one publication (a
+/// per-key mutex serializes them; losers return the winner's release
+/// without invoking their own callback). A failed publish caches nothing,
+/// so a later call may retry. Lookups never block behind an in-flight
+/// publication of a different key.
+///
+/// Obs (recorded only while obs is enabled): `serve/cache/hits`,
+/// `serve/cache/misses` (a miss is counted once per publish attempt, not
+/// per coalesced waiter), `serve/cache/entries` tracks insertions.
+class ReleaseCache {
+ public:
+  using PublishFn = std::function<Result<Histogram>()>;
+
+  ReleaseCache() = default;
+  ReleaseCache(const ReleaseCache&) = delete;
+  ReleaseCache& operator=(const ReleaseCache&) = delete;
+
+  /// Returns the cached release for `key`, publishing it via `publish` on
+  /// first use. Propagates the callback's error status (e.g. a
+  /// ResourceExhausted budget refusal) without caching anything.
+  Result<std::shared_ptr<const CachedRelease>> GetOrPublish(
+      const ReleaseKey& key, const PublishFn& publish);
+
+  /// The cached release for `key`, or null when absent. Never publishes.
+  std::shared_ptr<const CachedRelease> Lookup(const ReleaseKey& key) const;
+
+  /// The most recently published release for (fingerprint, publisher)
+  /// across all (epsilon, seed) keys, or null when none exists — the
+  /// degraded-serving fallback after a budget refusal. An empty
+  /// `publisher` matches any publisher.
+  std::shared_ptr<const CachedRelease> NewestFor(
+      std::uint64_t dataset_fingerprint, std::string_view publisher) const;
+
+  /// Number of successfully published (ready) releases.
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    /// Serializes publish attempts for this key; never held while the
+    /// cache-wide mutex is held.
+    std::mutex publish_mutex;
+    /// The ready release; guarded by the cache-wide mutex_, null until a
+    /// publish succeeded.
+    std::shared_ptr<const CachedRelease> release;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<ReleaseKey, std::shared_ptr<Entry>, ReleaseKeyLess> entries_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+}  // namespace serve
+}  // namespace dphist
+
+#endif  // DPHIST_SERVE_RELEASE_CACHE_H_

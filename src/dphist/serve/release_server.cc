@@ -1,0 +1,118 @@
+#include "dphist/serve/release_server.h"
+
+#include <string>
+#include <utility>
+
+#include "dphist/algorithms/registry.h"
+#include "dphist/obs/obs.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace serve {
+
+namespace {
+
+obs::Counter& BatchCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/batches");
+  return counter;
+}
+
+obs::Counter& BatchQueryCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/batch/queries");
+  return counter;
+}
+
+obs::Counter& StaleBatchCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/batches_stale");
+  return counter;
+}
+
+}  // namespace
+
+ReleaseServer::ReleaseServer(Histogram truth, double total_epsilon,
+                             ReleaseServerOptions options)
+    : truth_(std::move(truth)),
+      fingerprint_(FingerprintHistogram(truth_)),
+      ledger_(total_epsilon),
+      options_(options) {}
+
+Result<std::shared_ptr<const CachedRelease>> ReleaseServer::GetRelease(
+    const ServeRequest& request) {
+  ReleaseKey key{fingerprint_, request.publisher, request.epsilon,
+                 request.seed};
+  // The charge happens inside the cache's once-per-key publish slot:
+  // racing cache misses for the same key coalesce onto a single ledger
+  // charge and a single publication, so a popular release is paid for
+  // exactly once no matter how many threads request it.
+  return cache_.GetOrPublish(key, [&]() -> Result<Histogram> {
+    auto publisher = PublisherRegistry::Make(request.publisher);
+    if (!publisher.ok()) {
+      return publisher.status();
+    }
+    DPHIST_RETURN_IF_ERROR(ledger_.Charge(
+        request.epsilon, request.publisher + ":seed=" +
+                             std::to_string(request.seed)));
+    // A charge precedes its publication (never sample noise the budget
+    // cannot cover); publish failures after a successful charge are
+    // conservative — the epsilon stays spent.
+    Rng rng(request.seed);
+    return publisher.value()->Publish(truth_, request.epsilon, rng);
+  });
+}
+
+Result<BatchAnswer> ReleaseServer::AnswerBatch(
+    const std::vector<RangeQuery>& queries, const ServeRequest& request) {
+  DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, truth_.size()));
+  obs::ScopedTimer batch_timer("serve/batch");
+  BatchCounter().Increment();
+  BatchQueryCounter().Add(queries.size());
+
+  BatchAnswer batch;
+  std::shared_ptr<const CachedRelease> release;
+  const bool was_cached =
+      cache_.Lookup({fingerprint_, request.publisher, request.epsilon,
+                     request.seed}) != nullptr;
+  auto requested = GetRelease(request);
+  if (requested.ok()) {
+    release = std::move(requested).value();
+    batch.cache_hit = was_cached;
+  } else if (requested.status().code() == StatusCode::kResourceExhausted) {
+    // Degrade instead of failing the batch: newest release of the same
+    // publisher if any, else the newest release of any publisher. The
+    // answers are stale (older epsilon/seed) but cost no extra privacy.
+    release = cache_.NewestFor(fingerprint_, request.publisher);
+    if (release == nullptr) {
+      release = cache_.NewestFor(fingerprint_, "");
+    }
+    if (release == nullptr) {
+      return requested.status();
+    }
+    batch.stale = true;
+    StaleBatchCounter().Increment();
+  } else {
+    return requested.status();
+  }
+  batch.served = release->key();
+
+  batch.answers.resize(queries.size());
+  auto answer_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      batch.answers[i] = release->RangeSum(queries[i].begin, queries[i].end);
+    }
+  };
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  if (pool.thread_count() > 1 &&
+      queries.size() >= options_.min_parallel_batch) {
+    pool.ParallelForChunks(0, queries.size(), /*min_chunk=*/64, answer_range);
+  } else {
+    answer_range(0, queries.size());
+  }
+  return batch;
+}
+
+}  // namespace serve
+}  // namespace dphist

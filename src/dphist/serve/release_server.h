@@ -1,0 +1,128 @@
+#ifndef DPHIST_SERVE_RELEASE_SERVER_H_
+#define DPHIST_SERVE_RELEASE_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dphist/common/parallel_defaults.h"
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/common/thread_pool.h"
+#include "dphist/hist/histogram.h"
+#include "dphist/query/range_query.h"
+#include "dphist/serve/budget_ledger.h"
+#include "dphist/serve/release_cache.h"
+
+namespace dphist {
+namespace serve {
+
+/// \brief One serving request: which publisher to answer from, at what
+/// epsilon, with which deterministic noise stream.
+struct ServeRequest {
+  std::string publisher = "noise_first";
+  double epsilon = 0.1;
+  std::uint64_t seed = 42;
+};
+
+/// \brief The result of answering one query batch.
+struct BatchAnswer {
+  /// One answer per query, in request order.
+  std::vector<double> answers;
+  /// True when the requested release could not be published (budget
+  /// exhausted) and the batch was served from the newest cached release
+  /// instead — the degradation contract: stale answers beat a failed
+  /// batch, and they cost no additional privacy.
+  bool stale = false;
+  /// True when the release that answered was already cached (no publisher
+  /// invocation, no budget charge).
+  bool cache_hit = false;
+  /// Key of the release that actually answered (differs from the request
+  /// iff `stale`).
+  ReleaseKey served;
+};
+
+/// \brief Execution knobs for the server.
+struct ReleaseServerOptions {
+  /// Pool for the batched-query fan-out; nullptr means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+  /// Batches smaller than this answer inline on the caller — each answer
+  /// is one O(1) prefix-sum subtraction, so fork/join only pays for
+  /// itself on large batches. Same documented cut-over constant as the
+  /// solver stages.
+  std::size_t min_parallel_batch = kDefaultMinParallelCandidates;
+};
+
+/// \brief The release-serving front-end: owns the true histogram, a
+/// per-dataset `BudgetLedger`, and a `ReleaseCache`, and answers batched
+/// range queries from cached releases.
+///
+/// Request flow for `AnswerBatch`:
+///  1. Validate the batch against the domain.
+///  2. Get the release for (publisher, epsilon, seed): a cache hit costs
+///     zero privacy and zero publisher work; a miss charges the ledger
+///     (inside the cache's once-per-key publish slot, so racing misses
+///     coalesce onto one charge + one publication) and publishes.
+///  3. Budget refused? Degrade: serve the newest cached release for this
+///     dataset (same publisher preferred, any publisher otherwise) with
+///     `stale = true`. Only when *nothing* was ever released does the
+///     batch fail, with the ledger's typed ResourceExhausted status.
+///  4. Fan the answers across the pool (O(1) each off the release's
+///     prefix array) when the batch is large enough.
+///
+/// Thread safety: all public methods may be called concurrently; the
+/// ledger serializes charges, the cache serializes per-key publications,
+/// and releases are immutable once cached.
+///
+/// Obs: `serve/batches`, `serve/batch/queries`, `serve/batches_stale`
+/// counters and the `serve/batch` wall-ms distribution, on top of the
+/// cache and ledger metrics.
+class ReleaseServer {
+ public:
+  /// Serves `truth` under a lifetime privacy budget of `total_epsilon`.
+  ReleaseServer(Histogram truth, double total_epsilon,
+                ReleaseServerOptions options = {});
+
+  ReleaseServer(const ReleaseServer&) = delete;
+  ReleaseServer& operator=(const ReleaseServer&) = delete;
+
+  /// Returns the (cached or newly published) release for `request`.
+  /// Errors: NotFound for an unknown publisher name, ResourceExhausted
+  /// when the ledger refuses the charge, InvalidArgument for bad publish
+  /// arguments. Never degrades — that policy lives in AnswerBatch.
+  Result<std::shared_ptr<const CachedRelease>> GetRelease(
+      const ServeRequest& request);
+
+  /// Answers every query in `queries` against the release for `request`,
+  /// degrading to the newest cached release on budget refusal (see class
+  /// comment). Fails if any query exceeds the domain, or on refusal with
+  /// an empty cache.
+  Result<BatchAnswer> AnswerBatch(const std::vector<RangeQuery>& queries,
+                                  const ServeRequest& request);
+
+  /// Fingerprint of the served dataset (the cache key component).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Domain size of the served dataset.
+  std::size_t domain_size() const { return truth_.size(); }
+
+  /// The per-dataset budget ledger (spend/remaining introspection).
+  const BudgetLedger& ledger() const { return ledger_; }
+
+  /// The release cache (size/lookups introspection).
+  const ReleaseCache& cache() const { return cache_; }
+
+ private:
+  Histogram truth_;
+  std::uint64_t fingerprint_;
+  BudgetLedger ledger_;
+  ReleaseCache cache_;
+  ReleaseServerOptions options_;
+};
+
+}  // namespace serve
+}  // namespace dphist
+
+#endif  // DPHIST_SERVE_RELEASE_SERVER_H_

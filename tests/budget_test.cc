@@ -1,8 +1,13 @@
 #include "dphist/privacy/budget.h"
 
+#include <algorithm>
+#include <map>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
 
 namespace dphist {
 namespace {
@@ -28,7 +33,7 @@ TEST(BudgetTest, RejectsOverspend) {
   EXPECT_TRUE(budget.ChargeSequential(0.9, "a").ok());
   const Status s = budget.ChargeSequential(0.2, "b");
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
   // Failed charge must not be recorded.
   EXPECT_DOUBLE_EQ(budget.spent_epsilon(), 0.9);
 }
@@ -94,6 +99,74 @@ TEST(BudgetTest, NonPositiveTotalMeansNothingFits) {
   BudgetAccountant budget(-1.0);
   EXPECT_DOUBLE_EQ(budget.total_epsilon(), 0.0);
   EXPECT_FALSE(budget.ChargeSequential(0.1, "x").ok());
+}
+
+// From-scratch recomputation of the spend over the recorded charges — the
+// seed implementation of spent_epsilon(), kept here as the reference the
+// incremental running totals must match bit-for-bit.
+double RecomputeSpent(const BudgetAccountant& budget) {
+  double sequential = 0.0;
+  std::map<std::string, double> group_max;
+  for (const BudgetCharge& charge : budget.charges()) {
+    if (charge.parallel) {
+      double& current = group_max[charge.parallel_group];
+      current = std::max(current, charge.epsilon);
+    } else {
+      sequential += charge.epsilon;
+    }
+  }
+  for (const auto& [group, eps] : group_max) {
+    sequential += eps;
+  }
+  return sequential;
+}
+
+TEST(BudgetTest, IncrementalSpendMatchesRecomputationExactly) {
+  // Random mixed charge traces, including refusals near exhaustion: the
+  // incrementally maintained spend must equal the from-scratch
+  // recomputation bit-for-bit after every charge, and the accept/reject
+  // decision must match what the recomputed value implies. This is the
+  // regression test for the O(n^2) accounting fix: identical semantics,
+  // linear cost.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    BudgetAccountant budget(1.0);
+    for (int op = 0; op < 200; ++op) {
+      const double epsilon =
+          static_cast<double>(SampleUniformInt(rng, 1, 40)) / 1000.0;
+      const double before = budget.spent_epsilon();
+      ASSERT_EQ(before, RecomputeSpent(budget));
+      Status status;
+      double prospective = 0.0;
+      if (SampleUniformDouble(rng) < 0.5) {
+        prospective = before + epsilon;
+        status = budget.ChargeSequential(epsilon, "seq");
+      } else {
+        std::string group = "g";
+        group += std::to_string(SampleUniformInt(rng, 0, 5));
+        // A parallel charge only raises the spend by the increase of its
+        // group's max.
+        double old_max = 0.0;
+        for (const BudgetCharge& charge : budget.charges()) {
+          if (charge.parallel && charge.parallel_group == group) {
+            old_max = std::max(old_max, charge.epsilon);
+          }
+        }
+        prospective = before - old_max + std::max(old_max, epsilon);
+        status = budget.ChargeParallel(epsilon, group, "par");
+      }
+      const bool should_accept =
+          prospective <= budget.total_epsilon() * (1.0 + 1e-9) + 1e-9;
+      EXPECT_EQ(status.ok(), should_accept)
+          << "trial " << trial << " op " << op << " prospective "
+          << prospective;
+      EXPECT_EQ(budget.spent_epsilon(), RecomputeSpent(budget));
+      if (!status.ok()) {
+        // A refused charge must leave the ledger untouched.
+        EXPECT_EQ(budget.spent_epsilon(), before);
+      }
+    }
+  }
 }
 
 TEST(BudgetTest, ToStringListsCharges) {

@@ -49,11 +49,42 @@ TEST(FenwickTest, ClearResets) {
   EXPECT_DOUBLE_EQ(tree.SumUpTo(2), 4.0);
 }
 
-TEST(FenwickTest, QueryBeyondLastRankSaturates) {
+// Regression: the seed implementation's Insert/Remove loops never executed
+// for rank >= num_ranks(), silently dropping the value and leaving
+// TotalCount/TotalSum quietly wrong. The contract is now a hard abort, so
+// these death tests fail against the pre-fix code (which no-ops and
+// returns normally).
+TEST(FenwickDeathTest, InsertOutOfRangeAborts) {
   RankedFenwick tree(4);
   tree.Insert(3, 9.0);
-  EXPECT_EQ(tree.CountUpTo(100), 1);
-  EXPECT_DOUBLE_EQ(tree.SumUpTo(100), 9.0);
+  EXPECT_DEATH_IF_SUPPORTED(tree.Insert(4, 1.0), "Insert.*out of range");
+  EXPECT_DEATH_IF_SUPPORTED(tree.Insert(100, 1.0), "Insert.*out of range");
+}
+
+TEST(FenwickDeathTest, RemoveOutOfRangeAborts) {
+  RankedFenwick tree(4);
+  tree.Insert(2, 5.0);
+  EXPECT_DEATH_IF_SUPPORTED(tree.Remove(4, 5.0), "Remove.*out of range");
+}
+
+// Queries used to clamp an out-of-range rank to the last one, answering
+// for a rank the caller never asked about; they now share the update
+// contract.
+TEST(FenwickDeathTest, QueryOutOfRangeAborts) {
+  RankedFenwick tree(4);
+  tree.Insert(3, 9.0);
+  EXPECT_DEATH_IF_SUPPORTED(tree.CountUpTo(4), "CountUpTo.*out of range");
+  EXPECT_DEATH_IF_SUPPORTED(tree.SumUpTo(100), "SumUpTo.*out of range");
+}
+
+TEST(FenwickTest, LastRankQueryStillReturnsTotals) {
+  RankedFenwick tree(4);
+  tree.Insert(3, 9.0);
+  tree.Insert(0, 1.0);
+  EXPECT_EQ(tree.CountUpTo(3), 2);
+  EXPECT_DOUBLE_EQ(tree.SumUpTo(3), 10.0);
+  EXPECT_EQ(tree.TotalCount(), 2);
+  EXPECT_DOUBLE_EQ(tree.TotalSum(), 10.0);
 }
 
 // Property sweep: random insert/remove traces agree with a naive

@@ -1,0 +1,327 @@
+// The release-serving subsystem: cache identity and O(1) answering,
+// exactly-once publication, typed budget refusal, and the degradation
+// contract (budget exhausted -> newest cached release, flagged stale).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/algorithms/registry.h"
+#include "dphist/data/generators.h"
+#include "dphist/obs/obs.h"
+#include "dphist/query/range_query.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+#include "dphist/serve/budget_ledger.h"
+#include "dphist/serve/release_cache.h"
+#include "dphist/serve/release_server.h"
+
+namespace dphist {
+namespace serve {
+namespace {
+
+Histogram TestTruth(std::size_t n = 64, std::uint64_t seed = 5) {
+  return MakeSearchLogs(n, seed).histogram;
+}
+
+TEST(FingerprintTest, DistinguishesHistograms) {
+  const Histogram a({1, 2, 3});
+  const Histogram b({1, 2, 4});
+  const Histogram c({1, 2, 3, 0});
+  EXPECT_EQ(FingerprintHistogram(a),
+            FingerprintHistogram(Histogram({1, 2, 3})));
+  EXPECT_NE(FingerprintHistogram(a), FingerprintHistogram(b));
+  EXPECT_NE(FingerprintHistogram(a), FingerprintHistogram(c));
+}
+
+TEST(CachedReleaseTest, RangeSumMatchesHistogram) {
+  const Histogram truth = TestTruth(32);
+  CachedRelease release({1, "direct", 0.5, 7}, truth);
+  EXPECT_EQ(release.size(), truth.size());
+  for (std::size_t begin = 0; begin < truth.size(); begin += 5) {
+    for (std::size_t end = begin + 1; end <= truth.size(); end += 7) {
+      EXPECT_NEAR(release.RangeSum(begin, end),
+                  truth.RangeSumUnchecked(begin, end), 1e-9)
+          << begin << ".." << end;
+    }
+  }
+}
+
+TEST(ReleaseCacheTest, GetOrPublishPublishesOncePerKey) {
+  ReleaseCache cache;
+  const ReleaseKey key{42, "noise_first", 0.1, 1};
+  int publishes = 0;
+  auto publish = [&]() -> Result<Histogram> {
+    ++publishes;
+    return Histogram({1, 2, 3});
+  };
+  auto first = cache.GetOrPublish(key, publish);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrPublish(key, publish);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(publishes, 1);
+  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A different key publishes separately.
+  auto other = cache.GetOrPublish({42, "noise_first", 0.1, 2}, publish);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(publishes, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ReleaseCacheTest, FailedPublishCachesNothingAndAllowsRetry) {
+  ReleaseCache cache;
+  const ReleaseKey key{7, "p", 0.1, 1};
+  auto failing = [&]() -> Result<Histogram> {
+    return Status::ResourceExhausted("no budget");
+  };
+  auto refused = cache.GetOrPublish(key, failing);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  auto retried = cache.GetOrPublish(
+      key, [&]() -> Result<Histogram> { return Histogram({9}); });
+  ASSERT_TRUE(retried.ok());
+  EXPECT_NE(cache.Lookup(key), nullptr);
+}
+
+TEST(ReleaseCacheTest, NewestForOrdersBySequenceAndFiltersPublisher) {
+  ReleaseCache cache;
+  auto publish = [](double v) {
+    return [v]() -> Result<Histogram> { return Histogram({v}); };
+  };
+  ASSERT_TRUE(cache.GetOrPublish({1, "nf", 0.1, 1}, publish(1)).ok());
+  ASSERT_TRUE(cache.GetOrPublish({1, "dwork", 0.1, 1}, publish(2)).ok());
+  ASSERT_TRUE(cache.GetOrPublish({1, "nf", 0.2, 1}, publish(3)).ok());
+  ASSERT_TRUE(cache.GetOrPublish({2, "nf", 0.1, 1}, publish(4)).ok());
+
+  auto newest_nf = cache.NewestFor(1, "nf");
+  ASSERT_NE(newest_nf, nullptr);
+  EXPECT_DOUBLE_EQ(newest_nf->histogram().count(0), 3.0);
+
+  auto newest_any = cache.NewestFor(1, "");
+  ASSERT_NE(newest_any, nullptr);
+  EXPECT_DOUBLE_EQ(newest_any->histogram().count(0), 3.0);
+
+  EXPECT_EQ(cache.NewestFor(1, "privelet"), nullptr);
+  EXPECT_EQ(cache.NewestFor(99, ""), nullptr);
+}
+
+TEST(BudgetLedgerTest, ChargesAndTypedRefusal) {
+  BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.Charge(0.6, "a").ok());
+  EXPECT_DOUBLE_EQ(ledger.spent_epsilon(), 0.6);
+  const Status refused = ledger.Charge(0.6, "b");
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(ledger.spent_epsilon(), 0.6);
+  EXPECT_TRUE(ledger.ChargeParallel(0.4, "bins", "bin 0").ok());
+  EXPECT_NEAR(ledger.remaining_epsilon(), 0.0, 1e-12);
+  EXPECT_EQ(ledger.charge_count(), 2u);
+  EXPECT_NE(ledger.ToString().find("bins"), std::string::npos);
+}
+
+TEST(ReleaseServerTest, ReleaseMatchesDirectPublish) {
+  const Histogram truth = TestTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/10.0);
+  const ServeRequest request{"noise_first", 0.5, 123};
+  auto release = server.GetRelease(request);
+  ASSERT_TRUE(release.ok());
+
+  auto publisher = PublisherRegistry::Make("noise_first");
+  ASSERT_TRUE(publisher.ok());
+  Rng rng(123);
+  auto direct = publisher.value()->Publish(truth, 0.5, rng);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(release.value()->histogram().counts(), direct.value().counts());
+}
+
+TEST(ReleaseServerTest, BatchAnswersMatchAnswerQueries) {
+  const Histogram truth = TestTruth(128);
+  ReleaseServer server(truth, 10.0);
+  const ServeRequest request{"dwork", 0.5, 9};
+  Rng workload_rng(17);
+  auto queries = RandomRangeWorkload(truth.size(), 200, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto batch = server.AnswerBatch(queries.value(), request);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch.value().stale);
+
+  auto release = server.GetRelease(request);
+  ASSERT_TRUE(release.ok());
+  auto expected = AnswerQueries(release.value()->histogram(),
+                                queries.value());
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(batch.value().answers.size(), expected.value().size());
+  for (std::size_t i = 0; i < expected.value().size(); ++i) {
+    EXPECT_NEAR(batch.value().answers[i], expected.value()[i], 1e-9) << i;
+  }
+}
+
+TEST(ReleaseServerTest, LargeBatchParallelMatchesInline) {
+  const Histogram truth = TestTruth(256);
+  // One server fans large batches across the global pool; the other is
+  // forced inline by an unreachable threshold. Answers must be identical.
+  ReleaseServer parallel_server(truth, 10.0);
+  ReleaseServerOptions inline_options;
+  inline_options.min_parallel_batch = static_cast<std::size_t>(-1);
+  ReleaseServer inline_server(truth, 10.0, inline_options);
+  const ServeRequest request{"dwork", 0.5, 3};
+  Rng workload_rng(23);
+  auto queries = RandomRangeWorkload(truth.size(), 2048, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto a = parallel_server.AnswerBatch(queries.value(), request);
+  auto b = inline_server.AnswerBatch(queries.value(), request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().answers, b.value().answers);
+}
+
+TEST(ReleaseServerTest, CacheHitAnswersWithZeroPublisherInvocations) {
+  // The acceptance check: a second batch for the same (publisher, epsilon,
+  // seed) must be answered entirely from cache — the instrumented
+  // publisher run counter and the ledger must not move, and the serve
+  // counters must record a hit.
+  obs::Registry::Global().Reset();
+  obs::Registry::Global().set_enabled(true);
+  const Histogram truth = TestTruth();
+  ReleaseServer server(truth, 10.0);
+  const ServeRequest request{"noise_first", 0.5, 77};
+  Rng workload_rng(31);
+  auto queries = RandomRangeWorkload(truth.size(), 50, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto first = server.AnswerBatch(queries.value(), request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().cache_hit);
+  obs::Counter& runs =
+      obs::Registry::Global().GetCounter("publisher/noise_first/runs");
+  obs::Counter& hits = obs::Registry::Global().GetCounter("serve/cache/hits");
+  obs::Counter& misses =
+      obs::Registry::Global().GetCounter("serve/cache/misses");
+  const std::uint64_t runs_after_first = runs.value();
+  const std::uint64_t misses_after_first = misses.value();
+  EXPECT_EQ(runs_after_first, 1u);
+  EXPECT_EQ(misses_after_first, 1u);
+  const double spent_after_first = server.ledger().spent_epsilon();
+  const std::uint64_t hits_before = hits.value();
+
+  auto second = server.AnswerBatch(queries.value(), request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().answers, first.value().answers);
+  EXPECT_EQ(runs.value(), runs_after_first);       // zero new publisher runs
+  EXPECT_EQ(misses.value(), misses_after_first);   // zero new misses
+  EXPECT_GT(hits.value(), hits_before);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), spent_after_first);
+  obs::Registry::Global().set_enabled(false);
+  obs::Registry::Global().Reset();
+}
+
+TEST(ReleaseServerTest, BudgetRefusalDegradesToNewestCachedRelease) {
+  const Histogram truth = TestTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/0.25);
+  Rng workload_rng(41);
+  auto queries = RandomRangeWorkload(truth.size(), 30, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  const ServeRequest affordable{"noise_first", 0.2, 1};
+  auto fresh = server.AnswerBatch(queries.value(), affordable);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().stale);
+
+  // A second distinct release does not fit in the remaining 0.05: the
+  // batch must still succeed, served from the seed-1 release, flagged
+  // stale, with no budget spent.
+  const double spent_before = server.ledger().spent_epsilon();
+  const ServeRequest unaffordable{"noise_first", 0.2, 2};
+  auto degraded = server.AnswerBatch(queries.value(), unaffordable);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().stale);
+  EXPECT_EQ(degraded.value().served.seed, 1u);
+  EXPECT_EQ(degraded.value().answers, fresh.value().answers);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), spent_before);
+
+  // Direct GetRelease keeps the typed refusal (no degradation policy).
+  auto refused = server.GetRelease(unaffordable);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ReleaseServerTest, RefusalWithEmptyCacheFailsBatchTyped) {
+  const Histogram truth = TestTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/0.05);
+  Rng workload_rng(43);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+  auto batch = server.AnswerBatch(queries.value(), {"dwork", 0.2, 1});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ReleaseServerTest, StaleServePrefersSamePublisher) {
+  const Histogram truth = TestTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/0.4);
+  Rng workload_rng(47);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  ASSERT_TRUE(
+      server.AnswerBatch(queries.value(), {"noise_first", 0.2, 1}).ok());
+  ASSERT_TRUE(server.AnswerBatch(queries.value(), {"dwork", 0.2, 2}).ok());
+
+  // noise_first is older than dwork, but a degraded noise_first request
+  // must still prefer the noise_first release.
+  auto same = server.AnswerBatch(queries.value(), {"noise_first", 0.2, 3});
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same.value().stale);
+  EXPECT_EQ(same.value().served.publisher, "noise_first");
+
+  // A publisher with no cached release falls back to the newest of any.
+  auto any = server.AnswerBatch(queries.value(), {"privelet", 0.2, 4});
+  ASSERT_TRUE(any.ok());
+  EXPECT_TRUE(any.value().stale);
+  EXPECT_EQ(any.value().served.publisher, "dwork");
+}
+
+TEST(ReleaseServerTest, UnknownPublisherIsNotFound) {
+  ReleaseServer server(TestTruth(), 1.0);
+  auto release = server.GetRelease({"no_such_algorithm", 0.1, 1});
+  ASSERT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kNotFound);
+  // An unknown publisher must not consume budget.
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.0);
+}
+
+TEST(ReleaseServerTest, OutOfDomainQueryRejected) {
+  ReleaseServer server(TestTruth(16), 1.0);
+  const std::vector<RangeQuery> bad = {{0, 17}};
+  auto batch = server.AnswerBatch(bad, {"dwork", 0.1, 1});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReleaseServerTest, ChargesOncePerReleaseKey) {
+  ReleaseServer server(TestTruth(), 10.0);
+  const ServeRequest request{"dwork", 0.3, 5};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.GetRelease(request).ok());
+  }
+  EXPECT_EQ(server.ledger().charge_count(), 1u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.3);
+  // A different seed is a different release and a second charge.
+  ASSERT_TRUE(server.GetRelease({"dwork", 0.3, 6}).ok());
+  EXPECT_EQ(server.ledger().charge_count(), 2u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.6);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dphist

@@ -34,6 +34,8 @@ TEST(StatusTest, AllErrorFactories) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, CodeNames) {
@@ -42,6 +44,8 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
   EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
 }
 
 TEST(StatusTest, CopyPreservesState) {

@@ -4,6 +4,7 @@
 // These tests run the same publisher concurrently and check the results
 // are exactly the ones sequential execution produces.
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -14,7 +15,11 @@
 #include "dphist/algorithms/structure_first.h"
 #include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
+#include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
+#include "dphist/serve/budget_ledger.h"
+#include "dphist/serve/release_cache.h"
+#include "dphist/serve/release_server.h"
 
 namespace dphist {
 namespace {
@@ -157,6 +162,111 @@ TEST(ThreadSafetyTest, ConstHistogramSharedAcrossThreads) {
   }
   for (double total : totals) {
     EXPECT_DOUBLE_EQ(total, expected_total);
+  }
+}
+
+TEST(ThreadSafetyTest, ReleaseCachePublishesExactlyOnceUnderContention) {
+  // N threads race GetOrPublish on the same key: the publish callback must
+  // run exactly once and every thread must receive the same release.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    serve::ReleaseCache cache;
+    const serve::ReleaseKey key{static_cast<std::uint64_t>(round), "nf", 0.5,
+                                1};
+    std::atomic<int> publishes{0};
+    std::vector<std::shared_ptr<const serve::CachedRelease>> got(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        auto release = cache.GetOrPublish(key, [&]() -> Result<Histogram> {
+          publishes.fetch_add(1, std::memory_order_relaxed);
+          return Histogram({1, 2, 3});
+        });
+        if (release.ok()) {
+          got[t] = release.value();
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    EXPECT_EQ(publishes.load(), 1) << "round " << round;
+    ASSERT_NE(got[0], nullptr);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(got[t].get(), got[0].get()) << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadSafetyTest, BudgetLedgerNeverOverspendsUnderContention) {
+  // Equal-size charges from many threads: exactly floor-many fit, every
+  // other charge gets the typed refusal, and the final spend never
+  // exceeds the budget. 8 threads x 100 charges of 0.03 against 1.0:
+  // 33 fit (0.99), the 34th (1.02) must be refused.
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 100;
+  serve::BudgetLedger ledger(1.0);
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        std::string label = "t";
+        label += std::to_string(t);
+        const Status status = ledger.Charge(0.03, label);
+        if (status.ok()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(accepted.load(), 33);
+  EXPECT_EQ(ledger.charge_count(), 33u);
+  EXPECT_LE(ledger.spent_epsilon(), ledger.total_epsilon() * (1.0 + 1e-9));
+  EXPECT_NEAR(ledger.spent_epsilon(), 0.99, 1e-12);
+}
+
+TEST(ThreadSafetyTest, ReleaseServerConcurrentBatchesChargeOnce) {
+  // Many threads batch-query the same release concurrently: the racing
+  // cache misses must coalesce onto one publication and one ledger
+  // charge, and every thread's answers must be identical.
+  constexpr int kThreads = 8;
+  const Dataset dataset = MakeSearchLogs(128, 11);
+  serve::ReleaseServer server(dataset.histogram, /*total_epsilon=*/1.0);
+  const serve::ServeRequest request{"noise_first", 0.5, 9};
+  Rng workload_rng(13);
+  auto queries = RandomRangeWorkload(dataset.histogram.size(), 64,
+                                     workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  std::vector<std::vector<double>> answers(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      auto batch = server.AnswerBatch(queries.value(), request);
+      if (batch.ok() && !batch.value().stale) {
+        answers[t] = batch.value().answers;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(server.ledger().charge_count(), 1u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.5);
+  EXPECT_EQ(server.cache().size(), 1u);
+  ASSERT_FALSE(answers[0].empty());
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(answers[t], answers[0]) << "thread " << t;
   }
 }
 

@@ -6,7 +6,9 @@ bench/bench_common.h). This tool either captures those rows into a
 baseline file, or compares a fresh run against the committed baseline and
 exits non-zero on regression:
 
-  # Capture: bench-rows.jsonl -> BENCH_BASELINE.json (sorted JSON array)
+  # Capture: row file(s) -> BENCH_BASELINE.json (sorted JSON array).
+  # Multiple inputs (jsonl or a prior baseline array) are merged, so a new
+  # bench's rows can be folded into an existing baseline.
   tools/check_bench_regression.py --capture bench-rows.jsonl \
       --out BENCH_BASELINE.json
 
@@ -35,6 +37,8 @@ import sys
 ID_FIELDS = {
     "bench", "type", "fig", "dataset", "algo", "score",
     "n", "threads", "reps", "k", "length", "bins", "epsilon", "ratio",
+    # bench_serve identity fields: which sweep, and which cell of it.
+    "mode", "batches", "distinct_releases", "batch_size",
 }
 
 # Measured wall-clock fields: machine-dependent, ratio-gated.
@@ -48,20 +52,39 @@ def is_timing(field):
     return field.endswith(TIMING_SUFFIX)
 
 
+class RowsError(Exception):
+    """A row file that cannot be read or parsed — reported as a clear
+    one-line failure instead of a traceback."""
+
+
 def load_rows(path):
     """Loads rows from a JSON array file or a JSON-lines file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise RowsError(f"cannot read rows file {path}: {error}") from error
     stripped = text.lstrip()
     if not stripped:
         return []
-    if stripped.startswith("["):
-        rows = json.loads(text)
-    else:
-        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    try:
+        if stripped.startswith("["):
+            rows = json.loads(text)
+        else:
+            rows = [json.loads(line)
+                    for line in text.splitlines() if line.strip()]
+    except json.JSONDecodeError as error:
+        raise RowsError(f"malformed JSON in {path}: {error}") from error
     # Obs snapshot lines share the stream when DPHIST_OBS_OUT points at the
     # same file; keep only bench result rows.
     return [r for r in rows if r.get("type") == "row"]
+
+
+def load_rows_multi(paths):
+    rows = []
+    for path in paths:
+        rows.extend(load_rows(path))
+    return rows
 
 
 def row_key(row):
@@ -80,9 +103,10 @@ def metrics_of(row):
 
 
 def capture(args):
-    rows = load_rows(args.capture)
+    rows = load_rows_multi(args.capture)
     if not rows:
-        print("capture: no rows found in", args.capture, file=sys.stderr)
+        print("capture: no rows found in", ", ".join(args.capture),
+              file=sys.stderr)
         return 1
     rows.sort(key=row_key)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -94,14 +118,26 @@ def capture(args):
 
 def check(args):
     baseline = {row_key(r): r for r in load_rows(args.baseline)}
-    fresh = {row_key(r): r for r in load_rows(args.fresh)}
+    fresh = {row_key(r): r for r in load_rows_multi(args.fresh)}
     if not baseline:
         print("check: baseline is empty:", args.baseline, file=sys.stderr)
         return 1
 
     failures = []
     missing = sorted(set(baseline) - set(fresh))
+    # When a whole bench family is absent from the fresh capture, say so
+    # once, by name — that means the binary never ran (or its rows went to
+    # another file), which is a different problem than one changed row.
+    baseline_benches = {r.get("bench", "?") for r in baseline.values()}
+    fresh_benches = {r.get("bench", "?") for r in fresh.values()}
+    for bench in sorted(baseline_benches - fresh_benches):
+        failures.append(
+            f"bench '{bench}' has baseline rows but no fresh rows — "
+            f"did its binary run and write to the captured file(s)?")
+    absent = baseline_benches - fresh_benches
     for key in missing:
+        if json.loads(key).get("bench") in absent:
+            continue  # already reported at the bench level
         failures.append(f"row missing from fresh run: {key}")
     extra = len(set(fresh) - set(baseline))
     if extra:
@@ -149,12 +185,14 @@ def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--capture", metavar="ROWS",
-                        help="capture ROWS (jsonl or array) into --out")
+    parser.add_argument("--capture", metavar="ROWS", nargs="+",
+                        help="capture ROWS file(s) (jsonl or array), "
+                             "merged, into --out")
     parser.add_argument("--out", default="BENCH_BASELINE.json",
                         help="output path for --capture")
     parser.add_argument("--baseline", help="committed baseline file")
-    parser.add_argument("--fresh", help="fresh bench rows to check")
+    parser.add_argument("--fresh", nargs="+",
+                        help="fresh bench rows file(s) to check")
     parser.add_argument("--max-ratio", type=float, default=5.0,
                         help="max fresh/baseline ratio for *_ms metrics")
     parser.add_argument("--metric-rtol", type=float, default=0.05,
@@ -165,11 +203,15 @@ def main():
                         help="multiply fresh timings by N (gate self-test)")
     args = parser.parse_args()
 
-    if args.capture:
-        return capture(args)
-    if not args.baseline or not args.fresh:
-        parser.error("need --capture, or both --baseline and --fresh")
-    return check(args)
+    try:
+        if args.capture:
+            return capture(args)
+        if not args.baseline or not args.fresh:
+            parser.error("need --capture, or both --baseline and --fresh")
+        return check(args)
+    except RowsError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":
