@@ -3,12 +3,17 @@
 // 0% to ~99% (the cache's entire value proposition: a hit skips the
 // publisher, the ledger, and the noise sampling entirely); (b) batch-size
 // scaling — per-query cost of AnswerBatch as batches grow past the
-// parallel fan-out threshold.
+// parallel fan-out threshold; (c) stale-degradation path — batch latency
+// once the budget is exhausted and every request degrades to the newest
+// cached release (a refused charge + a cache scan instead of a publish).
 //
 // Expected shape: (a) mean batch latency collapses as hit rate rises,
 // since only misses pay the publish; (b) per-query nanoseconds flat or
 // falling with batch size (each answer is one prefix-sum subtraction;
-// large batches amortize fan-out overhead across the pool).
+// large batches amortize fan-out overhead across the pool); (c) stale
+// batches cost about as much as cache hits — degradation must not be
+// meaningfully slower than the happy path, or overload makes itself
+// worse.
 
 #include <chrono>
 #include <cstdio>
@@ -149,6 +154,68 @@ int main() {
                     .Num("mean_batch_ms", mean_batch_ms));
   }
   scale_table.Print();
+
+  // -- (c) stale-degradation path ----------------------------------------
+  // Budget covers exactly one publish; every later batch asks for a fresh
+  // seed, gets refused by the ledger, and is served stale from the one
+  // cached release. Measures the refusal + degrade path that chaos tests
+  // exercise for correctness (every answer must come back stale).
+  std::printf("\n");
+  dphist::TablePrinter stale_table(
+      {"batches", "stale_frac", "mean_batch_ms"});
+  {
+    double total_ms = 0.0;
+    std::size_t stale_count = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      dphist::serve::ReleaseServer server(dataset.histogram,
+                                          /*total_epsilon=*/0.1);
+      dphist::serve::ServeRequest request;
+      request.publisher = "noise_first";
+      request.epsilon = 0.1;
+      request.seed = 1;
+      // The only publish the budget allows; cached from here on.
+      auto warm = server.AnswerBatch(sweep_queries.value(), request);
+      if (!warm.ok() || warm.value().stale) {
+        std::fprintf(stderr, "stale warm-up failed\n");
+        return 1;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        request.seed = 1000 + b;  // never published: forces the refusal
+        auto batch = server.AnswerBatch(sweep_queries.value(), request);
+        if (!batch.ok()) {
+          std::fprintf(stderr, "stale batch failed: %s\n",
+                       batch.status().ToString().c_str());
+          return 1;
+        }
+        if (batch.value().stale) ++stale_count;
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      total_ms += ElapsedMs(start, stop);
+    }
+    const double stale_frac =
+        static_cast<double>(stale_count) / static_cast<double>(reps * kBatches);
+    const double mean_batch_ms =
+        total_ms / static_cast<double>(reps * kBatches);
+    if (stale_frac != 1.0) {
+      std::fprintf(stderr, "expected every batch stale, got %.3f\n",
+                   stale_frac);
+      return 1;
+    }
+    stale_table.AddRow(
+        {std::to_string(kBatches),
+         dphist::TablePrinter::FormatDouble(stale_frac, 3),
+         dphist::TablePrinter::FormatDouble(mean_batch_ms, 4)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("mode", "stale_degraded")
+                    .Int("n", n)
+                    .Int("batches", kBatches)
+                    .Num("stale_frac", stale_frac)
+                    .Int("reps", reps)
+                    .Num("mean_batch_ms", mean_batch_ms));
+  }
+  stale_table.Print();
   json.Finish();
   return 0;
 }

@@ -1,0 +1,56 @@
+#include "dphist/common/clock.h"
+
+#include <thread>
+
+namespace dphist {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  void SleepFor(std::chrono::nanoseconds duration) override {
+    if (duration > std::chrono::nanoseconds::zero()) {
+      std::this_thread::sleep_for(duration);
+    }
+  }
+};
+
+}  // namespace
+
+Clock& Clock::Real() {
+  static Clock* clock = new RealClock();
+  return *clock;
+}
+
+FakeClock::FakeClock(std::chrono::steady_clock::time_point epoch)
+    : now_(epoch) {}
+
+std::chrono::steady_clock::time_point FakeClock::Now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void FakeClock::SleepFor(std::chrono::nanoseconds duration) {
+  if (duration <= std::chrono::nanoseconds::zero()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ += duration;
+  slept_ += duration;
+}
+
+void FakeClock::Advance(std::chrono::nanoseconds duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ += duration;
+}
+
+std::chrono::nanoseconds FakeClock::total_slept() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slept_;
+}
+
+}  // namespace dphist

@@ -1,0 +1,62 @@
+#ifndef DPHIST_COMMON_CLOCK_H_
+#define DPHIST_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <mutex>
+
+namespace dphist {
+
+/// \brief Injectable monotonic time source.
+///
+/// Production code reads wall time through a `Clock*` so tests can
+/// substitute a `FakeClock` and exercise time-dependent policies (retry
+/// backoff, per-batch deadlines, injected latency) without ever sleeping
+/// wall-clock: a test that "waits" 10 seconds finishes in microseconds and
+/// is exactly reproducible. The serving layer and the failpoint registry
+/// both take their clock this way.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time.
+  virtual std::chrono::steady_clock::time_point Now() const = 0;
+
+  /// Blocks (or pretends to) for `duration`.
+  virtual void SleepFor(std::chrono::nanoseconds duration) = 0;
+
+  /// The process-wide real clock (steady_clock + this_thread::sleep_for).
+  /// Leaked singleton, same lifetime policy as ThreadPool::Global().
+  static Clock& Real();
+};
+
+/// \brief A thread-safe manual clock: `Now()` returns a controlled instant
+/// and `SleepFor` advances it instantly instead of blocking. Deterministic
+/// by construction — two runs that issue the same sleeps read the same
+/// times.
+class FakeClock final : public Clock {
+ public:
+  /// Starts at `epoch` (default: the steady_clock epoch).
+  explicit FakeClock(std::chrono::steady_clock::time_point epoch =
+                         std::chrono::steady_clock::time_point{});
+
+  std::chrono::steady_clock::time_point Now() const override;
+
+  /// Advances the clock by `duration`; never blocks.
+  void SleepFor(std::chrono::nanoseconds duration) override;
+
+  /// Advances the clock without counting as a sleep.
+  void Advance(std::chrono::nanoseconds duration);
+
+  /// Total time "slept" via SleepFor since construction — what a test
+  /// asserts a deterministic backoff schedule against.
+  std::chrono::nanoseconds total_slept() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point now_;
+  std::chrono::nanoseconds slept_{0};
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_CLOCK_H_

@@ -22,6 +22,10 @@ Status Status::ResourceExhausted(std::string_view message) {
   return Status(StatusCode::kResourceExhausted, message);
 }
 
+Status Status::DeadlineExceeded(std::string_view message) {
+  return Status(StatusCode::kDeadlineExceeded, message);
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "OK";
@@ -46,6 +50,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

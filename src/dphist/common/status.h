@@ -26,6 +26,10 @@ enum class StatusCode : int {
   /// kInvalidArgument this is an expected runtime outcome the serving
   /// layer reacts to (degrade to a cached release), not a caller bug.
   kResourceExhausted = 5,
+  /// An operation ran out of time: the serving layer's retry loop stopped
+  /// because finishing another attempt would overrun the caller's
+  /// deadline. Carries the last underlying error in its message.
+  kDeadlineExceeded = 6,
 };
 
 /// \brief Lightweight status object carrying a code and a human-readable
@@ -52,6 +56,8 @@ class Status {
   static Status ParseError(std::string_view message);
   /// Returns a ResourceExhausted status with the given message.
   static Status ResourceExhausted(std::string_view message);
+  /// Returns a DeadlineExceeded status with the given message.
+  static Status DeadlineExceeded(std::string_view message);
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }

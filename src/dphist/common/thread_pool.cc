@@ -10,6 +10,7 @@
 #include <exception>
 
 #include "dphist/obs/obs.h"
+#include "dphist/testing/failpoint.h"
 
 namespace dphist {
 
@@ -82,6 +83,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos hook: latency between dequeue and execution — perturbs chunk
+    // scheduling without changing what any chunk computes, which is
+    // exactly the determinism contract the chaos suite stresses.
+    DPHIST_FAILPOINT("threadpool/task_queue");
     task();
   }
 }

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "dphist/testing/failpoint.h"
+
 namespace dphist {
 
 namespace {
@@ -52,6 +54,10 @@ Result<Histogram> LoadHistogramCsv(const std::string& path) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Chaos hook: a read failing mid-file (truncated/yanked input). With
+    // an every-Nth trigger the loader dies partway through, which must
+    // surface as a typed error, never a silently short histogram.
+    DPHIST_FAILPOINT_RETURN_IF_SET("data/csv/read_line");
     const std::string trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') {
       continue;

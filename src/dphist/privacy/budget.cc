@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "dphist/testing/failpoint.h"
+
 namespace dphist {
 
 namespace {
@@ -27,6 +29,11 @@ Status BudgetAccountant::ChargeSequential(double epsilon, std::string label) {
   sequential_sum_ += epsilon;
   charges_.push_back(
       BudgetCharge{epsilon, std::move(label), /*parallel=*/false, ""});
+  // Chaos hook: a charge failing *after* its commit point. The epsilon is
+  // already recorded as spent — the conservative direction: a failure here
+  // must never un-spend budget, and the chaos suite asserts the ledger
+  // still never overspends.
+  DPHIST_FAILPOINT_RETURN_IF_SET("privacy/budget/after_commit");
   return Status::Ok();
 }
 

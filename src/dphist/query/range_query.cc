@@ -1,13 +1,22 @@
 #include "dphist/query/range_query.h"
 
+#include <string>
+
 namespace dphist {
 
 Status ValidateQueries(const std::vector<RangeQuery>& queries,
                        std::size_t domain_size) {
-  for (const RangeQuery& q : queries) {
+  // Policy: never clamp, never swap, never silently drop — an out-of-domain
+  // or inverted query is a caller bug and must name the offender (same
+  // fail-loudly contract as RankedFenwick's range checks).
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const RangeQuery& q = queries[i];
     if (q.begin >= q.end || q.end > domain_size) {
       return Status::InvalidArgument(
-          "range query out of bounds or empty");
+          "range query " + std::to_string(i) + " [" +
+          std::to_string(q.begin) + ", " + std::to_string(q.end) +
+          ") is " + (q.begin >= q.end ? "empty or inverted" : "out of domain") +
+          " (domain size " + std::to_string(domain_size) + ")");
     }
   }
   return Status::Ok();

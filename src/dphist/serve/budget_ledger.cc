@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "dphist/obs/obs.h"
+#include "dphist/testing/failpoint.h"
 
 namespace dphist {
 namespace serve {
@@ -39,6 +40,11 @@ BudgetLedger::BudgetLedger(double total_epsilon)
     : accountant_(total_epsilon) {}
 
 Status BudgetLedger::Charge(double epsilon, std::string label) {
+  // Chaos hooks: an induced refusal (return-status, before anything is
+  // spent — the degradation contract's trigger) or a slow ledger (delay).
+  // Sits outside the lock so an injected delay stalls this charge without
+  // serializing the introspection accessors behind it.
+  DPHIST_FAILPOINT_RETURN_IF_SET("serve/ledger/charge");
   std::lock_guard<std::mutex> lock(mutex_);
   return Record(accountant_.ChargeSequential(epsilon, std::move(label)));
 }

@@ -6,6 +6,7 @@
 
 #include "dphist/common/math_util.h"
 #include "dphist/obs/obs.h"
+#include "dphist/testing/failpoint.h"
 
 namespace dphist {
 namespace serve {
@@ -92,10 +93,17 @@ Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
     }
   }
   MissCounter().Increment();
+  // Chaos hook: a publisher failing mid-flight, before any budget charge.
+  // The error propagates uncached, so a later call may retry — the
+  // exactly-once contract is on *successful* publication.
+  DPHIST_FAILPOINT_RETURN_IF_SET("serve/cache/publish");
   Result<Histogram> published = publish();
   if (!published.ok()) {
     return published.status();
   }
+  // Chaos hook: latency between publish success and cache insert, to
+  // widen the window where racing waiters block on the publish mutex.
+  DPHIST_FAILPOINT("serve/cache/insert");
   auto release = std::make_shared<CachedRelease>(
       key, std::move(published).value());
   {

@@ -1,11 +1,14 @@
 #include "dphist/serve/release_server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "dphist/algorithms/registry.h"
 #include "dphist/obs/obs.h"
 #include "dphist/random/rng.h"
+#include "dphist/testing/failpoint.h"
 
 namespace dphist {
 namespace serve {
@@ -28,6 +31,33 @@ obs::Counter& StaleBatchCounter() {
   static obs::Counter& counter =
       obs::Registry::Global().GetCounter("serve/batches_stale");
   return counter;
+}
+
+obs::Counter& RetryCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/retries");
+  return counter;
+}
+
+obs::Counter& DeadlineCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/deadline_exceeded");
+  return counter;
+}
+
+// The retryable class: transient infrastructure/publisher failures.
+// Refusals (kResourceExhausted) are deterministic and handled by
+// degradation; everything else is a caller or configuration error.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kInternal;
+}
+
+std::chrono::nanoseconds NextBackoff(std::chrono::nanoseconds backoff,
+                                     const RetryPolicy& retry) {
+  const double multiplier = std::max(1.0, retry.backoff_multiplier);
+  const auto grown = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      backoff * multiplier);
+  return std::min(grown, retry.max_backoff);
 }
 
 }  // namespace
@@ -69,13 +99,49 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
   obs::ScopedTimer batch_timer("serve/batch");
   BatchCounter().Increment();
   BatchQueryCounter().Add(queries.size());
+  // Chaos hook: whole-batch latency at the front door.
+  DPHIST_FAILPOINT("serve/answer_batch");
 
   BatchAnswer batch;
   std::shared_ptr<const CachedRelease> release;
   const bool was_cached =
       cache_.Lookup({fingerprint_, request.publisher, request.epsilon,
                      request.seed}) != nullptr;
+
+  // Resolve the release with bounded retries on transient failure. The
+  // deadline and every backoff sleep go through the injectable clock, so
+  // the whole schedule is simulated time in tests — never a wall sleep.
+  Clock& clock = options_.clock != nullptr ? *options_.clock : Clock::Real();
+  const RetryPolicy& retry = options_.retry;
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, retry.max_attempts);
+  const bool has_deadline =
+      retry.deadline > std::chrono::nanoseconds::zero();
+  const std::chrono::steady_clock::time_point deadline =
+      has_deadline ? clock.Now() + retry.deadline
+                   : std::chrono::steady_clock::time_point{};
   auto requested = GetRelease(request);
+  std::chrono::nanoseconds backoff = retry.initial_backoff;
+  for (std::size_t attempt = 1; !requested.ok() &&
+                                IsTransient(requested.status()) &&
+                                attempt < max_attempts;
+       ++attempt) {
+    if (has_deadline && clock.Now() + backoff > deadline) {
+      // Sleeping the next backoff would overrun the batch budget: give up
+      // now, typed, with the underlying error preserved for diagnosis.
+      DeadlineCounter().Increment();
+      return Status::DeadlineExceeded(
+          "AnswerBatch gave up after " + std::to_string(attempt) +
+          " attempt(s): retrying would exceed the batch deadline; last "
+          "error: " +
+          requested.status().ToString());
+    }
+    clock.SleepFor(backoff);
+    backoff = NextBackoff(backoff, retry);
+    RetryCounter().Increment();
+    requested = GetRelease(request);
+  }
+
   if (requested.ok()) {
     release = std::move(requested).value();
     batch.cache_hit = was_cached;
@@ -100,13 +166,20 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
   batch.answers.resize(queries.size());
   auto answer_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
+      // Chaos hook: per-query latency (a slow shard, a page fault). Pure
+      // delay — answers are unaffected by construction.
+      DPHIST_FAILPOINT("serve/answer_query");
       batch.answers[i] = release->RangeSum(queries[i].begin, queries[i].end);
     }
   };
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  // Chaos hook: induced pool-dispatch failure. The contract is graceful
+  // degradation, not batch failure — the fan-out falls back to inline
+  // answering, so only latency changes, never the answers.
   if (pool.thread_count() > 1 &&
-      queries.size() >= options_.min_parallel_batch) {
+      queries.size() >= options_.min_parallel_batch &&
+      !testing::FailpointFires("serve/pool_dispatch")) {
     pool.ParallelForChunks(0, queries.size(), /*min_chunk=*/64, answer_range);
   } else {
     answer_range(0, queries.size());

@@ -1,12 +1,14 @@
 #ifndef DPHIST_SERVE_RELEASE_SERVER_H_
 #define DPHIST_SERVE_RELEASE_SERVER_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dphist/common/clock.h"
 #include "dphist/common/parallel_defaults.h"
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
@@ -44,6 +46,36 @@ struct BatchAnswer {
   ReleaseKey served;
 };
 
+/// \brief Retry policy for transient release failures inside `AnswerBatch`.
+///
+/// Only `kInternal` errors are retried — the transient class (an injected
+/// or real publisher/infrastructure failure mid-flight). `kResourceExhausted`
+/// is a deterministic refusal handled by degradation, and argument errors
+/// are caller bugs; retrying either would just repeat the answer.
+///
+/// Backoff is deterministic (exponential, no jitter) and sleeps on the
+/// server's injectable `Clock`, so a test with a `FakeClock` executes the
+/// exact schedule instantly: attempt 1, sleep `initial_backoff`, attempt 2,
+/// sleep `initial_backoff * backoff_multiplier`, ... capped at
+/// `max_backoff`, never exceeding `max_attempts` attempts in total.
+///
+/// `deadline` bounds the whole batch: when sleeping the next backoff would
+/// pass it, the batch fails with `kDeadlineExceeded` (carrying the last
+/// underlying error) instead of sleeping. Zero means no deadline.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 (the default) disables retry
+  /// and keeps the historical single-shot behavior and cost.
+  std::size_t max_attempts = 1;
+  /// Sleep before the first retry.
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(10);
+  /// Backoff growth factor per retry (values < 1 are pinned to 1).
+  double backoff_multiplier = 2.0;
+  /// Upper bound for one backoff sleep.
+  std::chrono::nanoseconds max_backoff = std::chrono::seconds(1);
+  /// Per-batch time budget measured from AnswerBatch entry; zero = none.
+  std::chrono::nanoseconds deadline = std::chrono::nanoseconds::zero();
+};
+
 /// \brief Execution knobs for the server.
 struct ReleaseServerOptions {
   /// Pool for the batched-query fan-out; nullptr means ThreadPool::Global().
@@ -53,6 +85,12 @@ struct ReleaseServerOptions {
   /// itself on large batches. Same documented cut-over constant as the
   /// solver stages.
   std::size_t min_parallel_batch = kDefaultMinParallelCandidates;
+  /// Retry policy for transient failures in AnswerBatch (see RetryPolicy).
+  RetryPolicy retry;
+  /// Time source for backoff sleeps and the batch deadline; nullptr means
+  /// Clock::Real(). Tests install a FakeClock so retries never sleep
+  /// wall-clock.
+  Clock* clock = nullptr;
 };
 
 /// \brief The release-serving front-end: owns the true histogram, a
@@ -72,13 +110,20 @@ struct ReleaseServerOptions {
 ///  4. Fan the answers across the pool (O(1) each off the release's
 ///     prefix array) when the batch is large enough.
 ///
+/// Transient (`kInternal`) release failures are retried per
+/// `ReleaseServerOptions::retry` — bounded attempts, deterministic
+/// exponential backoff on the injectable clock, per-batch deadline
+/// (`kDeadlineExceeded` when it would be overrun). The degradation path
+/// (step 3) is not retried: a budget refusal is deterministic.
+///
 /// Thread safety: all public methods may be called concurrently; the
 /// ledger serializes charges, the cache serializes per-key publications,
 /// and releases are immutable once cached.
 ///
-/// Obs: `serve/batches`, `serve/batch/queries`, `serve/batches_stale`
-/// counters and the `serve/batch` wall-ms distribution, on top of the
-/// cache and ledger metrics.
+/// Obs: `serve/batches`, `serve/batch/queries`, `serve/batches_stale`,
+/// `serve/retries`, `serve/deadline_exceeded` counters and the
+/// `serve/batch` wall-ms distribution, on top of the cache and ledger
+/// metrics.
 class ReleaseServer {
  public:
   /// Serves `truth` under a lifetime privacy budget of `total_epsilon`.

@@ -1,0 +1,154 @@
+#include "dphist/testing/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace dphist {
+namespace testing {
+
+std::atomic<int> FailpointRegistry::armed_count_{0};
+
+FailpointRegistry& FailpointRegistry::Global() {
+  // Leaked singleton: armed failpoints and their counters must survive
+  // until process exit (same policy as obs::Registry).
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Rng FailpointRegistry::StreamFor(std::uint64_t schedule_seed,
+                                 std::string_view name) {
+  // FNV-1a over the name, mixed into the schedule seed: each failpoint
+  // gets its own stream, independent of arming order, so a schedule is a
+  // pure function of (seed, name).
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t hash = kOffset;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return Rng(schedule_seed ^ hash);
+}
+
+void FailpointRegistry::Arm(std::string_view name, FailpointConfig config) {
+  if (config.every_nth == 0) {
+    config.every_nth = 1;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(std::string(name));
+  if (inserted || it->second == nullptr) {
+    it->second = std::make_unique<Point>();
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second->config = std::move(config);
+  it->second->stats = FailpointStats{};
+  it->second->rng = StreamFor(schedule_seed_, name);
+}
+
+void FailpointRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it != points_.end() && it->second != nullptr) {
+    it->second = nullptr;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) {
+    if (point != nullptr) {
+      point = nullptr;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  schedule_seed_ = 0;
+}
+
+void FailpointRegistry::SeedSchedule(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  schedule_seed_ = seed;
+  // Already-armed probability streams restart from the new seed; their
+  // counters restart too, so a reseed is a full schedule replay.
+  for (auto& [name, point] : points_) {
+    if (point != nullptr) {
+      point->rng = StreamFor(schedule_seed_, name);
+      point->stats = FailpointStats{};
+    }
+  }
+}
+
+void FailpointRegistry::set_clock(Clock* clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = clock;
+}
+
+Status FailpointRegistry::Evaluate(std::string_view name) {
+  FailpointConfig::Action action;
+  Status injected;
+  std::chrono::nanoseconds delay{0};
+  Clock* clock = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(name);
+    if (it == points_.end() || it->second == nullptr) {
+      return Status::Ok();
+    }
+    Point& point = *it->second;
+    ++point.stats.hits;
+    bool fires = false;
+    switch (point.config.trigger) {
+      case FailpointTrigger::kAlways:
+        fires = true;
+        break;
+      case FailpointTrigger::kOnce:
+        fires = point.stats.fires == 0;
+        break;
+      case FailpointTrigger::kEveryNth:
+        fires = point.stats.hits % point.config.every_nth == 0;
+        break;
+      case FailpointTrigger::kProbability: {
+        // 53-bit uniform in [0, 1), the standard double construction.
+        const double draw =
+            static_cast<double>(point.rng.NextUint64() >> 11) * 0x1.0p-53;
+        fires = draw < point.config.probability;
+        break;
+      }
+    }
+    if (!fires) {
+      return Status::Ok();
+    }
+    ++point.stats.fires;
+    action = point.config.action;
+    injected = point.config.status;
+    delay = point.config.delay;
+    clock = clock_;
+  }
+  // Act outside the registry mutex so a delay (or an abort handler) never
+  // blocks other failpoints.
+  switch (action) {
+    case FailpointConfig::Action::kReturnStatus:
+      return injected.ok() ? Status::Internal("injected failure") : injected;
+    case FailpointConfig::Action::kDelay:
+      (clock != nullptr ? *clock : Clock::Real()).SleepFor(delay);
+      return Status::Ok();
+    case FailpointConfig::Action::kAbort:
+      std::fprintf(stderr, "dphist failpoint '%.*s': injected abort\n",
+                   static_cast<int>(name.size()), name.data());
+      std::abort();
+  }
+  return Status::Ok();
+}
+
+FailpointStats FailpointRegistry::Stats(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end() || it->second == nullptr) {
+    return FailpointStats{};
+  }
+  return it->second->stats;
+}
+
+}  // namespace testing
+}  // namespace dphist

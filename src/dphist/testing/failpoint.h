@@ -1,0 +1,226 @@
+#ifndef DPHIST_TESTING_FAILPOINT_H_
+#define DPHIST_TESTING_FAILPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dphist/common/clock.h"
+#include "dphist/common/status.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace testing {
+
+/// \brief Deterministic fault injection ("failpoints").
+///
+/// A failpoint is a named hook compiled into a production code path
+/// (`DPHIST_FAILPOINT*` macros below). Tests arm it with an action —
+/// return a chosen error `Status`, inject latency, or abort — and a
+/// trigger policy — always, exactly once, every Nth hit, or with a seeded
+/// probability. Probability draws come from a per-failpoint `Rng` stream
+/// derived from one schedule seed and the failpoint's name, so a whole
+/// fault schedule is replayable from a single integer: same seed, same
+/// hit order, same faults (the chaos suite's determinism contract).
+///
+/// Cost contract (enforced by the bench regression gate):
+///  * Builds without the `DPHIST_FAILPOINTS` compile definition expand
+///    every site macro to nothing — zero instructions on the hot path.
+///  * Builds with it pay one relaxed atomic load and branch per site while
+///    no failpoint is armed; the registry mutex is only taken once armed.
+///
+/// The registry itself is always compiled into the library so tests can
+/// exercise its mechanics in any build; only the *sites* are gated.
+///
+/// Latency injection goes through the registry's `Clock` (default: the
+/// real clock). Chaos tests install a `FakeClock` so injected delays
+/// advance simulated time instantly — no wall-clock sleeping in tests.
+
+/// How an armed failpoint decides whether a given hit fires.
+enum class FailpointTrigger {
+  /// Fires on every hit.
+  kAlways,
+  /// Fires on the first hit only, then never again (stays armed so hit
+  /// counts keep accumulating).
+  kOnce,
+  /// Fires on every Nth hit (hits 1..N-1 pass, hit N fires, ...).
+  kEveryNth,
+  /// Fires when the failpoint's seeded Rng stream draws below
+  /// `probability`.
+  kProbability,
+};
+
+/// What an armed failpoint does when it fires.
+struct FailpointConfig {
+  enum class Action {
+    /// `Evaluate` returns `status`; the site propagates it as if the real
+    /// operation failed.
+    kReturnStatus,
+    /// `Evaluate` sleeps `delay` on the registry clock and returns OK.
+    kDelay,
+    /// The process aborts with a diagnostic (for death tests).
+    kAbort,
+  };
+
+  Action action = Action::kReturnStatus;
+  /// Returned by firing kReturnStatus evaluations. Must not be OK.
+  Status status = Status::Internal("injected failure");
+  /// Slept on the registry clock by firing kDelay evaluations.
+  std::chrono::nanoseconds delay = std::chrono::nanoseconds::zero();
+
+  FailpointTrigger trigger = FailpointTrigger::kAlways;
+  /// Period for kEveryNth (0 is pinned to 1).
+  std::uint64_t every_nth = 1;
+  /// Fire probability in [0, 1] for kProbability.
+  double probability = 0.0;
+};
+
+/// \brief Per-failpoint observation counters (for test assertions).
+struct FailpointStats {
+  /// Evaluations while armed.
+  std::uint64_t hits = 0;
+  /// Evaluations that fired the action.
+  std::uint64_t fires = 0;
+};
+
+/// \brief The process-global, thread-safe failpoint registry.
+class FailpointRegistry {
+ public:
+  /// The process-wide registry (leaked singleton, like obs::Registry).
+  static FailpointRegistry& Global();
+
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  /// True when at least one failpoint is armed anywhere in the process —
+  /// one relaxed atomic load, the only cost a compiled-in site pays while
+  /// fault injection is idle.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms, resetting counters and the probability stream)
+  /// the failpoint `name` with `config`.
+  void Arm(std::string_view name, FailpointConfig config);
+
+  /// Disarms `name`; evaluations become no-ops again. Unknown names are
+  /// ignored.
+  void Disarm(std::string_view name);
+
+  /// Disarms everything and resets the schedule seed to 0 — chaos tests
+  /// call this in SetUp/TearDown so schedules never leak across tests.
+  void DisarmAll();
+
+  /// Sets the schedule seed. Every armed (and subsequently armed)
+  /// probability trigger re-derives its stream as a function of
+  /// (seed, failpoint name), so arming order never changes the schedule
+  /// and the same seed replays the same fault sequence.
+  void SeedSchedule(std::uint64_t seed);
+
+  /// Clock used by kDelay actions; null restores the real clock.
+  void set_clock(Clock* clock);
+
+  /// Evaluates the failpoint: returns OK when `name` is not armed or the
+  /// trigger does not fire; otherwise performs the configured action
+  /// (returning its status for kReturnStatus, OK after sleeping for
+  /// kDelay; kAbort does not return).
+  Status Evaluate(std::string_view name);
+
+  /// Hit/fire counters for `name` (zeroes for unknown names).
+  FailpointStats Stats(std::string_view name) const;
+
+ private:
+  struct Point {
+    FailpointConfig config;
+    FailpointStats stats;
+    Rng rng{0};
+  };
+
+  FailpointRegistry() = default;
+
+  /// The per-failpoint probability stream: one seed, mixed with the name,
+  /// so every failpoint draws independently and deterministically.
+  static Rng StreamFor(std::uint64_t schedule_seed, std::string_view name);
+
+  static std::atomic<int> armed_count_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Point>, std::less<>> points_;
+  std::uint64_t schedule_seed_ = 0;
+  Clock* clock_ = nullptr;  // null means Clock::Real()
+};
+
+/// \brief RAII arm/disarm, so a test failure can never leave a failpoint
+/// armed for the next test.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string_view name, FailpointConfig config)
+      : name_(name) {
+    FailpointRegistry::Global().Arm(name_, std::move(config));
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+/// True when the failpoint `name` fires with a non-OK status right now —
+/// for sites that branch on injected failure instead of returning it
+/// (e.g. the serve batch fan-out falling back to inline answering when
+/// pool dispatch is made to fail). Constant false when failpoints are
+/// compiled out.
+inline bool FailpointFires(std::string_view name) {
+#if defined(DPHIST_FAILPOINTS)
+  return FailpointRegistry::AnyArmed() &&
+         !FailpointRegistry::Global().Evaluate(name).ok();
+#else
+  (void)name;
+  return false;
+#endif
+}
+
+}  // namespace testing
+}  // namespace dphist
+
+/// Site macros. `DPHIST_FAILPOINT(name)` marks a site whose only effects
+/// are side effects (delay, abort); a firing return-status action there is
+/// swallowed. `DPHIST_FAILPOINT_RETURN_IF_SET(name)` additionally returns
+/// the injected status from the enclosing function (which must return
+/// `Status` or a `Result<T>`). Both compile to nothing without the
+/// `DPHIST_FAILPOINTS` definition.
+#if defined(DPHIST_FAILPOINTS)
+#define DPHIST_FAILPOINT(name)                                               \
+  do {                                                                       \
+    if (::dphist::testing::FailpointRegistry::AnyArmed()) {                  \
+      (void)::dphist::testing::FailpointRegistry::Global().Evaluate(name);   \
+    }                                                                        \
+  } while (false)
+#define DPHIST_FAILPOINT_RETURN_IF_SET(name)                                 \
+  do {                                                                       \
+    if (::dphist::testing::FailpointRegistry::AnyArmed()) {                  \
+      ::dphist::Status dphist_failpoint_status_ =                            \
+          ::dphist::testing::FailpointRegistry::Global().Evaluate(name);     \
+      if (!dphist_failpoint_status_.ok()) {                                  \
+        return dphist_failpoint_status_;                                     \
+      }                                                                      \
+    }                                                                        \
+  } while (false)
+#else
+#define DPHIST_FAILPOINT(name) \
+  do {                         \
+  } while (false)
+#define DPHIST_FAILPOINT_RETURN_IF_SET(name) \
+  do {                                       \
+  } while (false)
+#endif
+
+#endif  // DPHIST_TESTING_FAILPOINT_H_

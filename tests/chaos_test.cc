@@ -1,0 +1,571 @@
+// Chaos suite: seeded fault schedules driven through the failpoint sites in
+// the serve/, privacy/, common/, and data/ layers. The invariants under
+// fault injection:
+//   * publication stays exactly-once even when a publisher fails mid-flight
+//     and racing callers retry,
+//   * the budget ledger never overspends, even when charges fail after
+//     their commit point,
+//   * induced budget refusal degrades to stale answers without spending,
+//   * retries follow the deterministic backoff schedule and respect the
+//     per-batch deadline (all on a FakeClock — no wall sleeping),
+//   * the same schedule seed produces bit-identical outcomes at any
+//     DPHIST_THREADS / pool width.
+//
+// Requires a -DDPHIST_FAILPOINTS=ON build; otherwise the sites are compiled
+// out and the suite skips (the plain build still runs failpoint_test.cc,
+// which covers the registry mechanics).
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/common/clock.h"
+#include "dphist/common/status.h"
+#include "dphist/common/thread_pool.h"
+#include "dphist/data/csv.h"
+#include "dphist/data/generators.h"
+#include "dphist/obs/obs.h"
+#include "dphist/query/range_query.h"
+#include "dphist/query/workload.h"
+#include "dphist/random/rng.h"
+#include "dphist/serve/release_server.h"
+#include "dphist/testing/failpoint.h"
+
+namespace dphist {
+namespace serve {
+namespace {
+
+#if !defined(DPHIST_FAILPOINTS)
+
+TEST(ChaosTest, RequiresFailpointBuild) {
+  GTEST_SKIP() << "failpoint sites are compiled out; configure with "
+                  "-DDPHIST_FAILPOINTS=ON to run the chaos suite";
+}
+
+#else  // DPHIST_FAILPOINTS
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+using ::dphist::testing::FailpointConfig;
+using ::dphist::testing::FailpointRegistry;
+using ::dphist::testing::FailpointTrigger;
+using ::dphist::testing::ScopedFailpoint;
+
+Histogram ChaosTruth(std::size_t n = 64) {
+  return MakeSearchLogs(n, /*seed=*/5).histogram;
+}
+
+std::uint64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Global().DisarmAll();
+    FailpointRegistry::Global().set_clock(nullptr);
+    obs::Registry::Global().Reset();
+    obs::Registry::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    FailpointRegistry::Global().DisarmAll();
+    FailpointRegistry::Global().set_clock(nullptr);
+    obs::Registry::Global().set_enabled(false);
+    obs::Registry::Global().Reset();
+  }
+};
+
+TEST_F(ChaosTest, ExactlyOncePublicationSurvivesInducedPublisherFailure) {
+  // One of four racing callers is handed an injected publisher failure in
+  // the cache's publish slot. Its retry (or a racing caller) publishes; the
+  // invariant is exactly one successful publication, exactly one charge,
+  // and identical answers for everyone.
+  const Histogram truth = ChaosTruth();
+  FakeClock clock;
+  ReleaseServerOptions options;
+  options.clock = &clock;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = milliseconds(1);
+  ReleaseServer server(truth, /*total_epsilon=*/10.0, options);
+  const ServeRequest request{"noise_first", 0.5, 21};
+  Rng workload_rng(11);
+  auto queries = RandomRangeWorkload(truth.size(), 40, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  FailpointConfig fail_once;
+  fail_once.status = Status::Internal("injected publisher failure");
+  fail_once.trigger = FailpointTrigger::kOnce;
+  FailpointRegistry::Global().Arm("serve/cache/publish", fail_once);
+
+  constexpr int kCallers = 4;
+  std::vector<Result<BatchAnswer>> results(
+      kCallers, Result<BatchAnswer>(Status::Internal("unset")));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      results[t] = server.AnswerBatch(queries.value(), request);
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/cache/publish").fires,
+            1u);
+  for (int t = 0; t < kCallers; ++t) {
+    ASSERT_TRUE(results[t].ok()) << "caller " << t << ": "
+                                 << results[t].status().ToString();
+    EXPECT_FALSE(results[t].value().stale);
+    EXPECT_EQ(results[t].value().answers, results[0].value().answers);
+  }
+  // Exactly-once: one publisher run, one ledger charge, one cache entry.
+  EXPECT_EQ(CounterValue("publisher/noise_first/runs"), 1u);
+  EXPECT_EQ(server.ledger().charge_count(), 1u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.5);
+  EXPECT_EQ(server.cache().size(), 1u);
+}
+
+TEST_F(ChaosTest, LedgerNeverOverspendsWhenChargesFailAfterCommit) {
+  // The after-commit failpoint makes every sequential charge fail *after*
+  // recording its epsilon — the conservative failure direction. The spend
+  // trajectory must stay monotone and never exceed the total, and once the
+  // remaining budget cannot cover a charge the refusal must arrive typed,
+  // before the commit point (the failpoint does not even get hit).
+  const Histogram truth = ChaosTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/1.0);
+  Rng workload_rng(13);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  FailpointConfig after_commit;
+  after_commit.status = Status::Internal("injected post-commit failure");
+  FailpointRegistry::Global().Arm("privacy/budget/after_commit", after_commit);
+
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto batch = server.AnswerBatch(queries.value(), {"dwork", 0.4, seed});
+    ASSERT_FALSE(batch.ok());
+    EXPECT_EQ(batch.status().code(), StatusCode::kInternal);
+    EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(),
+                     0.4 * static_cast<double>(seed));
+    EXPECT_LE(server.ledger().spent_epsilon(), 1.0);
+  }
+  EXPECT_EQ(server.ledger().charge_count(), 2u);
+
+  // 0.2 remains; a 0.4 charge must refuse pre-commit: spend unchanged, no
+  // new hit on the after-commit failpoint, typed status (empty cache, so
+  // the batch fails rather than degrading).
+  const std::uint64_t hits_before =
+      FailpointRegistry::Global().Stats("privacy/budget/after_commit").hits;
+  auto refused = server.AnswerBatch(queries.value(), {"dwork", 0.4, 3});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.8);
+  EXPECT_EQ(
+      FailpointRegistry::Global().Stats("privacy/budget/after_commit").hits,
+      hits_before);
+
+  // With the fault gone the surviving 0.2 is still spendable.
+  FailpointRegistry::Global().Disarm("privacy/budget/after_commit");
+  auto recovered = server.AnswerBatch(queries.value(), {"dwork", 0.15, 4});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.value().stale);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.95);
+  EXPECT_LE(server.ledger().spent_epsilon(), 1.0);
+}
+
+TEST_F(ChaosTest, InducedRefusalDegradesToStaleWithoutSpending) {
+  // A ledger made to refuse (without being exhausted) must take the same
+  // degradation path as a real refusal: newest cached release, stale flag,
+  // stale counter, zero spend movement.
+  const Histogram truth = ChaosTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/10.0);
+  Rng workload_rng(17);
+  auto queries = RandomRangeWorkload(truth.size(), 25, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto fresh = server.AnswerBatch(queries.value(), {"noise_first", 0.3, 1});
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_FALSE(fresh.value().stale);
+  const double spent_before = server.ledger().spent_epsilon();
+  const std::uint64_t stale_before = CounterValue("serve/batches_stale");
+
+  FailpointConfig refuse;
+  refuse.status = Status::ResourceExhausted("injected ledger refusal");
+  FailpointRegistry::Global().Arm("serve/ledger/charge", refuse);
+
+  auto degraded = server.AnswerBatch(queries.value(), {"noise_first", 0.3, 2});
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().stale);
+  EXPECT_EQ(degraded.value().served.seed, 1u);
+  EXPECT_EQ(degraded.value().answers, fresh.value().answers);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), spent_before);
+  EXPECT_EQ(CounterValue("serve/batches_stale"), stale_before + 1);
+  // GetRelease keeps the typed refusal (degradation is batch policy only).
+  auto direct = server.GetRelease({"noise_first", 0.3, 2});
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kResourceExhausted);
+
+  // Disarmed, the same request publishes for real.
+  FailpointRegistry::Global().Disarm("serve/ledger/charge");
+  auto recovered = server.AnswerBatch(queries.value(), {"noise_first", 0.3, 2});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.value().stale);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), spent_before + 0.3);
+}
+
+TEST_F(ChaosTest, RetryRecoversFromTransientFailureOnSchedule) {
+  // One transient failure, then success: exactly one backoff sleep of
+  // initial_backoff, one retry counted, one charge, one publisher run.
+  const Histogram truth = ChaosTruth();
+  FakeClock clock;
+  ReleaseServerOptions options;
+  options.clock = &clock;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = milliseconds(2);
+  ReleaseServer server(truth, 10.0, options);
+  Rng workload_rng(19);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  FailpointConfig fail_once;
+  fail_once.status = Status::Internal("injected transient failure");
+  fail_once.trigger = FailpointTrigger::kOnce;
+  FailpointRegistry::Global().Arm("serve/cache/publish", fail_once);
+
+  auto batch = server.AnswerBatch(queries.value(), {"noise_first", 0.4, 9});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch.value().stale);
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/cache/publish").fires,
+            1u);
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(2)));
+  EXPECT_EQ(CounterValue("serve/retries"), 1u);
+  EXPECT_EQ(CounterValue("serve/deadline_exceeded"), 0u);
+  EXPECT_EQ(server.ledger().charge_count(), 1u);
+  EXPECT_EQ(CounterValue("publisher/noise_first/runs"), 1u);
+}
+
+TEST_F(ChaosTest, RetriesExhaustedReturnLastTransientError) {
+  // A permanently failing publish burns exactly max_attempts attempts with
+  // the exponential schedule, then surfaces the underlying kInternal. The
+  // failpoint fires before the charge, so no budget is spent.
+  const Histogram truth = ChaosTruth();
+  FakeClock clock;
+  ReleaseServerOptions options;
+  options.clock = &clock;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = milliseconds(1);
+  options.retry.backoff_multiplier = 2.0;
+  ReleaseServer server(truth, 10.0, options);
+  Rng workload_rng(23);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  FailpointConfig always_fail;
+  always_fail.status = Status::Internal("injected persistent failure");
+  FailpointRegistry::Global().Arm("serve/cache/publish", always_fail);
+
+  auto batch = server.AnswerBatch(queries.value(), {"noise_first", 0.4, 5});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/cache/publish").fires,
+            3u);
+  // Sleeps: 1ms before attempt 2, 2ms before attempt 3.
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(3)));
+  EXPECT_EQ(CounterValue("serve/retries"), 2u);
+  EXPECT_EQ(server.ledger().charge_count(), 0u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.0);
+}
+
+TEST_F(ChaosTest, RetryRespectsBatchDeadline) {
+  // deadline = 100ms, backoffs 10/20/40/80 capped at 80: attempts run at
+  // t = 0, 10, 30, 70; the next sleep (80ms) would land at 150ms > 100ms,
+  // so the batch gives up typed after exactly 4 attempts and 70ms of
+  // simulated sleeping — and no wall time.
+  const Histogram truth = ChaosTruth();
+  FakeClock clock;
+  ReleaseServerOptions options;
+  options.clock = &clock;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff = milliseconds(10);
+  options.retry.backoff_multiplier = 2.0;
+  options.retry.max_backoff = milliseconds(80);
+  options.retry.deadline = milliseconds(100);
+  ReleaseServer server(truth, 10.0, options);
+  Rng workload_rng(29);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  FailpointConfig always_fail;
+  always_fail.status = Status::Internal("injected persistent failure");
+  FailpointRegistry::Global().Arm("serve/cache/publish", always_fail);
+
+  auto batch = server.AnswerBatch(queries.value(), {"noise_first", 0.4, 6});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(batch.status().message().find("injected persistent failure"),
+            std::string::npos);
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/cache/publish").fires,
+            4u);
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(70)));
+  EXPECT_EQ(CounterValue("serve/retries"), 3u);
+  EXPECT_EQ(CounterValue("serve/deadline_exceeded"), 1u);
+}
+
+TEST_F(ChaosTest, InjectedLatencyAndDispatchFailureNeverChangeAnswers) {
+  // Latency everywhere (batch front door, per query, thread-pool queue) and
+  // an induced pool-dispatch failure must only cost (simulated) time: the
+  // answers are bit-identical to the calm run, and the dispatch failure
+  // falls back to inline answering instead of failing the batch.
+  const Histogram truth = ChaosTruth(256);
+  ThreadPool pool(4);
+  ReleaseServerOptions options;
+  options.pool = &pool;
+  options.min_parallel_batch = 1;
+  ReleaseServer server(truth, 10.0, options);
+  const ServeRequest request{"dwork", 0.5, 3};
+  Rng workload_rng(31);
+  auto queries = RandomRangeWorkload(truth.size(), 512, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto calm = server.AnswerBatch(queries.value(), request);
+  ASSERT_TRUE(calm.ok());
+
+  FakeClock clock;
+  FailpointRegistry::Global().set_clock(&clock);
+  FailpointConfig batch_delay;
+  batch_delay.action = FailpointConfig::Action::kDelay;
+  batch_delay.delay = milliseconds(3);
+  FailpointRegistry::Global().Arm("serve/answer_batch", batch_delay);
+  FailpointConfig query_delay;
+  query_delay.action = FailpointConfig::Action::kDelay;
+  query_delay.delay = milliseconds(1);
+  query_delay.trigger = FailpointTrigger::kEveryNth;
+  query_delay.every_nth = 5;
+  FailpointRegistry::Global().Arm("serve/answer_query", query_delay);
+  FailpointConfig dispatch_fail;
+  dispatch_fail.status = Status::Internal("injected dispatch failure");
+  FailpointRegistry::Global().Arm("serve/pool_dispatch", dispatch_fail);
+
+  auto chaotic = server.AnswerBatch(queries.value(), request);
+  ASSERT_TRUE(chaotic.ok());
+  EXPECT_FALSE(chaotic.value().stale);
+  EXPECT_TRUE(chaotic.value().cache_hit);
+  EXPECT_EQ(chaotic.value().answers, calm.value().answers);
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/pool_dispatch").fires,
+            1u);
+  // Dispatch fell back to inline: every query evaluated on the caller, so
+  // the per-query site saw all 512 hits and slept floor(512/5) = 102 ms
+  // plus the 3ms front-door delay — all on the fake clock.
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/answer_query").hits,
+            512u);
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(105)));
+}
+
+TEST_F(ChaosTest, ThreadPoolQueueDelayNeverChangesParallelForResults) {
+  ThreadPool pool(4);
+  FakeClock clock;
+  FailpointRegistry::Global().set_clock(&clock);
+  FailpointConfig task_delay;
+  task_delay.action = FailpointConfig::Action::kDelay;
+  task_delay.delay = milliseconds(1);
+  FailpointRegistry::Global().Arm("threadpool/task_queue", task_delay);
+
+  std::vector<std::uint64_t> out(1000, 0);
+  pool.ParallelFor(0, out.size(), [&out](std::size_t i) {
+    out[i] = static_cast<std::uint64_t>(i) * i;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<std::uint64_t>(i) * i) << i;
+  }
+  // 4 workers, 4 chunk tasks, one dequeue-delay each — all simulated.
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(4)));
+}
+
+TEST_F(ChaosTest, TruncatedCsvReadSurfacesTypedError) {
+  const std::string path = ::testing::TempDir() + "chaos_truncated.csv";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    for (int i = 0; i < 100; ++i) {
+      out << i << "," << (i * 3 + 1) << "\n";
+    }
+  }
+
+  FailpointConfig truncate;
+  truncate.status = Status::ParseError("injected truncated read");
+  truncate.trigger = FailpointTrigger::kEveryNth;
+  truncate.every_nth = 40;
+  FailpointRegistry::Global().Arm("data/csv/read_line", truncate);
+
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("injected truncated read"),
+            std::string::npos);
+
+  // Disarmed, the same file loads completely — the failure was injected,
+  // never a silently short histogram.
+  FailpointRegistry::Global().Disarm("data/csv/read_line");
+  auto recovered = LoadHistogramCsv(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().size(), 100u);
+}
+
+// --- Seeded whole-schedule determinism across thread counts ---
+
+struct ChaosOutcome {
+  // Per batch, in request order.
+  std::vector<int> codes;
+  std::vector<bool> stale;
+  std::vector<bool> cache_hit;
+  std::vector<std::uint64_t> served_seeds;
+  std::vector<std::vector<double>> answers;  // empty for failed batches
+  // Final server state.
+  double spent = 0.0;
+  std::size_t charge_count = 0;
+  std::size_t cache_size = 0;
+  // Serve-layer observability (all incremented on serial control paths).
+  std::uint64_t batches = 0;
+  std::uint64_t batches_stale = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t ledger_charges = 0;
+  std::uint64_t ledger_refusals = 0;
+  std::uint64_t publisher_runs_nf = 0;
+  std::uint64_t publisher_runs_dwork = 0;
+  // Fault-schedule fingerprint (how often each injected fault actually
+  // fired) — also replayed exactly by the seed.
+  std::uint64_t publish_fires = 0;
+  std::uint64_t charge_fires = 0;
+
+  friend bool operator==(const ChaosOutcome&, const ChaosOutcome&) = default;
+};
+
+// Drives one fixed request sequence against a fresh server under a seeded
+// fault schedule: induced publisher failures and ledger refusals
+// (probability triggers, drawn on the serial driver path so the draw order
+// is the batch order), plus pure-latency injection on the per-query and
+// thread-pool sites (which may interleave freely across threads without
+// affecting any recorded outcome).
+ChaosOutcome RunSeededSchedule(std::size_t num_threads, std::uint64_t seed) {
+  auto& registry = FailpointRegistry::Global();
+  registry.DisarmAll();
+  obs::Registry::Global().Reset();
+
+  FakeClock clock;
+  registry.set_clock(&clock);
+  registry.SeedSchedule(seed);
+
+  FailpointConfig publish_fail;
+  publish_fail.status = Status::Internal("injected publisher failure");
+  publish_fail.trigger = FailpointTrigger::kProbability;
+  publish_fail.probability = 0.3;
+  registry.Arm("serve/cache/publish", publish_fail);
+
+  FailpointConfig charge_refuse;
+  charge_refuse.status = Status::ResourceExhausted("injected refusal");
+  charge_refuse.trigger = FailpointTrigger::kProbability;
+  charge_refuse.probability = 0.25;
+  registry.Arm("serve/ledger/charge", charge_refuse);
+
+  FailpointConfig query_delay;
+  query_delay.action = FailpointConfig::Action::kDelay;
+  query_delay.delay = std::chrono::microseconds(50);
+  query_delay.trigger = FailpointTrigger::kEveryNth;
+  query_delay.every_nth = 7;
+  registry.Arm("serve/answer_query", query_delay);
+
+  FailpointConfig task_delay;
+  task_delay.action = FailpointConfig::Action::kDelay;
+  task_delay.delay = std::chrono::microseconds(20);
+  task_delay.trigger = FailpointTrigger::kEveryNth;
+  task_delay.every_nth = 3;
+  registry.Arm("threadpool/task_queue", task_delay);
+
+  const Histogram truth = ChaosTruth();
+  ThreadPool pool(num_threads);
+  ReleaseServerOptions options;
+  options.pool = &pool;
+  options.min_parallel_batch = 1;  // fan out even these small batches
+  options.clock = &clock;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = milliseconds(1);
+  ReleaseServer server(truth, /*total_epsilon=*/1.2, options);
+
+  Rng workload_rng(17);
+  auto queries = RandomRangeWorkload(truth.size(), 96, workload_rng);
+  EXPECT_TRUE(queries.ok());
+
+  ChaosOutcome outcome;
+  constexpr std::size_t kBatches = 32;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    ServeRequest request;
+    request.publisher = (b % 2 == 0) ? "noise_first" : "dwork";
+    request.epsilon = 0.1;
+    request.seed = b % 6;
+    auto batch = server.AnswerBatch(queries.value(), request);
+    outcome.codes.push_back(static_cast<int>(batch.status().code()));
+    outcome.stale.push_back(batch.ok() && batch.value().stale);
+    outcome.cache_hit.push_back(batch.ok() && batch.value().cache_hit);
+    outcome.served_seeds.push_back(batch.ok() ? batch.value().served.seed
+                                              : 0);
+    outcome.answers.push_back(batch.ok() ? batch.value().answers
+                                         : std::vector<double>{});
+  }
+
+  outcome.spent = server.ledger().spent_epsilon();
+  outcome.charge_count = server.ledger().charge_count();
+  outcome.cache_size = server.cache().size();
+  outcome.batches = CounterValue("serve/batches");
+  outcome.batches_stale = CounterValue("serve/batches_stale");
+  outcome.retries = CounterValue("serve/retries");
+  outcome.deadline_exceeded = CounterValue("serve/deadline_exceeded");
+  outcome.cache_hits = CounterValue("serve/cache/hits");
+  outcome.cache_misses = CounterValue("serve/cache/misses");
+  outcome.ledger_charges = CounterValue("serve/ledger/charges");
+  outcome.ledger_refusals = CounterValue("serve/ledger/refusals");
+  outcome.publisher_runs_nf = CounterValue("publisher/noise_first/runs");
+  outcome.publisher_runs_dwork = CounterValue("publisher/dwork/runs");
+  outcome.publish_fires = registry.Stats("serve/cache/publish").fires;
+  outcome.charge_fires = registry.Stats("serve/ledger/charge").fires;
+
+  registry.DisarmAll();
+  registry.set_clock(nullptr);
+  return outcome;
+}
+
+TEST_F(ChaosTest, SameScheduleSeedIsBitIdenticalAtAnyThreadCount) {
+  // The determinism contract: a chaos schedule is a pure function of its
+  // seed. Pool width changes who sleeps when, never what anyone computes.
+  constexpr std::uint64_t kScheduleSeed = 20120412;  // pinned in EXPERIMENTS.md
+  const ChaosOutcome serial = RunSeededSchedule(1, kScheduleSeed);
+  const ChaosOutcome wide = RunSeededSchedule(4, kScheduleSeed);
+  EXPECT_EQ(serial, wide);
+  const ChaosOutcome replay = RunSeededSchedule(4, kScheduleSeed);
+  EXPECT_EQ(wide, replay);
+
+  // The schedule actually bit: faults fired and left visible scars.
+  EXPECT_GT(serial.publish_fires + serial.charge_fires, 0u);
+  EXPECT_EQ(serial.batches, 32u);
+  // Spend never exceeded the grant, fault storm or not.
+  EXPECT_LE(serial.spent, 1.2 + 1e-9);
+
+  // A different seed is a different storm.
+  const ChaosOutcome other = RunSeededSchedule(1, kScheduleSeed + 1);
+  EXPECT_NE(serial, other);
+}
+
+#endif  // DPHIST_FAILPOINTS
+
+}  // namespace
+}  // namespace serve
+}  // namespace dphist

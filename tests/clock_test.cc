@@ -1,0 +1,86 @@
+// The injectable time source: FakeClock advances simulated time instantly
+// and deterministically; the real clock is monotone. Everything here must
+// finish in microseconds — no wall sleeping.
+
+#include "dphist/common/clock.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+TEST(FakeClockTest, StartsAtEpochAndAdvancesOnSleep) {
+  FakeClock clock;
+  const auto start = clock.Now();
+  clock.SleepFor(milliseconds(250));
+  EXPECT_EQ(clock.Now() - start, nanoseconds(milliseconds(250)));
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(250)));
+}
+
+TEST(FakeClockTest, AdvanceMovesTimeWithoutCountingAsSleep) {
+  FakeClock clock;
+  const auto start = clock.Now();
+  clock.Advance(milliseconds(10));
+  EXPECT_EQ(clock.Now() - start, nanoseconds(milliseconds(10)));
+  EXPECT_EQ(clock.total_slept(), nanoseconds(0));
+}
+
+TEST(FakeClockTest, CustomEpoch) {
+  const auto epoch =
+      std::chrono::steady_clock::time_point(std::chrono::hours(100));
+  FakeClock clock(epoch);
+  EXPECT_EQ(clock.Now(), epoch);
+}
+
+TEST(FakeClockTest, SleepsAccumulate) {
+  FakeClock clock;
+  clock.SleepFor(milliseconds(1));
+  clock.SleepFor(milliseconds(2));
+  clock.SleepFor(milliseconds(4));
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(7)));
+}
+
+TEST(FakeClockTest, ConcurrentSleepsNeverLoseTime) {
+  // Total slept is the sum of every SleepFor regardless of interleaving —
+  // the property retry tests rely on when several batches back off at once.
+  FakeClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kSleepsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kSleepsPerThread; ++i) {
+        clock.SleepFor(nanoseconds(3));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(clock.total_slept(),
+            nanoseconds(3 * kThreads * kSleepsPerThread));
+}
+
+TEST(RealClockTest, NowIsMonotone) {
+  Clock& real = Clock::Real();
+  const auto a = real.Now();
+  const auto b = real.Now();
+  EXPECT_LE(a, b);
+  // Same singleton every time.
+  EXPECT_EQ(&Clock::Real(), &real);
+}
+
+TEST(RealClockTest, SleepForZeroReturnsImmediately) {
+  Clock::Real().SleepFor(nanoseconds(0));
+}
+
+}  // namespace
+}  // namespace dphist

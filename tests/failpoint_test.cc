@@ -1,0 +1,352 @@
+// Mechanics of the failpoint registry: arming, triggers, deterministic
+// seeded schedules, delay-on-fake-clock, stats, and RAII scoping. The
+// registry is compiled into every build, so this whole file runs whether or
+// not the site macros are enabled; only the macro-expansion tests branch on
+// DPHIST_FAILPOINTS.
+
+#include "dphist/testing/failpoint.h"
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/common/clock.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+namespace testing {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Global().DisarmAll();
+    FailpointRegistry::Global().set_clock(nullptr);
+  }
+  void TearDown() override {
+    FailpointRegistry::Global().DisarmAll();
+    FailpointRegistry::Global().set_clock(nullptr);
+  }
+};
+
+TEST_F(FailpointTest, UnarmedEvaluatesOk) {
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("no/such/point").ok());
+  const FailpointStats stats =
+      FailpointRegistry::Global().Stats("no/such/point");
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.fires, 0u);
+}
+
+TEST_F(FailpointTest, ArmReturnsConfiguredStatus) {
+  FailpointConfig config;
+  config.status = Status::ResourceExhausted("injected refusal");
+  FailpointRegistry::Global().Arm("test/point", config);
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+
+  const Status s = FailpointRegistry::Global().Evaluate("test/point");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "injected refusal");
+  // Another name stays a no-op.
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("other/point").ok());
+}
+
+TEST_F(FailpointTest, DisarmRestoresNoOp) {
+  FailpointRegistry::Global().Arm("test/point", FailpointConfig{});
+  ASSERT_FALSE(FailpointRegistry::Global().Evaluate("test/point").ok());
+  FailpointRegistry::Global().Disarm("test/point");
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("test/point").ok());
+  // Disarming an unknown or already-disarmed name is fine.
+  FailpointRegistry::Global().Disarm("test/point");
+  FailpointRegistry::Global().Disarm("never/armed");
+}
+
+TEST_F(FailpointTest, ArmedCountTracksEveryArmAndDisarm) {
+  FailpointRegistry::Global().Arm("a", FailpointConfig{});
+  FailpointRegistry::Global().Arm("b", FailpointConfig{});
+  // Re-arming the same point must not double-count.
+  FailpointRegistry::Global().Arm("a", FailpointConfig{});
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  FailpointRegistry::Global().Disarm("a");
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  FailpointRegistry::Global().Disarm("b");
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  FailpointRegistry::Global().Arm("a", FailpointConfig{});
+  FailpointRegistry::Global().Arm("b", FailpointConfig{});
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("a").ok());
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("b").ok());
+}
+
+TEST_F(FailpointTest, TriggerOnceFiresExactlyOnce) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kOnce;
+  FailpointRegistry::Global().Arm("test/once", config);
+  EXPECT_FALSE(FailpointRegistry::Global().Evaluate("test/once").ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FailpointRegistry::Global().Evaluate("test/once").ok());
+  }
+  const FailpointStats stats = FailpointRegistry::Global().Stats("test/once");
+  EXPECT_EQ(stats.hits, 11u);
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST_F(FailpointTest, TriggerEveryNthFiresPeriodically) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kEveryNth;
+  config.every_nth = 3;
+  FailpointRegistry::Global().Arm("test/nth", config);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!FailpointRegistry::Global().Evaluate("test/nth").ok());
+  }
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(FailpointRegistry::Global().Stats("test/nth").fires, 3u);
+}
+
+TEST_F(FailpointTest, EveryNthZeroPinsToEveryHit) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kEveryNth;
+  config.every_nth = 0;
+  FailpointRegistry::Global().Arm("test/nth0", config);
+  EXPECT_FALSE(FailpointRegistry::Global().Evaluate("test/nth0").ok());
+  EXPECT_FALSE(FailpointRegistry::Global().Evaluate("test/nth0").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityExtremes) {
+  FailpointConfig never;
+  never.trigger = FailpointTrigger::kProbability;
+  never.probability = 0.0;
+  FailpointRegistry::Global().Arm("test/p0", never);
+  FailpointConfig always;
+  always.trigger = FailpointTrigger::kProbability;
+  always.probability = 1.0;
+  FailpointRegistry::Global().Arm("test/p1", always);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(FailpointRegistry::Global().Evaluate("test/p0").ok());
+    EXPECT_FALSE(FailpointRegistry::Global().Evaluate("test/p1").ok());
+  }
+}
+
+std::vector<bool> DrawPattern(const char* name, int draws) {
+  std::vector<bool> pattern;
+  pattern.reserve(draws);
+  for (int i = 0; i < draws; ++i) {
+    pattern.push_back(!FailpointRegistry::Global().Evaluate(name).ok());
+  }
+  return pattern;
+}
+
+TEST_F(FailpointTest, ProbabilityScheduleReplaysFromSeed) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kProbability;
+  config.probability = 0.4;
+  FailpointRegistry::Global().SeedSchedule(1234);
+  FailpointRegistry::Global().Arm("test/prob", config);
+  const std::vector<bool> first = DrawPattern("test/prob", 200);
+
+  // Same seed: bit-identical fault pattern, fresh stats.
+  FailpointRegistry::Global().SeedSchedule(1234);
+  EXPECT_EQ(DrawPattern("test/prob", 200), first);
+  EXPECT_EQ(FailpointRegistry::Global().Stats("test/prob").hits, 200u);
+
+  // Different seed: a different pattern (200 draws at p=0.4 collide with
+  // probability 2^-200 — astronomically unlikely).
+  FailpointRegistry::Global().SeedSchedule(99);
+  EXPECT_NE(DrawPattern("test/prob", 200), first);
+
+  // The schedule roughly honors the probability.
+  int fires = 0;
+  for (const bool f : first) {
+    fires += f ? 1 : 0;
+  }
+  EXPECT_GT(fires, 40);   // p=0.4, n=200: far outside chance
+  EXPECT_LT(fires, 140);
+}
+
+TEST_F(FailpointTest, ScheduleIndependentOfArmingOrder) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kProbability;
+  config.probability = 0.5;
+
+  FailpointRegistry::Global().SeedSchedule(7);
+  FailpointRegistry::Global().Arm("test/a", config);
+  FailpointRegistry::Global().Arm("test/b", config);
+  const std::vector<bool> a_first = DrawPattern("test/a", 64);
+  const std::vector<bool> b_first = DrawPattern("test/b", 64);
+
+  // Re-arm in the opposite order under the same seed: streams are a
+  // function of (seed, name), so the patterns must not move.
+  FailpointRegistry::Global().DisarmAll();
+  FailpointRegistry::Global().SeedSchedule(7);
+  FailpointRegistry::Global().Arm("test/b", config);
+  FailpointRegistry::Global().Arm("test/a", config);
+  EXPECT_EQ(DrawPattern("test/a", 64), a_first);
+  EXPECT_EQ(DrawPattern("test/b", 64), b_first);
+
+  // Distinct names draw distinct streams.
+  EXPECT_NE(a_first, b_first);
+}
+
+TEST_F(FailpointTest, DelaySleepsOnInjectedClockOnly) {
+  FakeClock clock;
+  FailpointRegistry::Global().set_clock(&clock);
+  FailpointConfig config;
+  config.action = FailpointConfig::Action::kDelay;
+  config.delay = milliseconds(500);
+  FailpointRegistry::Global().Arm("test/slow", config);
+
+  // A delay action returns OK (the operation succeeds, just late) and all
+  // the "sleeping" lands on the fake clock — this test finishing at all is
+  // the no-wall-sleep assertion.
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("test/slow").ok());
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("test/slow").ok());
+  EXPECT_EQ(clock.total_slept(), nanoseconds(milliseconds(1000)));
+  EXPECT_EQ(FailpointRegistry::Global().Stats("test/slow").fires, 2u);
+}
+
+TEST_F(FailpointTest, StatsCountHitsWhileArmedOnly) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kEveryNth;
+  config.every_nth = 2;
+  FailpointRegistry::Global().Arm("test/stats", config);
+  for (int i = 0; i < 6; ++i) {
+    (void)FailpointRegistry::Global().Evaluate("test/stats");
+  }
+  FailpointStats stats = FailpointRegistry::Global().Stats("test/stats");
+  EXPECT_EQ(stats.hits, 6u);
+  EXPECT_EQ(stats.fires, 3u);
+
+  // Re-arming resets the counters.
+  FailpointRegistry::Global().Arm("test/stats", config);
+  stats = FailpointRegistry::Global().Stats("test/stats");
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.fires, 0u);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationsNeverLoseHits) {
+  FailpointConfig config;
+  config.trigger = FailpointTrigger::kEveryNth;
+  config.every_nth = 3;
+  FailpointRegistry::Global().Arm("test/mt", config);
+  constexpr int kThreads = 4;
+  constexpr int kEvalsPerThread = 3000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kEvalsPerThread; ++i) {
+        (void)FailpointRegistry::Global().Evaluate("test/mt");
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const FailpointStats stats = FailpointRegistry::Global().Stats("test/mt");
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads) *
+                            kEvalsPerThread);
+  // Which thread observes each firing hit varies, but the trigger decision
+  // is made on the atomic hit count under the lock, so the total is exact.
+  EXPECT_EQ(stats.fires, stats.hits / 3);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint scoped("test/scoped", FailpointConfig{});
+    EXPECT_TRUE(FailpointRegistry::AnyArmed());
+    EXPECT_FALSE(FailpointRegistry::Global().Evaluate("test/scoped").ok());
+  }
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(FailpointRegistry::Global().Evaluate("test/scoped").ok());
+}
+
+TEST_F(FailpointTest, AbortActionDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FailpointConfig config;
+        config.action = FailpointConfig::Action::kAbort;
+        FailpointRegistry::Global().Arm("test/abort", config);
+        (void)FailpointRegistry::Global().Evaluate("test/abort");
+      },
+      "failpoint 'test/abort'");
+}
+
+// --- Site-macro behavior (differs by build flavor) ---
+
+Status GuardedOperation() {
+  DPHIST_FAILPOINT_RETURN_IF_SET("test/macro/guarded");
+  return Status::NotFound("reached the real body");
+}
+
+int side_effect_site_calls = 0;
+
+Status SideEffectOperation() {
+  DPHIST_FAILPOINT("test/macro/side_effect");
+  ++side_effect_site_calls;
+  return Status::Ok();
+}
+
+#if defined(DPHIST_FAILPOINTS)
+
+TEST_F(FailpointTest, ReturnIfSetMacroPropagatesInjectedStatus) {
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kNotFound);
+  FailpointConfig config;
+  config.status = Status::Internal("injected by macro test");
+  ScopedFailpoint scoped("test/macro/guarded", config);
+  const Status s = GuardedOperation();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "injected by macro test");
+}
+
+TEST_F(FailpointTest, SideEffectMacroSwallowsStatusButCountsFire) {
+  ScopedFailpoint scoped("test/macro/side_effect", FailpointConfig{});
+  side_effect_site_calls = 0;
+  EXPECT_TRUE(SideEffectOperation().ok());  // status swallowed by design
+  EXPECT_EQ(side_effect_site_calls, 1);
+  EXPECT_EQ(
+      FailpointRegistry::Global().Stats("test/macro/side_effect").fires, 1u);
+}
+
+TEST_F(FailpointTest, FailpointFiresHelperReflectsArming) {
+  EXPECT_FALSE(FailpointFires("test/macro/fires"));
+  ScopedFailpoint scoped("test/macro/fires", FailpointConfig{});
+  EXPECT_TRUE(FailpointFires("test/macro/fires"));
+}
+
+#else  // !DPHIST_FAILPOINTS
+
+TEST_F(FailpointTest, SiteMacrosCompileToNothingWhenDisabled) {
+  // Even with the registry armed, compiled-out sites never observe it.
+  FailpointConfig config;
+  config.status = Status::Internal("must never surface");
+  ScopedFailpoint scoped("test/macro/guarded", config);
+  ScopedFailpoint scoped2("test/macro/side_effect", config);
+  ScopedFailpoint scoped3("test/macro/fires", config);
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kNotFound);
+  side_effect_site_calls = 0;
+  EXPECT_TRUE(SideEffectOperation().ok());
+  EXPECT_EQ(side_effect_site_calls, 1);
+  EXPECT_FALSE(FailpointFires("test/macro/fires"));
+  EXPECT_EQ(FailpointRegistry::Global().Stats("test/macro/guarded").hits, 0u);
+}
+
+#endif  // DPHIST_FAILPOINTS
+
+}  // namespace
+}  // namespace testing
+}  // namespace dphist

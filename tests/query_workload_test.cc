@@ -2,6 +2,7 @@
 #include "dphist/query/workload.h"
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +17,61 @@ TEST(RangeQueryTest, ValidateCatchesBadQueries) {
   EXPECT_FALSE(ValidateQueries({{0, 11}}, 10).ok());   // beyond end
   EXPECT_FALSE(ValidateQueries({{5, 5}}, 10).ok());    // empty
   EXPECT_FALSE(ValidateQueries({{6, 5}}, 10).ok());    // inverted
+}
+
+TEST(RangeQueryTest, ValidationErrorNamesTheOffendingQuery) {
+  // The fail-loudly contract: the status pinpoints which query is bad and
+  // why, so a 10k-query batch failure is debuggable from the message alone.
+  const Status inverted = ValidateQueries({{0, 5}, {6, 5}}, 10);
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_NE(inverted.message().find("query 1"), std::string::npos);
+  EXPECT_NE(inverted.message().find("[6, 5)"), std::string::npos);
+  EXPECT_NE(inverted.message().find("empty or inverted"), std::string::npos);
+
+  const Status beyond = ValidateQueries({{2, 11}}, 10);
+  ASSERT_FALSE(beyond.ok());
+  EXPECT_NE(beyond.message().find("query 0"), std::string::npos);
+  EXPECT_NE(beyond.message().find("out of domain"), std::string::npos);
+  EXPECT_NE(beyond.message().find("domain size 10"), std::string::npos);
+}
+
+TEST(RangeQueryTest, BoundsPolicyNeverClampsOrSwaps) {
+  // No silent repair anywhere on the spectrum of bad inputs: off-by-one
+  // past the end, SIZE_MAX-adjacent extremes, inverted endpoints, and a
+  // zero-size domain all fail typed instead of being clamped into range.
+  constexpr std::size_t kMax = static_cast<std::size_t>(-1);
+  EXPECT_TRUE(ValidateQueries({{9, 10}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{10, 11}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{0, kMax}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{kMax - 1, kMax}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{kMax, kMax}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{kMax, 0}}, 10).ok());
+  EXPECT_FALSE(ValidateQueries({{0, 1}}, 0).ok());
+  // An empty batch is vacuously valid, even over an empty domain.
+  EXPECT_TRUE(ValidateQueries({}, 0).ok());
+
+  for (const Status& s :
+       {ValidateQueries({{10, 11}}, 10), ValidateQueries({{kMax, 0}}, 10)}) {
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(RangeQueryTest, AnswerNeverSilentlyRepairsBadQueries) {
+  // AnswerQueries must reject the whole batch — a swapped or clamped
+  // answer would be a silently wrong statistic, the worst failure mode for
+  // a privacy tool.
+  Histogram h({1.0, 2.0, 3.0});
+  EXPECT_EQ(AnswerQueries(h, {{2, 1}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(AnswerQueries(h, {{1, 1}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(AnswerQueries(h, {{0, static_cast<std::size_t>(-1)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // One bad query poisons the batch even when every other query is fine.
+  auto mixed = AnswerQueries(h, {{0, 3}, {0, 4}, {1, 2}});
+  EXPECT_FALSE(mixed.ok());
 }
 
 TEST(RangeQueryTest, AnswerMatchesNaive) {
@@ -91,6 +147,26 @@ TEST(FixedLengthWorkloadTest, RejectsBadLengths) {
   Rng rng(6);
   EXPECT_FALSE(FixedLengthWorkload(50, 0, 10, rng).ok());
   EXPECT_FALSE(FixedLengthWorkload(50, 51, 10, rng).ok());
+}
+
+TEST(WorkloadTest, DegenerateGeneratorArgumentsFailTyped) {
+  // Generators follow the same no-silent-repair policy as validation: a
+  // length that cannot fit is a typed error, never a clamped workload.
+  constexpr std::size_t kMax = static_cast<std::size_t>(-1);
+  Rng rng(7);
+  EXPECT_EQ(RandomRangeWorkload(0, 10, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RandomRangeWorkload(10, 0, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FixedLengthWorkload(50, kMax, 10, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FixedLengthWorkload(0, 1, 10, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  // Every query a generator *does* emit validates against its own domain.
+  auto ok = RandomRangeWorkload(33, 64, rng);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ValidateQueries(ok.value(), 33).ok());
+  EXPECT_FALSE(ValidateQueries(ok.value(), 0).ok());
 }
 
 TEST(AllUnitWorkloadTest, OneQueryPerBin) {

@@ -266,6 +266,61 @@ TEST(ReleaseServerTest, RefusalWithEmptyCacheFailsBatchTyped) {
   EXPECT_EQ(batch.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(ReleaseServerTest, NeverPublishedDatasetFailsTypedAndNeverCountsStale) {
+  // The degradation gap: with *nothing* ever published there is no stale
+  // release to fall back to, so the batch must fail with the ledger's
+  // typed refusal — and the stale counter must not move, because nothing
+  // stale was served. (A counter bump here would make dashboards report a
+  // degradation that never happened.)
+  obs::Registry::Global().Reset();
+  obs::Registry::Global().set_enabled(true);
+  const Histogram truth = TestTruth();
+  ReleaseServer server(truth, /*total_epsilon=*/0.05);
+  Rng workload_rng(53);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+  obs::Counter& stale =
+      obs::Registry::Global().GetCounter("serve/batches_stale");
+  obs::Counter& batches = obs::Registry::Global().GetCounter("serve/batches");
+  const std::uint64_t stale_before = stale.value();
+  const std::uint64_t batches_before = batches.value();
+
+  auto refused = server.AnswerBatch(queries.value(), {"dwork", 0.2, 1});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stale.value(), stale_before);        // no phantom degradation
+  EXPECT_EQ(batches.value(), batches_before + 1);  // the attempt counted
+  EXPECT_EQ(server.cache().size(), 0u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.0);
+  obs::Registry::Global().set_enabled(false);
+  obs::Registry::Global().Reset();
+}
+
+TEST(ReleaseServerTest, RetryPolicyDefaultsAreSingleShotAndDeadlineFree) {
+  // Defaults must preserve the historical single-attempt behavior: a
+  // non-transient failure surfaces immediately, and a deadline configured
+  // alongside a successful first attempt never fires.
+  const Histogram truth = TestTruth();
+  FakeClock clock;
+  ReleaseServerOptions options;
+  options.clock = &clock;
+  options.retry.deadline = std::chrono::milliseconds(1);
+  ReleaseServer server(truth, 10.0, options);
+  Rng workload_rng(59);
+  auto queries = RandomRangeWorkload(truth.size(), 10, workload_rng);
+  ASSERT_TRUE(queries.ok());
+
+  auto ok = server.AnswerBatch(queries.value(), {"dwork", 0.2, 1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(clock.total_slept(), std::chrono::nanoseconds(0));
+
+  auto missing = server.AnswerBatch(queries.value(),
+                                    {"no_such_algorithm", 0.2, 1});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(clock.total_slept(), std::chrono::nanoseconds(0));
+}
+
 TEST(ReleaseServerTest, StaleServePrefersSamePublisher) {
   const Histogram truth = TestTruth();
   ReleaseServer server(truth, /*total_epsilon=*/0.4);

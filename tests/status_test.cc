@@ -36,6 +36,15 @@ TEST(StatusTest, AllErrorFactories) {
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, DeadlineExceededCarriesMessage) {
+  const Status s = Status::DeadlineExceeded("batch budget overrun");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "batch budget overrun");
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: batch budget overrun");
 }
 
 TEST(StatusTest, CodeNames) {
@@ -46,6 +55,8 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
   EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
             "ResourceExhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 TEST(StatusTest, CopyPreservesState) {

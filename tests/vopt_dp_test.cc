@@ -65,12 +65,16 @@ double BruteForceMin(const std::vector<double>& x, std::size_t k,
   return best;
 }
 
+// Property sweep: for *every* domain size n <= 12, every bucket count
+// k <= n, and several independent random count draws, the DP's SSE/SAE
+// equals the exhaustive minimum over all C(n-1, k-1) partitions.
 class VOptBruteForceSweep
-    : public ::testing::TestWithParam<std::tuple<std::size_t, CostKind>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, CostKind, std::uint64_t>> {};
 
 TEST_P(VOptBruteForceSweep, MatchesExhaustiveSearch) {
-  const auto [n, kind] = GetParam();
-  const std::vector<double> counts = RandomCounts(n, 100 + n);
+  const auto [n, kind, draw] = GetParam();
+  const std::vector<double> counts = RandomCounts(n, 100 + 1000 * draw + n);
   IntervalCostTable::Options options;
   options.kind = kind;
   auto table = IntervalCostTable::Create(counts, options);
@@ -80,15 +84,16 @@ TEST_P(VOptBruteForceSweep, MatchesExhaustiveSearch) {
   for (std::size_t k = 1; k <= n; ++k) {
     EXPECT_NEAR(solver.value().MinCost(k), BruteForceMin(counts, k, kind),
                 1e-6)
-        << "n=" << n << " k=" << k;
+        << "n=" << n << " k=" << k << " draw=" << draw;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    SmallDomains, VOptBruteForceSweep,
-    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8, 10, 12),
+    AllSmallDomains, VOptBruteForceSweep,
+    ::testing::Combine(::testing::Range<std::size_t>(1, 13),
                        ::testing::Values(CostKind::kSquared,
-                                         CostKind::kAbsolute)));
+                                         CostKind::kAbsolute),
+                       ::testing::Values<std::uint64_t>(0, 1, 2)));
 
 TEST(VOptSolverTest, CostIsNonIncreasingInK) {
   const std::vector<double> counts = RandomCounts(40, 7);

@@ -31,6 +31,7 @@ on any machine.
 
 import argparse
 import json
+import math
 import sys
 
 # Fields that identify a row rather than measure it.
@@ -98,8 +99,31 @@ def metrics_of(row):
         k: v
         for k, v in row.items()
         if k not in ID_FIELDS and k not in IGNORED_FIELDS
-        and isinstance(v, (int, float))
+        and isinstance(v, (int, float)) and not isinstance(v, bool)
     }
+
+
+def validate_rows(rows, label):
+    """Every measured field must be a finite number. A NaN, Infinity,
+    bool, or string where a metric belongs means the capture (or a hand
+    edit) corrupted the file; comparing against it would silently pass —
+    NaN fails every > comparison — so it is a hard error instead."""
+    problems = []
+    for row in rows:
+        bench = row.get("bench", "?")
+        for field, value in row.items():
+            if field in ID_FIELDS or field in IGNORED_FIELDS:
+                continue
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))):
+                problems.append(
+                    f"{label} bench '{bench}': metric '{field}' is "
+                    f"non-numeric ({value!r})")
+            elif not math.isfinite(value):
+                problems.append(
+                    f"{label} bench '{bench}': metric '{field}' is "
+                    f"{value} — not a finite number")
+    return problems
 
 
 def capture(args):
@@ -107,6 +131,13 @@ def capture(args):
     if not rows:
         print("capture: no rows found in", ", ".join(args.capture),
               file=sys.stderr)
+        return 1
+    corrupt = validate_rows(rows, "capture")
+    if corrupt:
+        for problem in corrupt:
+            print("CORRUPT:", problem, file=sys.stderr)
+        print("capture refused: a baseline with non-finite metrics would "
+              "make every future comparison meaningless", file=sys.stderr)
         return 1
     rows.sort(key=row_key)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -117,8 +148,18 @@ def capture(args):
 
 
 def check(args):
-    baseline = {row_key(r): r for r in load_rows(args.baseline)}
-    fresh = {row_key(r): r for r in load_rows_multi(args.fresh)}
+    baseline_rows = load_rows(args.baseline)
+    fresh_rows = load_rows_multi(args.fresh)
+    corrupt = (validate_rows(baseline_rows, "baseline")
+               + validate_rows(fresh_rows, "fresh"))
+    if corrupt:
+        for problem in corrupt:
+            print("CORRUPT:", problem, file=sys.stderr)
+        print(f"FAIL: {len(corrupt)} corrupt metric value(s); fix the "
+              f"rows file before comparing", file=sys.stderr)
+        return 1
+    baseline = {row_key(r): r for r in baseline_rows}
+    fresh = {row_key(r): r for r in fresh_rows}
     if not baseline:
         print("check: baseline is empty:", args.baseline, file=sys.stderr)
         return 1
