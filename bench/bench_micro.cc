@@ -2,11 +2,14 @@
 // (google-benchmark). These are throughput sanity checks for the
 // substrates, not paper figures.
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "dphist/hist/fenwick.h"
 #include "dphist/obs/export.h"
 #include "dphist/hist/interval_cost.h"
@@ -128,23 +131,85 @@ void BM_IntervalCostBuildAbsolute(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalCostBuildAbsolute)->Arg(256)->Arg(1024);
 
+// Arg 0: domain size; arg 1: row strategy (0 = naive, 1 = monotone). The
+// strategy is set explicitly so a DPHIST_VOPT_STRATEGY override cannot
+// collapse the comparison into measuring one path twice.
 void BM_VOptSolve(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::vector<double> counts = RandomCounts(n);
   dphist::IntervalCostTable::Options options;
   auto table = dphist::IntervalCostTable::Create(counts, options);
+  dphist::VOptSolver::SolveOptions solve_options;
+  solve_options.strategy = state.range(1) == 0
+                               ? dphist::VOptStrategy::kNaive
+                               : dphist::VOptStrategy::kMonotone;
+  state.SetLabel(dphist::VOptStrategyName(solve_options.strategy));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        dphist::VOptSolver::Solve(table.value(), 64));
+        dphist::VOptSolver::Solve(table.value(), 64, solve_options));
   }
 }
-BENCHMARK(BM_VOptSolve)->Arg(256)->Arg(1024);
+BENCHMARK(BM_VOptSolve)->ArgsProduct({{256, 1024, 4096}, {0, 1}});
+
+// The M1 strategy table: per (n, strategy), the median wall time of a
+// 64-bucket solve over the uniform worst-case counts, plus the solver's
+// deterministic work counters. Emitted as bench JSON so the regression
+// gate holds both the timing ratio and — tightly — the pruning behavior
+// (a jump in cost_lookups means the bound or the skip rules changed).
+void RunVOptStrategyTable() {
+  dphist_bench::BenchJsonWriter json("micro");
+  const std::size_t reps = dphist_bench::Repetitions();
+  for (const std::size_t n : {std::size_t{256}, std::size_t{1024},
+                              std::size_t{4096}}) {
+    const std::vector<double> counts = RandomCounts(n);
+    dphist::IntervalCostTable::Options options;
+    auto table = dphist::IntervalCostTable::Create(counts, options);
+    double naive_ms = 0.0;
+    for (const dphist::VOptStrategy strategy :
+         {dphist::VOptStrategy::kNaive, dphist::VOptStrategy::kMonotone}) {
+      dphist::VOptSolver::SolveOptions solve_options;
+      solve_options.strategy = strategy;
+      dphist::VOptSolver::SolveStats stats;
+      std::vector<double> wall_ms;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        auto solver =
+            dphist::VOptSolver::Solve(table.value(), 64, solve_options);
+        wall_ms.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+        stats = solver.value().stats();
+      }
+      std::sort(wall_ms.begin(), wall_ms.end());
+      const double median = wall_ms[wall_ms.size() / 2];
+      auto row = json.Row()
+                     .Str("fig", "m1_vopt")
+                     .Str("algo", "vopt_solve")
+                     .Str("strategy", dphist::VOptStrategyName(strategy))
+                     .Num("n", static_cast<double>(n))
+                     .Num("k", 64.0)
+                     .Num("solve_ms", median)
+                     .Num("cost_lookups",
+                          static_cast<double>(stats.cost_lookups))
+                     .Num("bound_scans",
+                          static_cast<double>(stats.bound_scans));
+      if (strategy == dphist::VOptStrategy::kNaive) {
+        naive_ms = median;
+      } else {
+        row.Num("speedup", naive_ms / median);
+      }
+      json.AddRow(row);
+    }
+  }
+  json.Finish();
+}
 
 }  // namespace
 
-// Custom main (instead of benchmark_main) so the obs registry snapshot —
-// solver counters, interval-cost build stats, draw counts — is exported
-// after the benchmarks run when DPHIST_OBS_OUT is set.
+// Custom main (instead of benchmark_main) so the strategy table runs and
+// the obs registry snapshot — solver counters, interval-cost build stats,
+// draw counts — is exported after the benchmarks (BenchJsonWriter::Finish
+// handles the DPHIST_OBS_OUT export).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
@@ -152,6 +217,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  dphist::obs::ExportToEnv("micro");
+  RunVOptStrategyTable();
   return 0;
 }

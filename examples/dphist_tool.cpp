@@ -14,11 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "dphist/algorithms/noise_first.h"
 #include "dphist/algorithms/registry.h"
+#include "dphist/algorithms/structure_first.h"
 #include "dphist/data/csv.h"
 #include "dphist/data/generators.h"
 #include "dphist/metrics/metrics.h"
@@ -35,10 +38,12 @@ struct Flags {
   std::size_t queries = 500;
   double budget = 1.0;
   std::size_t batches = 8;
+  dphist::VOptStrategy vopt_strategy = dphist::VOptStrategy::kAuto;
+  bool vopt_strategy_set = false;
 };
 
-// Parses trailing --n/--seed/--queries/--budget/--batches flags from
-// argv[start..).
+// Parses trailing --n/--seed/--queries/--budget/--batches/--vopt-strategy
+// flags from argv[start..).
 bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
   for (int i = start; i < argc; ++i) {
     auto need_value = [&](const char* name) -> const char* {
@@ -70,6 +75,17 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       if (value == nullptr) return false;
       flags->batches =
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--vopt-strategy") == 0) {
+      const char* value = need_value("--vopt-strategy");
+      if (value == nullptr) return false;
+      if (!dphist::ParseVOptStrategy(value, &flags->vopt_strategy)) {
+        std::fprintf(stderr,
+                     "--vopt-strategy must be auto, naive, or monotone "
+                     "(got: %s)\n",
+                     value);
+        return false;
+      }
+      flags->vopt_strategy_set = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -85,12 +101,18 @@ int Usage() {
       "  dphist_tool generate <age|nettrace|searchlogs|social> <out.csv>"
       " [--n N] [--seed S]\n"
       "  dphist_tool publish <algorithm> <epsilon> <in.csv> <out.csv>"
-      " [--seed S]\n"
+      " [--seed S] [--vopt-strategy auto|naive|monotone]\n"
       "  dphist_tool evaluate <truth.csv> <released.csv> [--queries Q]"
       " [--seed S]\n"
       "  dphist_tool serve <algorithm> <epsilon-per-release> <in.csv>"
       " [--budget E] [--batches B] [--queries Q] [--seed S]\n"
-      "  dphist_tool list\n");
+      "  dphist_tool list\n"
+      "\n"
+      "--vopt-strategy picks the v-opt DP row fill for noise_first /\n"
+      "structure_first (a pure execution knob: every strategy publishes\n"
+      "bit-identical histograms). The DPHIST_VOPT_STRATEGY environment\n"
+      "variable applies the same override to every solve, including the\n"
+      "serve subcommand's publishers.\n");
   return 2;
 }
 
@@ -136,10 +158,32 @@ int RunPublish(int argc, char** argv) {
     return 2;
   }
   const double epsilon = std::atof(argv[3]);
-  auto publisher = dphist::PublisherRegistry::Make(argv[2]);
+  const std::string algorithm = argv[2];
+  auto publisher = dphist::PublisherRegistry::Make(algorithm);
   if (!publisher.ok()) {
     std::fprintf(stderr, "%s\n", publisher.status().ToString().c_str());
     return 1;
+  }
+  // An explicit --vopt-strategy rebuilds the publisher with the strategy
+  // in its Options (beating any DPHIST_VOPT_STRATEGY in the environment),
+  // re-wrapped in the registry's obs decorator so metrics stay uniform.
+  if (flags.vopt_strategy_set) {
+    if (algorithm == "noise_first") {
+      dphist::NoiseFirst::Options options;
+      options.vopt_strategy = flags.vopt_strategy;
+      publisher = dphist::PublisherRegistry::Instrument(
+          std::make_unique<dphist::NoiseFirst>(options));
+    } else if (algorithm == "structure_first") {
+      dphist::StructureFirst::Options options;
+      options.vopt_strategy = flags.vopt_strategy;
+      publisher = dphist::PublisherRegistry::Instrument(
+          std::make_unique<dphist::StructureFirst>(options));
+    } else {
+      std::fprintf(stderr,
+                   "note: --vopt-strategy only affects noise_first and "
+                   "structure_first; ignored for %s\n",
+                   algorithm.c_str());
+    }
   }
   auto truth = dphist::LoadHistogramCsv(argv[4]);
   if (!truth.ok()) {

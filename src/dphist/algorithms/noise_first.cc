@@ -60,7 +60,9 @@ Result<Histogram> NoiseFirst::PublishWithDetails(const Histogram& histogram,
   } else {
     max_k = std::min<std::size_t>(m, 256);
   }
-  auto solver = VOptSolver::Solve(costs, max_k);
+  VOptSolver::SolveOptions solve_options;
+  solve_options.strategy = options_.vopt_strategy;
+  auto solver = VOptSolver::Solve(costs, max_k, solve_options);
   if (!solver.ok()) {
     return solver.status();
   }

@@ -7,6 +7,7 @@
 
 #include "dphist/algorithms/publisher.h"
 #include "dphist/hist/bucketization.h"
+#include "dphist/hist/vopt_dp.h"
 
 namespace dphist {
 
@@ -61,6 +62,10 @@ class NoiseFirst final : public HistogramPublisher {
     /// the expected cumulative overfit gain sum_{j<k} b^2 ln^2(n/j) to the
     /// k-bucket score, which restores small k* on structure-less data.
     bool bias_corrected_selection = false;
+    /// Row-fill strategy for the v-opt dynamic program (pure execution
+    /// knob: every strategy yields bit-identical structures; see
+    /// VOptSolver::SolveOptions::strategy).
+    VOptStrategy vopt_strategy = VOptStrategy::kAuto;
   };
 
   /// Diagnostic output of a publication run, for tests and benches.

@@ -105,10 +105,12 @@ Result<Histogram> StructureFirst::PublishWithDetails(
   double structure_spent = 0.0;  // accumulates as draws actually happen
   Result<VOptSolver> solver = Status::Internal("unset");
 
+  VOptSolver::SolveOptions solve_options;
+  solve_options.strategy = options_.vopt_strategy;
   if (options_.num_buckets != 0) {
     k = std::min(options_.num_buckets, m);
     if (k > 1 && k < m) {
-      solver = VOptSolver::Solve(costs, k);
+      solver = VOptSolver::Solve(costs, k, solve_options);
       if (!solver.ok()) {
         return solver.status();
       }
@@ -121,7 +123,7 @@ Result<Histogram> StructureFirst::PublishWithDetails(
         options_.max_buckets_considered == 0
             ? std::min<std::size_t>(m, 128)
             : std::min(options_.max_buckets_considered, m);
-    solver = VOptSolver::Solve(costs, k_cap);
+    solver = VOptSolver::Solve(costs, k_cap, solve_options);
     if (!solver.ok()) {
       return solver.status();
     }

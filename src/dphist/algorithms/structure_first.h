@@ -8,6 +8,7 @@
 #include "dphist/algorithms/publisher.h"
 #include "dphist/hist/bucketization.h"
 #include "dphist/hist/interval_cost.h"
+#include "dphist/hist/vopt_dp.h"
 
 namespace dphist {
 
@@ -81,6 +82,10 @@ class StructureFirst final : public HistogramPublisher {
     std::size_t grid_step = 0;
     /// Clamp published counts at zero.
     bool clamp_nonnegative = false;
+    /// Row-fill strategy for the v-opt dynamic program (pure execution
+    /// knob: every strategy yields bit-identical tables, hence identical
+    /// boundary-sampling utilities; see VOptSolver::SolveOptions).
+    VOptStrategy vopt_strategy = VOptStrategy::kAuto;
   };
 
   /// Diagnostic output of a publication run.

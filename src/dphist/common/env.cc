@@ -1,0 +1,32 @@
+#include "dphist/common/env.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+namespace dphist {
+
+std::optional<std::string> GetEnv(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return std::nullopt;
+  }
+  return std::string(value);
+}
+
+std::optional<std::size_t> GetEnvPositiveInt(const char* name) {
+  const std::optional<std::string> value = GetEnv(name);
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || parsed <= 0 ||
+      parsed == LONG_MAX) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace dphist

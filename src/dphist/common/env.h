@@ -1,0 +1,21 @@
+#ifndef DPHIST_COMMON_ENV_H_
+#define DPHIST_COMMON_ENV_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace dphist {
+
+/// Returns the value of environment variable `name`, or nullopt when the
+/// variable is unset or empty.
+std::optional<std::string> GetEnv(const char* name);
+
+/// Parses `name` as a strictly positive integer. Returns nullopt when the
+/// variable is unset, empty, unparseable, zero, or negative — callers fall
+/// back to their built-in default rather than silently misconfiguring.
+std::optional<std::size_t> GetEnvPositiveInt(const char* name);
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_ENV_H_

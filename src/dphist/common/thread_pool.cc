@@ -2,13 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <climits>
 #include <cstdint>
-#include <cstdlib>
 #include <exception>
 
+#include "dphist/common/env.h"
 #include "dphist/obs/obs.h"
 #include "dphist/testing/failpoint.h"
 
@@ -23,17 +21,10 @@ thread_local const ThreadPool* current_worker_pool = nullptr;
 }  // namespace
 
 std::size_t ThreadPool::DefaultThreadCount() {
-  const char* env = std::getenv("DPHIST_THREADS");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(env, &end, 10);
-    if (errno == 0 && end != nullptr && *end == '\0' && parsed > 0 &&
-        parsed < LONG_MAX) {
-      return static_cast<std::size_t>(parsed);
-    }
-    // Unparseable or non-positive values fall through to the hardware
-    // default rather than silently serializing the process.
+  // Unparseable or non-positive values fall through to the hardware
+  // default rather than silently serializing the process.
+  if (const auto parsed = GetEnvPositiveInt("DPHIST_THREADS")) {
+    return *parsed;
   }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);

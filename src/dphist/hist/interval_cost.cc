@@ -45,9 +45,10 @@ Result<IntervalCostTable> IntervalCostTable::Create(
   table.squares_ = PrefixSumsOfSquares(counts);
   if (options.kind == CostKind::kAbsolute) {
     const std::size_t m = table.positions_.size();
-    if (m * m > options.max_table_cells) {
+    // Stored cells of the packed a < b triangle.
+    if (m * (m - 1) / 2 > options.max_table_cells) {
       return Status::InvalidArgument(
-          "absolute-cost matrix would exceed max_table_cells; "
+          "absolute-cost triangle would exceed max_table_cells; "
           "increase grid_step");
     }
     table.BuildAbsoluteMatrix(counts, options);
@@ -81,7 +82,7 @@ double IntervalCostTable::SquaredCostOf(std::size_t begin,
 void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts,
                                             const Options& options) {
   const std::size_t m = positions_.size();
-  absolute_costs_.assign(m * m, 0.0);
+  absolute_costs_.assign(m * (m - 1) / 2, 0.0);
   // Bulk-counted (one Add per build): the cells the Fenwick sweeps fill.
   static obs::Counter& absolute_cells =
       obs::Registry::Global().GetCounter("interval_cost/absolute_cells");
@@ -102,14 +103,15 @@ void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts,
   // For each candidate end position, sweep the start leftwards, inserting
   // one unit bin at a time; at every candidate start, evaluate the cost of
   // the interval currently held in the Fenwick tree. Distinct end positions
-  // touch disjoint matrix cells (column b), so the sweeps fan out across
-  // the pool with one scratch Fenwick tree per chunk; each column's values
-  // are computed by exactly the sequential sweep, so the matrix is
+  // touch disjoint cells (the packed column of b), so the sweeps fan out
+  // across the pool with one scratch Fenwick tree per chunk; each column's
+  // values are computed by exactly the sequential sweep, so the triangle is
   // bit-identical for any thread count.
   auto sweep_columns = [&](std::size_t b_begin, std::size_t b_end) {
     RankedFenwick fenwick(sorted.size());
     for (std::size_t b = b_begin; b < b_end; ++b) {
       fenwick.Clear();
+      double* column = &absolute_costs_[b * (b - 1) / 2];
       const std::size_t end = positions_[b];
       std::size_t a = b;  // index of the next candidate start to the left
       for (std::size_t j = end; j-- > 0;) {
@@ -135,7 +137,7 @@ void IntervalCostTable::BuildAbsoluteMatrix(const std::vector<double>& counts,
           const double above_count = length - below_count;
           const double cost =
               (mu * below_count - below_sum) + (above_sum - mu * above_count);
-          absolute_costs_[a * m + b] = cost > 0.0 ? cost : 0.0;
+          column[a] = cost > 0.0 ? cost : 0.0;
         }
       }
     }

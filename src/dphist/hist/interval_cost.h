@@ -35,8 +35,8 @@ const char* CostKindName(CostKind kind);
 /// consult costs of the form cost([p_a, p_b)) where p_0=0 < p_1 < ... <
 /// p_m=n are the candidate cut positions (all multiples of `grid_step`,
 /// plus the domain end). Squared costs are O(1) from prefix tables; absolute
-/// costs are materialized into an m*m table built with a rank Fenwick tree
-/// in O((n^2/g) log n).
+/// costs are materialized into a packed a < b triangle built with a rank
+/// Fenwick tree in O((n^2/g) log n).
 class IntervalCostTable {
  public:
   struct Options {
@@ -46,9 +46,9 @@ class IntervalCostTable {
     /// grid trades structure quality for speed/memory — the paper's exact
     /// algorithm corresponds to grid_step = 1.
     std::size_t grid_step = 1;
-    /// Safety cap on the absolute-cost matrix (number of cells). Create
-    /// fails with InvalidArgument when (m+1)^2 would exceed it; increase
-    /// grid_step in that case.
+    /// Safety cap on the absolute-cost triangle (number of stored cells).
+    /// Create fails with InvalidArgument when (m+1)*m/2 would exceed it;
+    /// increase grid_step in that case.
     std::size_t max_table_cells = 1ULL << 26;
     /// Pool for the absolute-cost matrix build (the per-endpoint Fenwick
     /// sweeps are independent); nullptr means ThreadPool::Global(). The
@@ -92,14 +92,35 @@ class IntervalCostTable {
   /// both kinds; used by NoiseFirst's error estimator). O(1).
   double SquaredCostOf(std::size_t begin, std::size_t end) const;
 
+  /// Prefix sums over unit bins, sums()[i] = sum counts[0..i) (size
+  /// domain_size()+1). Exposed for the monotone v-opt solver, whose bound
+  /// kernel mirrors SquaredCostOf's arithmetic from these tables.
+  const std::vector<double>& prefix_sums() const { return sums_; }
+
+  /// Prefix sums of squares, same layout as prefix_sums().
+  const std::vector<double>& prefix_squares() const { return squares_; }
+
+  /// Pointer to the packed absolute-cost column of end candidate `b`:
+  /// column[a] == cost of [positions()[a], positions()[b]) for a < b.
+  /// Requires kind() == kAbsolute and 1 <= b < positions().size(). The
+  /// contiguous column layout is what lets the monotone v-opt solver scan
+  /// a fixed-end row of candidates with a vectorized block min.
+  const double* AbsoluteColumn(std::size_t b) const {
+    return absolute_costs_.data() + b * (b - 1) / 2;
+  }
+
  private:
   IntervalCostTable() = default;
 
   void BuildAbsoluteMatrix(const std::vector<double>& counts,
                            const Options& options);
 
+  // Packed triangular index: only a < b intervals exist, stored
+  // column-major by end candidate b — column b occupies the contiguous
+  // range [b*(b-1)/2, b*(b+1)/2). Half the memory of the historical full
+  // (positions x positions) matrix, and fixed-b columns are contiguous.
   double AbsoluteAt(std::size_t a, std::size_t b) const {
-    return absolute_costs_[a * positions_.size() + b];
+    return absolute_costs_[b * (b - 1) / 2 + a];
   }
 
   std::size_t domain_size_ = 0;
@@ -109,7 +130,7 @@ class IntervalCostTable {
   // Prefix sums over unit bins: sums_[i] = sum counts[0..i).
   std::vector<double> sums_;
   std::vector<double> squares_;
-  // Flattened (positions x positions) matrix; only a < b cells are valid.
+  // Packed a < b triangle, column-major by end candidate (see AbsoluteAt).
   // Empty when kind == kSquared.
   std::vector<double> absolute_costs_;
 };

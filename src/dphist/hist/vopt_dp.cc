@@ -1,9 +1,13 @@
 #include "dphist/hist/vopt_dp.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <limits>
 
+#include "dphist/common/env.h"
 #include "dphist/common/thread_pool.h"
+#include "dphist/hist/vopt_kernel.h"
 #include "dphist/obs/obs.h"
 
 namespace dphist {
@@ -13,11 +17,252 @@ namespace {
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 // Minimum indices per chunk when a row is parallelized: each cell already
-// costs O(i) cost lookups, so modest chunks amortize dispatch fine while
-// keeping the tail balanced.
+// costs O(i) work, so modest chunks amortize dispatch fine while keeping
+// the tail balanced.
 constexpr std::size_t kRowMinChunk = 32;
 
+// Monotone-path tuning (DESIGN §7): candidates are bound-scanned in blocks
+// of kBoundBlock, and kCellTile cells of one row share each block sweep so
+// the prev/csum/csq/reciprocal blocks stay L1-resident across the tile
+// instead of being re-streamed from L2 once per cell.
+constexpr std::size_t kBoundBlock = 64;
+constexpr std::size_t kCellTile = 32;
+
+// Interval-length reciprocals are inflated by 1 + 2^-40 so that
+// (sum*sum) * rr >= fl((sum*sum) / length) under any rounding — including
+// any FMA contraction of the kernel expression: the inflation dominates
+// the relative rounding error of the reciprocal and of the product (each
+// ~2^-53) by orders of magnitude, while remaining far too small to cost
+// measurable pruning. This is what makes the kernel's lower bound
+// *certified* — never above the exact candidate — rather than merely
+// close (DESIGN §7 gives the full argument).
+constexpr double kReciprocalInflate = 1.0 + 0x1p-40;
+
+// Below this candidate count kAuto stays naive: the monotone path's
+// per-row suffix minima and per-cell upper-bound seeding only pay for
+// themselves once rows are long enough for pruning to bite.
+constexpr std::size_t kAutoMonotoneMinCandidates = 32;
+
+// Reference predecessor scan for one cell — also the fallback the
+// monotone path uses for the rare cells its preconditions exclude.
+// Returns the number of exact cost evaluations actually performed (the
+// infinity guard skips a predecessor *before* its lookup, which is why
+// the count cannot be derived from the closed-form triangle).
+std::uint64_t NaiveCell(const IntervalCostTable& costs, const double* prev,
+                        double* curr, std::int32_t* par, std::size_t k,
+                        std::size_t i) {
+  std::uint64_t lookups = 0;
+  double best = kInfinity;
+  std::int32_t best_j = -1;
+  for (std::size_t j = k - 1; j < i; ++j) {
+    if (prev[j] == kInfinity) {
+      continue;
+    }
+    const double candidate = prev[j] + costs.CostBetween(j, i);
+    ++lookups;
+    if (candidate < best) {
+      best = candidate;
+      best_j = static_cast<std::int32_t>(j);
+    }
+  }
+  curr[i] = best;
+  par[i] = best_j;
+  return lookups;
+}
+
+// Shared read-only inputs of the monotone squared path, valid for one row.
+struct SquaredBoundTables {
+  const double* csum;     // prefix sums gathered at candidate positions
+  const double* csq;      // prefix sums of squares, same gather
+  const double* rrev;     // rrev[m - d] = inflated 1/(d * grid_step)
+  const double* suffmin;  // suffix minima of the previous row
+  std::size_t m;
+};
+
+// Fills cells [begin, end) of row k with certified-lower-bound pruning.
+//
+// Tie-breaking contract: the only values ever written are exact
+// candidates prev[j] + CostBetween(j, i), evaluated in ascending j with
+// strict '<', and the skip rules provably never eliminate the leftmost
+// argmin — `lb > ub` because the bound never exceeds the candidate and ub
+// never drops below the row minimum; `lb >= best` because best's achiever
+// lies at a smaller j. So curr/par match NaiveCell bit for bit, at any
+// thread count, and only the amount of skipped work varies (DESIGN §7).
+void MonotoneSquaredCells(const IntervalCostTable& costs,
+                          const SquaredBoundTables& t, const double* prev,
+                          double* curr, std::int32_t* par, std::size_t k,
+                          std::size_t begin, std::size_t end,
+                          std::uint64_t* lookups, std::uint64_t* scans) {
+  struct Cell {
+    std::size_t i;
+    double si;         // prefix sum at i
+    double qi;         // prefix sum of squares at i
+    const double* rr;  // rr[j] = inflated reciprocal of length (i - j)
+    double ub;         // certified upper bound on this cell's row minimum
+    double best;       // min over candidates evaluated so far (ascending)
+    std::int32_t bj;
+    bool done;
+  };
+  std::array<Cell, kCellTile> tile;
+  for (std::size_t i0 = begin; i0 < end; i0 += kCellTile) {
+    const std::size_t tcount = std::min(kCellTile, end - i0);
+    std::size_t active = tcount;
+    for (std::size_t t_idx = 0; t_idx < tcount; ++t_idx) {
+      Cell& c = tile[t_idx];
+      c.i = i0 + t_idx;
+      c.si = t.csum[c.i];
+      c.qi = t.csq[c.i];
+      c.rr = t.rrev + (t.m - c.i);
+      // Seed the upper bound with the exact j = i-1 candidate, so every
+      // later comparison starts against an attainable value instead of
+      // infinity. The seed deliberately does NOT touch `best`: j = i-1 is
+      // the *last* candidate, and crediting it early would let an
+      // equal-valued smaller j be skipped — breaking the leftmost
+      // tie-break that makes the table bit-identical to naive.
+      c.ub = prev[c.i - 1] + costs.CostBetween(c.i - 1, c.i);
+      ++*lookups;
+      c.best = kInfinity;
+      c.bj = -1;
+      c.done = false;
+    }
+    for (std::size_t b0 = k - 1; b0 + 1 < i0 + tcount && active > 0;
+         b0 += kBoundBlock) {
+      for (std::size_t t_idx = 0; t_idx < tcount; ++t_idx) {
+        Cell& c = tile[t_idx];
+        if (c.done || b0 >= c.i) {
+          continue;
+        }
+        // Every remaining candidate satisfies cand >= prev[j] >=
+        // suffmin[b0]; once that floor clears both thresholds, no later
+        // block can improve the cell.
+        if (t.suffmin[b0] > c.ub || t.suffmin[b0] >= c.best) {
+          c.done = true;
+          --active;
+          continue;
+        }
+        const std::size_t e = std::min(c.i, b0 + kBoundBlock);
+        *scans += e - b0;
+        const double bmin = vopt_kernel::SquaredLowerBoundBlockMin(
+            prev, t.csum, t.csq, c.rr, c.si, c.qi, b0, e);
+        if (bmin > c.ub || bmin >= c.best) {
+          continue;  // no candidate in this block can improve the cell
+        }
+        // The block may hold an improvement: re-derive the per-candidate
+        // bound scalar-side (every FP-contraction variant of the
+        // expression is equally certified) and evaluate the survivors
+        // exactly, in ascending j.
+        for (std::size_t j = b0; j < e; ++j) {
+          const double sum = c.si - t.csum[j];
+          double lb = prev[j] + ((c.qi - t.csq[j]) - (sum * sum) * c.rr[j]);
+          lb = lb > prev[j] ? lb : prev[j];
+          if (lb > c.ub || lb >= c.best) {
+            continue;
+          }
+          const double candidate = prev[j] + costs.CostBetween(j, c.i);
+          ++*lookups;
+          if (candidate < c.ub) {
+            c.ub = candidate;
+          }
+          if (candidate < c.best) {
+            c.best = candidate;
+            c.bj = static_cast<std::int32_t>(j);
+          }
+        }
+      }
+    }
+    for (std::size_t t_idx = 0; t_idx < tcount; ++t_idx) {
+      Cell& c = tile[t_idx];
+      if (c.bj < 0) {
+        // Unreachable by the DESIGN §7 argument (the leftmost argmin
+        // survives every skip rule); kept so a future bound regression
+        // would degrade to a naive scan instead of corrupting the table.
+        *lookups += NaiveCell(costs, prev, curr, par, k, c.i);
+        continue;
+      }
+      curr[c.i] = c.best;
+      par[c.i] = c.bj;
+    }
+  }
+}
+
+// Absolute-cost analogue: the packed triangular column of end candidate i
+// is contiguous in j, so the kernel takes an *exact* block min over
+// prev[j] + col[j] directly — no bound arithmetic, no reciprocals, and the
+// same two skip rules and ascending strict-'<' rescan as above. Two
+// sequential streams already saturate the reduction, so cells are not
+// tiled here.
+void MonotoneAbsoluteCells(const IntervalCostTable& costs,
+                           const double* suffmin, const double* prev,
+                           double* curr, std::int32_t* par, std::size_t k,
+                           std::size_t begin, std::size_t end,
+                           std::uint64_t* lookups, std::uint64_t* scans) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const double* col = costs.AbsoluteColumn(i);
+    double ub = prev[i - 1] + col[i - 1];  // exact seed; never fed to best
+    ++*lookups;
+    double best = kInfinity;
+    std::int32_t bj = -1;
+    for (std::size_t b0 = k - 1; b0 < i; b0 += kBoundBlock) {
+      if (suffmin[b0] > ub || suffmin[b0] >= best) {
+        break;
+      }
+      const std::size_t e = std::min(i, b0 + kBoundBlock);
+      *scans += e - b0;
+      const double bmin =
+          vopt_kernel::AbsoluteCandidateBlockMin(prev, col, b0, e);
+      if (bmin > ub || bmin >= best) {
+        continue;
+      }
+      for (std::size_t j = b0; j < e; ++j) {
+        const double candidate = prev[j] + col[j];
+        ++*lookups;
+        if (candidate < ub) {
+          ub = candidate;
+        }
+        if (candidate < best) {
+          best = candidate;
+          bj = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+    if (bj < 0) {
+      *lookups += NaiveCell(costs, prev, curr, par, k, i);
+      continue;
+    }
+    curr[i] = best;
+    par[i] = bj;
+  }
+}
+
 }  // namespace
+
+const char* VOptStrategyName(VOptStrategy strategy) {
+  switch (strategy) {
+    case VOptStrategy::kAuto:
+      return "auto";
+    case VOptStrategy::kNaive:
+      return "naive";
+    case VOptStrategy::kMonotone:
+      return "monotone";
+  }
+  return "unknown";
+}
+
+bool ParseVOptStrategy(std::string_view text, VOptStrategy* out) {
+  if (text == "auto") {
+    *out = VOptStrategy::kAuto;
+    return true;
+  }
+  if (text == "naive") {
+    *out = VOptStrategy::kNaive;
+    return true;
+  }
+  if (text == "monotone") {
+    *out = VOptStrategy::kMonotone;
+    return true;
+  }
+  return false;
+}
 
 Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
                                      std::size_t max_buckets) {
@@ -33,41 +278,78 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
   }
   std::size_t cap = max_buckets == 0 ? m : std::min(max_buckets, m);
 
-  // Whole-solve span plus bulk work counters. The counts are computed
-  // arithmetically outside the DP loops, so the per-cell hot path carries
-  // zero instrumentation; everything here is a pure function of (m, cap)
-  // and therefore bit-identical across thread counts.
+  // Monotone preconditions over the candidate geometry. Interior positions
+  // are uniform multiples of grid_step by construction of the cost table;
+  // re-derived defensively here because the bound kernel's reciprocal
+  // table indexes interval lengths by (i - j). The final position is the
+  // domain end and may break uniformity, in which case the last cell of
+  // every row falls back to the naive scan.
+  const std::vector<std::size_t>& positions = costs.positions();
+  const std::size_t grid = costs.grid_step();
+  bool interior_uniform = true;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (positions[j] != j * grid) {
+      interior_uniform = false;
+      break;
+    }
+  }
+  const bool endpoint_uniform = interior_uniform && positions[m] == m * grid;
+
+  VOptStrategy strategy = options.strategy;
+  if (strategy == VOptStrategy::kAuto) {
+    if (const auto env = GetEnv("DPHIST_VOPT_STRATEGY")) {
+      VOptStrategy parsed = VOptStrategy::kAuto;
+      if (ParseVOptStrategy(*env, &parsed)) {
+        strategy = parsed;
+      }
+      // Unknown values keep kAuto: a misspelled env var should fall back
+      // to the default policy, not change results (it cannot — only work).
+    }
+  }
+  if (strategy == VOptStrategy::kAuto) {
+    // Decision table (DESIGN §7): monotone whenever its structural
+    // preconditions hold and rows are long enough for pruning to pay.
+    const bool applicable =
+        costs.kind() == CostKind::kAbsolute || interior_uniform;
+    strategy = applicable && m >= kAutoMonotoneMinCandidates
+                   ? VOptStrategy::kMonotone
+                   : VOptStrategy::kNaive;
+  } else if (strategy == VOptStrategy::kMonotone &&
+             costs.kind() == CostKind::kSquared && !interior_uniform) {
+    // Without a uniform interior grid the reciprocal table cannot be
+    // indexed; honoring the request would fall back cell-by-cell anyway.
+    strategy = VOptStrategy::kNaive;
+  }
+  const bool monotone = strategy == VOptStrategy::kMonotone;
+  const bool monotone_squared =
+      monotone && costs.kind() == CostKind::kSquared;
+
   obs::ScopedTimer solve_timer("vopt/solve");
   static obs::Counter& solves =
       obs::Registry::Global().GetCounter("vopt/solves");
-  static obs::Counter& rows = obs::Registry::Global().GetCounter("vopt/rows");
-  static obs::Counter& cells =
-      obs::Registry::Global().GetCounter("vopt/cells");
-  static obs::Counter& cost_lookups =
-      obs::Registry::Global().GetCounter("vopt/cost_lookups");
+  static obs::Counter& strategy_naive =
+      obs::Registry::Global().GetCounter("vopt/strategy/naive");
+  static obs::Counter& strategy_monotone =
+      obs::Registry::Global().GetCounter("vopt/strategy/monotone");
   solves.Increment();
-  if (obs::Enabled()) {
-    std::uint64_t cell_count = m;  // base row
-    std::uint64_t lookup_count = m;
-    for (std::size_t k = 2; k <= cap; ++k) {
-      // Row k has cells i in [k, m], and cell i scans i-k+1 predecessors.
-      const std::uint64_t row_cells = m - k + 1;
-      cell_count += row_cells;
-      lookup_count += row_cells * (row_cells + 1) / 2;
-    }
-    rows.Add(cap);
-    cells.Add(cell_count);
-    cost_lookups.Add(lookup_count);
-  }
+  (monotone ? strategy_monotone : strategy_naive).Increment();
 
   VOptSolver solver;
   solver.max_buckets_ = cap;
   solver.num_candidates_ = m;
   solver.domain_size_ = costs.domain_size();
-  solver.positions_ = costs.positions();
+  solver.positions_ = positions;
   const std::size_t width = m + 1;
   solver.table_.assign((cap + 1) * width, kInfinity);
   solver.parent_.assign((cap + 1) * width, -1);
+
+  // Work accounting: actual counts accumulated where the work happens (a
+  // closed-form triangle is wrong for the monotone path, and even the
+  // naive count must reflect predecessors skipped before their lookup),
+  // summed per chunk so the totals stay bit-identical at any thread
+  // count. The base row performs exactly m lookups.
+  std::atomic<std::uint64_t> total_lookups{static_cast<std::uint64_t>(m)};
+  std::atomic<std::uint64_t> total_scans{0};
 
   {
     // Base row: one bucket covering the prefix.
@@ -83,42 +365,107 @@ Result<VOptSolver> VOptSolver::Solve(const IntervalCostTable& costs,
   const bool parallel_rows =
       pool.thread_count() > 1 && m >= options.min_parallel_candidates;
 
+  // Per-solve tables for the monotone path. csum/csq gather the unit-bin
+  // prefix tables at the candidate positions so the kernel streams them
+  // contiguously; rrev holds inflated reciprocals addressed by
+  // rr = rrev + (m - i), making rr[j] the reciprocal of length (i - j).
+  std::vector<double> csum, csq, rrev, suffmin;
+  if (monotone_squared) {
+    const std::vector<double>& sums = costs.prefix_sums();
+    const std::vector<double>& squares = costs.prefix_squares();
+    csum.resize(m + 1);
+    csq.resize(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) {
+      csum[j] = sums[positions[j]];
+      csq[j] = squares[positions[j]];
+    }
+    rrev.assign(m + 1, 0.0);
+    for (std::size_t d = 1; d <= m; ++d) {
+      rrev[m - d] =
+          (1.0 / (static_cast<double>(d) * static_cast<double>(grid))) *
+          kReciprocalInflate;
+    }
+  }
+  if (monotone) {
+    suffmin.resize(m + 1);
+  }
+
   obs::ScopedTimer rows_timer("dp_rows");  // -> vopt/solve/dp_rows
   for (std::size_t k = 2; k <= cap; ++k) {
     const double* prev = &solver.table_[(k - 1) * width];
     double* curr = &solver.table_[k * width];
     std::int32_t* par = &solver.parent_[k * width];
-    // Each cell i reads only the finished row k-1 and writes only its own
-    // slots, so the row fans out with no synchronization; the ParallelFor
-    // barrier between rows provides the k-1 -> k dependency.
-    auto fill_cell = [&costs, prev, curr, par, k](std::size_t i) {
-      double best = kInfinity;
-      std::int32_t best_j = -1;
-      for (std::size_t j = k - 1; j < i; ++j) {
-        if (prev[j] == kInfinity) {
-          continue;
-        }
-        const double candidate = prev[j] + costs.CostBetween(j, i);
-        if (candidate < best) {
-          best = candidate;
-          best_j = static_cast<std::int32_t>(j);
-        }
-      }
-      curr[i] = best;
-      par[i] = best_j;
-    };
-    if (parallel_rows) {
-      pool.ParallelForChunks(k, m + 1, kRowMinChunk,
-                             [&fill_cell](std::size_t begin, std::size_t end) {
-                               for (std::size_t i = begin; i < end; ++i) {
-                                 fill_cell(i);
-                               }
-                             });
-    } else {
-      for (std::size_t i = k; i <= m; ++i) {
-        fill_cell(i);
+    if (monotone) {
+      // Suffix minima of the previous row over the candidate range: the
+      // floor under every candidate a cell has left to scan. Computed
+      // once per row by the submitting thread, read-only in the chunks.
+      suffmin[m] = prev[m];
+      for (std::size_t j = m; j-- > k - 1;) {
+        suffmin[j] = std::min(prev[j], suffmin[j + 1]);
       }
     }
+    // Cells the squared kernel covers; when the domain end is not
+    // grid-aligned the final cell's last interval has an off-grid length,
+    // so that one cell per row takes the naive scan instead.
+    const std::size_t fast_end =
+        monotone_squared && !endpoint_uniform ? m : m + 1;
+    // Each cell i reads only the finished row k-1 and writes only its own
+    // slots, so the row fans out with no synchronization; the chunk
+    // barrier between rows provides the k-1 -> k dependency.
+    auto fill_range = [&](std::size_t begin, std::size_t end) {
+      std::uint64_t lookups = 0;
+      std::uint64_t scans = 0;
+      if (monotone_squared) {
+        const SquaredBoundTables tables{csum.data(), csq.data(), rrev.data(),
+                                        suffmin.data(), m};
+        MonotoneSquaredCells(costs, tables, prev, curr, par, k, begin, end,
+                             &lookups, &scans);
+      } else if (monotone) {
+        MonotoneAbsoluteCells(costs, suffmin.data(), prev, curr, par, k,
+                              begin, end, &lookups, &scans);
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          lookups += NaiveCell(costs, prev, curr, par, k, i);
+        }
+      }
+      total_lookups.fetch_add(lookups, std::memory_order_relaxed);
+      total_scans.fetch_add(scans, std::memory_order_relaxed);
+    };
+    if (parallel_rows) {
+      pool.ParallelForChunks(k, fast_end, kRowMinChunk, fill_range);
+    } else {
+      fill_range(k, fast_end);
+    }
+    if (fast_end == m) {
+      total_lookups.fetch_add(NaiveCell(costs, prev, curr, par, k, m),
+                              std::memory_order_relaxed);
+    }
+  }
+
+  solver.stats_.strategy = strategy;
+  solver.stats_.rows = cap;
+  std::uint64_t cell_count = m;  // base row
+  for (std::size_t k = 2; k <= cap; ++k) {
+    cell_count += m - k + 1;
+  }
+  solver.stats_.cells = cell_count;
+  solver.stats_.cost_lookups =
+      total_lookups.load(std::memory_order_relaxed);
+  solver.stats_.bound_scans = total_scans.load(std::memory_order_relaxed);
+
+  if (obs::Enabled()) {
+    static obs::Counter& rows =
+        obs::Registry::Global().GetCounter("vopt/rows");
+    static obs::Counter& cells =
+        obs::Registry::Global().GetCounter("vopt/cells");
+    static obs::Counter& cost_lookups =
+        obs::Registry::Global().GetCounter("vopt/cost_lookups");
+    static obs::Counter& bound_scans =
+        obs::Registry::Global().GetCounter("vopt/bound_scans");
+    rows.Add(solver.stats_.rows);
+    cells.Add(solver.stats_.cells);
+    cost_lookups.Add(solver.stats_.cost_lookups);
+    bound_scans.Add(solver.stats_.bound_scans);
   }
   return solver;
 }
@@ -128,6 +475,13 @@ double VOptSolver::PrefixCost(std::size_t k, std::size_t i) const {
     return kInfinity;
   }
   return table_[k * (num_candidates_ + 1) + i];
+}
+
+std::int32_t VOptSolver::PrefixParent(std::size_t k, std::size_t i) const {
+  if (k == 0 || k > max_buckets_ || i > num_candidates_ || i < k) {
+    return -1;
+  }
+  return parent_[k * (num_candidates_ + 1) + i];
 }
 
 Result<Bucketization> VOptSolver::Traceback(std::size_t k) const {

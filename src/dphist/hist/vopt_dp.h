@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "dphist/common/parallel_defaults.h"
@@ -15,6 +16,28 @@ namespace dphist {
 
 class ThreadPool;
 
+/// \brief How VOptSolver fills each DP row (see DESIGN §7).
+enum class VOptStrategy {
+  /// Resolve from the DPHIST_VOPT_STRATEGY environment variable when set
+  /// ("auto" / "naive" / "monotone"), otherwise pick from the decision
+  /// table in DESIGN §7 (monotone whenever its preconditions hold and the
+  /// row is long enough to prune).
+  kAuto,
+  /// The reference O(i) predecessor scan per cell.
+  kNaive,
+  /// Certified-lower-bound pruning with SIMD block scans. Produces
+  /// bit-identical tables to kNaive (same values, same leftmost-argmin
+  /// tie-breaking) at any thread count; only the work skipped differs.
+  kMonotone,
+};
+
+/// Returns "auto", "naive", or "monotone".
+const char* VOptStrategyName(VOptStrategy strategy);
+
+/// Parses "auto" / "naive" / "monotone" into `out`; returns false (leaving
+/// `out` untouched) on any other input.
+bool ParseVOptStrategy(std::string_view text, VOptStrategy* out);
+
 /// \brief The v-optimal histogram dynamic program (Jagadish et al.,
 /// VLDB'98), generalized to an arbitrary interval-cost measure.
 ///
@@ -25,10 +48,12 @@ class ThreadPool;
 ///   T[k][i] = min over structures of [p_0, p_i) with exactly k buckets of
 ///             the total cost,
 ///
-/// in O(max_buckets * m^2) time with O(1) cost lookups. The full table is
-/// retained because both of the paper's algorithms consume it beyond the
-/// optimum: NoiseFirst scans T[k][m] over k to pick k*, and StructureFirst
-/// samples boundaries from the suffix costs T[k][j] + c(p_j, p_end).
+/// in O(max_buckets * m^2) cost lookups on the naive path — the monotone
+/// path prunes most of them (DESIGN §7) without changing a single table
+/// bit. The full table is retained because both of the paper's algorithms
+/// consume it beyond the optimum: NoiseFirst scans T[k][m] over k to pick
+/// k*, and StructureFirst samples boundaries from the suffix costs
+/// T[k][j] + c(p_j, p_end).
 class VOptSolver {
  public:
   /// \brief Execution knobs for Solve.
@@ -47,6 +72,29 @@ class VOptSolver {
     /// absolute-cost build (common/parallel_defaults.h) so both stages of
     /// one solve cut over at the same size.
     std::size_t min_parallel_candidates = kDefaultMinParallelCandidates;
+    /// Row-fill strategy. kAuto consults DPHIST_VOPT_STRATEGY and then the
+    /// DESIGN §7 decision table; an explicit kNaive/kMonotone here wins
+    /// over the environment (benchmark sweeps set it explicitly so an env
+    /// override cannot silently collapse the comparison).
+    VOptStrategy strategy = VOptStrategy::kAuto;
+  };
+
+  /// What one Solve actually did — resolved strategy plus deterministic
+  /// work counts (bit-identical across thread counts; the monotone counts
+  /// may differ across CPU generations because the pruning thresholds
+  /// round differently under FMA variants, never across runs on one
+  /// machine). Mirrored into the obs registry under vopt/*.
+  struct SolveStats {
+    /// The strategy the rows were actually filled with (never kAuto).
+    VOptStrategy strategy = VOptStrategy::kNaive;
+    /// DP rows filled, including the base row.
+    std::uint64_t rows = 0;
+    /// Table cells written.
+    std::uint64_t cells = 0;
+    /// Exact cost evaluations (CostBetween calls or packed-column reads).
+    std::uint64_t cost_lookups = 0;
+    /// Candidates scanned by the vectorized bound kernel (monotone only).
+    std::uint64_t bound_scans = 0;
   };
 
   /// Runs the dynamic program for up to `max_buckets` buckets.
@@ -57,7 +105,8 @@ class VOptSolver {
                                   std::size_t max_buckets);
 
   /// As above with explicit execution options (thread pool, sequential
-  /// cut-over). The result is bit-identical across all option choices.
+  /// cut-over, row strategy). The result is bit-identical across all
+  /// option choices.
   static Result<VOptSolver> Solve(const IntervalCostTable& costs,
                                   std::size_t max_buckets,
                                   const SolveOptions& options);
@@ -79,12 +128,21 @@ class VOptSolver {
   /// returns +infinity for infeasible (i < k) combinations.
   double PrefixCost(std::size_t k, std::size_t i) const;
 
+  /// The argmin predecessor of T[k][i] — the leftmost j achieving
+  /// T[k-1][j] + c(p_j, p_i) — or -1 for out-of-range / infeasible (k, i).
+  /// Exposed so the equivalence suite can compare whole parent tables, not
+  /// just the tracebacks they imply.
+  std::int32_t PrefixParent(std::size_t k, std::size_t i) const;
+
   /// Reconstructs the optimal k-bucket structure over the whole domain.
   /// Requires 1 <= k <= max_buckets().
   Result<Bucketization> Traceback(std::size_t k) const;
 
   /// The candidate cut positions (copied from the cost table).
   const std::vector<std::size_t>& positions() const { return positions_; }
+
+  /// Work accounting for the Solve that produced this table.
+  const SolveStats& stats() const { return stats_; }
 
  private:
   VOptSolver() = default;
@@ -97,6 +155,7 @@ class VOptSolver {
   std::vector<double> table_;
   // Argmin predecessor index for traceback; same layout.
   std::vector<std::int32_t> parent_;
+  SolveStats stats_;
 };
 
 }  // namespace dphist

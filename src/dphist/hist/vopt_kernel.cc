@@ -1,0 +1,55 @@
+#include "dphist/hist/vopt_kernel.h"
+
+#include <limits>
+
+// Runtime multi-versioning: the default clone keeps the portable baseline
+// ABI while x86-64-v3/v4 clones use AVX2/AVX-512 where the CPU has them.
+// GCC's IFUNC-based dispatch interacts poorly with the sanitizer
+// runtimes' early interceptors, and the sanitizer jobs don't measure
+// performance anyway, so clones are disabled there.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define DPHIST_VOPT_KERNEL_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+#define DPHIST_VOPT_KERNEL_CLONES
+#endif
+
+namespace dphist {
+namespace vopt_kernel {
+
+// The min/max reductions are written as ternaries rather than std::min:
+// under this TU's finite-math flags GCC vectorizes the ternary form but
+// treats the std::min call as a memory clobber and gives up.
+
+DPHIST_VOPT_KERNEL_CLONES
+double SquaredLowerBoundBlockMin(const double* __restrict prev,
+                                 const double* __restrict csum,
+                                 const double* __restrict csq,
+                                 const double* __restrict rr, double si,
+                                 double qi, std::size_t b0, std::size_t e) {
+  double mn = std::numeric_limits<double>::max();
+  for (std::size_t j = b0; j < e; ++j) {
+    const double sum = si - csum[j];
+    double lb = prev[j] + ((qi - csq[j]) - (sum * sum) * rr[j]);
+    const double p = prev[j];
+    lb = lb > p ? lb : p;
+    mn = lb < mn ? lb : mn;
+  }
+  return mn;
+}
+
+DPHIST_VOPT_KERNEL_CLONES
+double AbsoluteCandidateBlockMin(const double* __restrict prev,
+                                 const double* __restrict col, std::size_t b0,
+                                 std::size_t e) {
+  double mn = std::numeric_limits<double>::max();
+  for (std::size_t j = b0; j < e; ++j) {
+    const double cand = prev[j] + col[j];
+    mn = cand < mn ? cand : mn;
+  }
+  return mn;
+}
+
+}  // namespace vopt_kernel
+}  // namespace dphist

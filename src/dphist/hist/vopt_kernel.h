@@ -1,0 +1,44 @@
+#ifndef DPHIST_HIST_VOPT_KERNEL_H_
+#define DPHIST_HIST_VOPT_KERNEL_H_
+
+#include <cstddef>
+
+namespace dphist {
+namespace vopt_kernel {
+
+// Block-min kernels for the monotone v-opt row solver (DESIGN §7).
+//
+// This translation unit is compiled with -ffinite-math-only
+// -fno-signed-zeros (see src/CMakeLists.txt) so the compiler vectorizes
+// the floating-point min reductions, with target_clones dispatching to
+// AVX2/AVX-512 at runtime where available. The relaxed FP semantics are
+// safe here because both functions produce *pruning thresholds only*:
+// no value computed in this TU is ever written to the DP table, so the
+// exact-tie-breaking contract of the solver cannot be perturbed.
+//
+// Preconditions: b0 < e, and every input in [b0, e) is finite (the solver
+// only scans candidates whose previous-row cost is finite).
+
+/// min over j in [b0, e) of
+///   max(prev[j], prev[j] + ((qi - csq[j]) - (si - csum[j])^2 * rr[j]))
+/// — the certified lower bound on the squared-cost DP candidate
+/// prev[j] + CostBetween(j, i), where si/qi are the prefix sum/sum of
+/// squares at candidate i and rr[j] is the *inflated* reciprocal of the
+/// interval length (see kReciprocalInflate in vopt_dp.cc). The bound never
+/// exceeds the exact candidate, for any rounding or FMA contraction of
+/// this expression (DESIGN §7 gives the argument).
+double SquaredLowerBoundBlockMin(const double* prev, const double* csum,
+                                 const double* csq, const double* rr,
+                                 double si, double qi, std::size_t b0,
+                                 std::size_t e);
+
+/// min over j in [b0, e) of prev[j] + col[j] — the *exact* candidate block
+/// minimum for the absolute cost, where col is the packed triangular
+/// column col[j] = AbsoluteAt(j, i) (IntervalCostTable::AbsoluteColumn).
+double AbsoluteCandidateBlockMin(const double* prev, const double* col,
+                                 std::size_t b0, std::size_t e);
+
+}  // namespace vopt_kernel
+}  // namespace dphist
+
+#endif  // DPHIST_HIST_VOPT_KERNEL_H_

@@ -175,12 +175,58 @@ TEST(IntervalCostTest, SquaredCostOfAvailableForAbsoluteTables) {
 TEST(IntervalCostTest, CellCapEnforced) {
   IntervalCostTable::Options options;
   options.kind = CostKind::kAbsolute;
-  options.max_table_cells = 16;  // (m+1)^2 must not exceed this
+  options.max_table_cells = 16;  // packed triangle m(m-1)/2 must fit
   auto table = IntervalCostTable::Create(RandomCounts(64, 8), options);
   EXPECT_FALSE(table.ok());
   options.grid_step = 32;  // m+1 == 3 candidates -> fits
   auto coarse = IntervalCostTable::Create(RandomCounts(64, 8), options);
   EXPECT_TRUE(coarse.ok());
+}
+
+TEST(IntervalCostTest, CellCapExactTriangleBoundary) {
+  // The absolute store is the packed a < b triangle over the m positions:
+  // exactly m(m-1)/2 doubles. The cap must bite at that exact count — one
+  // cell under fails, the exact size passes — so this test breaks if the
+  // storage ever silently grows back to the dense m^2 matrix.
+  const std::vector<double> counts = RandomCounts(16, 14);
+  IntervalCostTable::Options options;
+  options.kind = CostKind::kAbsolute;
+  const std::size_t positions = counts.size() + 1;  // grid_step 1
+  const std::size_t triangle = positions * (positions - 1) / 2;
+  options.max_table_cells = triangle;
+  EXPECT_TRUE(IntervalCostTable::Create(counts, options).ok());
+  options.max_table_cells = triangle - 1;
+  EXPECT_FALSE(IntervalCostTable::Create(counts, options).ok());
+}
+
+TEST(IntervalCostTest, PackedTriangleMatchesRecomputationEverywhere) {
+  // Regression guard for the packed layout: every stored cell, read both
+  // through CostBetween and through the raw column pointer the DP kernels
+  // use, must equal a from-scratch SAE recomputation. An off-by-one in the
+  // b(b-1)/2 column offsets would corrupt neighboring intervals rather
+  // than fail loudly, so the sweep covers the full triangle including the
+  // a = 0 column starts and the b = m-1 last column.
+  for (const std::size_t grid_step : {std::size_t{1}, std::size_t{3}}) {
+    const std::vector<double> counts = RandomCounts(41, 15);
+    IntervalCostTable::Options options;
+    options.kind = CostKind::kAbsolute;
+    options.grid_step = grid_step;
+    auto table = IntervalCostTable::Create(counts, options);
+    ASSERT_TRUE(table.ok());
+    const auto& positions = table.value().positions();
+    for (std::size_t b = 1; b < positions.size(); ++b) {
+      const double* column = table.value().AbsoluteColumn(b);
+      for (std::size_t a = 0; a < b; ++a) {
+        const double want = NaiveSae(counts, positions[a], positions[b]);
+        EXPECT_NEAR(table.value().CostBetween(a, b), want, 1e-9)
+            << "grid=" << grid_step << " a=" << a << " b=" << b;
+        // The packed column and the checked accessor must read the same
+        // cell (bitwise — both index the same array).
+        EXPECT_EQ(column[a], table.value().CostBetween(a, b))
+            << "grid=" << grid_step << " a=" << a << " b=" << b;
+      }
+    }
+  }
 }
 
 TEST(IntervalCostTest, CostKindNames) {

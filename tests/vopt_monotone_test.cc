@@ -1,0 +1,252 @@
+// Randomized equivalence suite for the monotone v-opt row solver
+// (DESIGN §7). The contract under test is bitwise: for every histogram,
+// cost kind, grid step, and bucket count, kMonotone must produce the
+// exact table_ and parent_ arrays kNaive produces — same doubles, same
+// leftmost-argmin tie-breaking — at any thread count. The adversarial
+// cases are tie plateaus (constant and piecewise-constant counts), where
+// a single mis-ordered comparison in the pruning rules would silently
+// move a published cut.
+
+#include "dphist/hist/vopt_dp.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/common/thread_pool.h"
+#include "dphist/hist/interval_cost.h"
+#include "dphist/random/distributions.h"
+#include "dphist/random/rng.h"
+
+namespace dphist {
+namespace {
+
+std::vector<double> UniformCounts(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts(n);
+  for (double& c : counts) {
+    c = static_cast<double>(SampleUniformInt(rng, 0, 1000));
+  }
+  return counts;
+}
+
+std::vector<double> NoisyCounts(std::size_t n, std::uint64_t seed) {
+  // Laplace-perturbed counts, as NoiseFirst feeds the solver: negative
+  // values and irrational doubles included.
+  Rng rng(seed);
+  std::vector<double> counts(n);
+  for (double& c : counts) {
+    c = static_cast<double>(SampleUniformInt(rng, 0, 50)) +
+        SampleLaplace(rng, 2.0);
+  }
+  return counts;
+}
+
+std::vector<double> PiecewiseConstantCounts(std::size_t n,
+                                            std::uint64_t seed) {
+  // Constant runs of random length/level: massive cost-tie plateaus, with
+  // zero-cost intervals inside every run.
+  Rng rng(seed);
+  std::vector<double> counts;
+  counts.reserve(n);
+  while (counts.size() < n) {
+    const double level = static_cast<double>(SampleUniformInt(rng, 0, 5));
+    const std::size_t run =
+        static_cast<std::size_t>(SampleUniformInt(rng, 1, 12));
+    for (std::size_t i = 0; i < run && counts.size() < n; ++i) {
+      counts.push_back(level);
+    }
+  }
+  return counts;
+}
+
+// Solves with an explicit strategy/pool and max_buckets = 0 (the full
+// table: every k up to m), min_parallel_candidates = 1 so a multi-thread
+// pool genuinely parallelizes even tiny rows.
+VOptSolver SolveWith(const IntervalCostTable& costs, VOptStrategy strategy,
+                     ThreadPool* pool) {
+  VOptSolver::SolveOptions options;
+  options.strategy = strategy;
+  options.pool = pool;
+  options.min_parallel_candidates = 1;
+  auto solver = VOptSolver::Solve(costs, 0, options);
+  EXPECT_TRUE(solver.ok()) << solver.status().message();
+  return solver.value();
+}
+
+void ExpectBitIdentical(const VOptSolver& naive, const VOptSolver& monotone,
+                        const std::string& label) {
+  ASSERT_EQ(naive.max_buckets(), monotone.max_buckets()) << label;
+  ASSERT_EQ(naive.num_candidates(), monotone.num_candidates()) << label;
+  const std::size_t m = naive.num_candidates();
+  for (std::size_t k = 1; k <= naive.max_buckets(); ++k) {
+    for (std::size_t i = k; i <= m; ++i) {
+      // EXPECT_EQ on doubles is exact — bit-identical values, not close.
+      EXPECT_EQ(naive.PrefixCost(k, i), monotone.PrefixCost(k, i))
+          << label << " T[" << k << "][" << i << "]";
+      EXPECT_EQ(naive.PrefixParent(k, i), monotone.PrefixParent(k, i))
+          << label << " parent[" << k << "][" << i << "]";
+    }
+    auto expected = naive.Traceback(k);
+    auto actual = monotone.Traceback(k);
+    ASSERT_EQ(expected.ok(), actual.ok()) << label << " k=" << k;
+    if (expected.ok()) {
+      EXPECT_EQ(expected.value().cuts(), actual.value().cuts())
+          << label << " k=" << k;
+    }
+  }
+}
+
+// The full cross-product: both cost kinds, grid steps 1 and 3, sequential
+// and 4-thread monotone runs against a sequential naive reference.
+void CheckAllConfigs(const std::vector<double>& counts,
+                     const std::string& data_label) {
+  ThreadPool sequential(1);
+  ThreadPool parallel(4);
+  for (const CostKind kind : {CostKind::kSquared, CostKind::kAbsolute}) {
+    for (const std::size_t grid_step : {std::size_t{1}, std::size_t{3}}) {
+      IntervalCostTable::Options options;
+      options.kind = kind;
+      options.grid_step = grid_step;
+      auto costs = IntervalCostTable::Create(counts, options);
+      ASSERT_TRUE(costs.ok());
+      const std::string label = data_label + "/" + CostKindName(kind) +
+                                "/grid" + std::to_string(grid_step);
+      const VOptSolver naive =
+          SolveWith(costs.value(), VOptStrategy::kNaive, &sequential);
+      EXPECT_EQ(naive.stats().strategy, VOptStrategy::kNaive);
+      EXPECT_EQ(naive.stats().bound_scans, 0u);
+      const VOptSolver mono_seq =
+          SolveWith(costs.value(), VOptStrategy::kMonotone, &sequential);
+      EXPECT_EQ(mono_seq.stats().strategy, VOptStrategy::kMonotone);
+      ExpectBitIdentical(naive, mono_seq, label + "/threads1");
+      const VOptSolver mono_par =
+          SolveWith(costs.value(), VOptStrategy::kMonotone, &parallel);
+      ExpectBitIdentical(naive, mono_par, label + "/threads4");
+      // The monotone work counters are part of the determinism contract:
+      // identical at any thread count (chunking never changes which
+      // candidates a cell scans or evaluates).
+      EXPECT_EQ(mono_seq.stats().cost_lookups, mono_par.stats().cost_lookups)
+          << label;
+      EXPECT_EQ(mono_seq.stats().bound_scans, mono_par.stats().bound_scans)
+          << label;
+    }
+  }
+}
+
+TEST(VOptMonotoneTest, UniformRandomCounts) {
+  for (const std::size_t n :
+       {std::size_t{31}, std::size_t{64}, std::size_t{65}, std::size_t{127},
+        std::size_t{200}, std::size_t{300}}) {
+    CheckAllConfigs(UniformCounts(n, 1000 + n), "uniform/n" +
+                                                    std::to_string(n));
+  }
+}
+
+TEST(VOptMonotoneTest, LaplaceNoisedCounts) {
+  for (const std::size_t n :
+       {std::size_t{33}, std::size_t{96}, std::size_t{129},
+        std::size_t{257}}) {
+    CheckAllConfigs(NoisyCounts(n, 2000 + n),
+                    "noisy/n" + std::to_string(n));
+  }
+}
+
+TEST(VOptMonotoneTest, TinyDomains) {
+  // Below every tile/block/auto threshold: exercises the single-candidate
+  // cells and the i = k edges.
+  for (std::size_t n = 1; n <= 9; ++n) {
+    CheckAllConfigs(UniformCounts(n, 3000 + n),
+                    "tiny/n" + std::to_string(n));
+  }
+}
+
+TEST(VOptMonotoneTest, ConstantCountsAdversarialTies) {
+  // Every interval has zero cost: every candidate of every cell ties at
+  // the row minimum, so any tie-unsafe skip rule changes parent_ here.
+  CheckAllConfigs(std::vector<double>(150, 4.0), "constant/n150");
+  CheckAllConfigs(std::vector<double>(64, 0.0), "zeros/n64");
+}
+
+TEST(VOptMonotoneTest, PiecewiseConstantAdversarialTies) {
+  for (const std::size_t n : {std::size_t{80}, std::size_t{150},
+                              std::size_t{288}}) {
+    CheckAllConfigs(PiecewiseConstantCounts(n, 4000 + n),
+                    "piecewise/n" + std::to_string(n));
+  }
+}
+
+TEST(VOptMonotoneTest, MonotonePrunesLookups) {
+  // Not just correct but *working*: on a sizable solve the monotone path
+  // must evaluate a small fraction of the naive path's cost lookups.
+  auto costs = IntervalCostTable::Create(UniformCounts(300, 7),
+                                         IntervalCostTable::Options{});
+  ASSERT_TRUE(costs.ok());
+  ThreadPool sequential(1);
+  const VOptSolver naive =
+      SolveWith(costs.value(), VOptStrategy::kNaive, &sequential);
+  const VOptSolver mono =
+      SolveWith(costs.value(), VOptStrategy::kMonotone, &sequential);
+  EXPECT_LT(mono.stats().cost_lookups, naive.stats().cost_lookups / 10);
+  EXPECT_GT(mono.stats().bound_scans, 0u);
+  EXPECT_EQ(naive.stats().cells, mono.stats().cells);
+}
+
+TEST(VOptMonotoneTest, AutoResolvesBySizeAndEnv) {
+  auto large = IntervalCostTable::Create(UniformCounts(100, 8),
+                                         IntervalCostTable::Options{});
+  auto small = IntervalCostTable::Create(UniformCounts(8, 9),
+                                         IntervalCostTable::Options{});
+  ASSERT_TRUE(large.ok());
+  ASSERT_TRUE(small.ok());
+  auto resolved = [](const Result<VOptSolver>& solver) {
+    return solver.value().stats().strategy;
+  };
+  // kAuto: monotone once rows are long enough to prune, naive below.
+  EXPECT_EQ(resolved(VOptSolver::Solve(large.value(), 0)),
+            VOptStrategy::kMonotone);
+  EXPECT_EQ(resolved(VOptSolver::Solve(small.value(), 0)),
+            VOptStrategy::kNaive);
+  // DPHIST_VOPT_STRATEGY overrides kAuto in both directions...
+  ASSERT_EQ(setenv("DPHIST_VOPT_STRATEGY", "naive", 1), 0);
+  EXPECT_EQ(resolved(VOptSolver::Solve(large.value(), 0)),
+            VOptStrategy::kNaive);
+  ASSERT_EQ(setenv("DPHIST_VOPT_STRATEGY", "monotone", 1), 0);
+  EXPECT_EQ(resolved(VOptSolver::Solve(small.value(), 0)),
+            VOptStrategy::kMonotone);
+  // ...an unknown value falls back to the kAuto policy...
+  ASSERT_EQ(setenv("DPHIST_VOPT_STRATEGY", "warp-speed", 1), 0);
+  EXPECT_EQ(resolved(VOptSolver::Solve(large.value(), 0)),
+            VOptStrategy::kMonotone);
+  // ...and an explicit SolveOptions strategy beats the environment.
+  ASSERT_EQ(setenv("DPHIST_VOPT_STRATEGY", "monotone", 1), 0);
+  VOptSolver::SolveOptions explicit_naive;
+  explicit_naive.strategy = VOptStrategy::kNaive;
+  EXPECT_EQ(
+      resolved(VOptSolver::Solve(large.value(), 0, explicit_naive)),
+      VOptStrategy::kNaive);
+  ASSERT_EQ(unsetenv("DPHIST_VOPT_STRATEGY"), 0);
+}
+
+TEST(VOptMonotoneTest, StrategyNamesAndParsing) {
+  EXPECT_STREQ(VOptStrategyName(VOptStrategy::kAuto), "auto");
+  EXPECT_STREQ(VOptStrategyName(VOptStrategy::kNaive), "naive");
+  EXPECT_STREQ(VOptStrategyName(VOptStrategy::kMonotone), "monotone");
+  VOptStrategy out = VOptStrategy::kAuto;
+  EXPECT_TRUE(ParseVOptStrategy("monotone", &out));
+  EXPECT_EQ(out, VOptStrategy::kMonotone);
+  EXPECT_TRUE(ParseVOptStrategy("naive", &out));
+  EXPECT_EQ(out, VOptStrategy::kNaive);
+  EXPECT_TRUE(ParseVOptStrategy("auto", &out));
+  EXPECT_EQ(out, VOptStrategy::kAuto);
+  out = VOptStrategy::kMonotone;
+  EXPECT_FALSE(ParseVOptStrategy("Monotone", &out));
+  EXPECT_FALSE(ParseVOptStrategy("", &out));
+  EXPECT_EQ(out, VOptStrategy::kMonotone);  // failed parse leaves it alone
+}
+
+}  // namespace
+}  // namespace dphist

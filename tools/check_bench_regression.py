@@ -36,7 +36,7 @@ import sys
 
 # Fields that identify a row rather than measure it.
 ID_FIELDS = {
-    "bench", "type", "fig", "dataset", "algo", "score",
+    "bench", "type", "fig", "dataset", "algo", "score", "strategy",
     "n", "threads", "reps", "k", "length", "bins", "epsilon", "ratio",
     # bench_serve identity fields: which sweep, and which cell of it.
     "mode", "batches", "distinct_releases", "batch_size",
