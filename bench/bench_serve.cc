@@ -13,16 +13,23 @@
 // large batches amortize fan-out overhead across the pool); (c) stale
 // batches cost about as much as cache hits — degradation must not be
 // meaningfully slower than the happy path, or overload makes itself
-// worse.
+// worse; (d) shard sweep — concurrent cache-hit serving across many
+// tenants at 1/4/16 cache shards (one shard serializes every tenant on a
+// single mutex; sharding should flatten that); (e) journal replay —
+// records/ms through ReplayJournalBytes, the recovery-time cost of the
+// write-ahead journal.
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "dphist/bench_util/table.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
+#include "dphist/serve/journal.h"
 #include "dphist/serve/release_server.h"
 
 namespace {
@@ -216,6 +223,122 @@ int main() {
                     .Num("mean_batch_ms", mean_batch_ms));
   }
   stale_table.Print();
+
+  // -- (d) shard sweep -----------------------------------------------------
+  // Many tenants, pure cache-hit serving from several threads. With one
+  // shard every tenant contends on one mutex; the sweep shows how much of
+  // that the sharded layout buys back. Identity: (mode, shards, threads).
+  std::printf("\n");
+  constexpr std::size_t kSweepThreads = 4;
+  constexpr std::size_t kSweepTenants = 8;
+  constexpr std::size_t kOpsPerThread = 20000;
+  dphist::TablePrinter shard_table({"shards", "threads", "elapsed_ms"});
+  for (std::size_t shards : {1, 4, 16}) {
+    double total_ms = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      dphist::serve::ReleaseServerOptions options;
+      options.cache_shards = shards;
+      dphist::serve::ReleaseServer server(options);
+      dphist::serve::ServeRequest request;
+      request.publisher = "noise_first";
+      request.epsilon = 0.1;
+      request.seed = 7;
+      for (std::size_t t = 0; t < kSweepTenants; ++t) {
+        const dphist::serve::TenantKey key{"tenant" + std::to_string(t),
+                                           "data"};
+        if (!server.AddDataset(key, dataset.histogram, 1.0).ok() ||
+            !server.GetRelease(key, request).ok()) {
+          std::fprintf(stderr, "shard sweep warm-up failed\n");
+          return 1;
+        }
+      }
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> threads;
+      threads.reserve(kSweepThreads);
+      for (std::size_t w = 0; w < kSweepThreads; ++w) {
+        threads.emplace_back([&, w]() {
+          for (std::size_t op = 0; op < kOpsPerThread; ++op) {
+            const dphist::serve::TenantKey key{
+                "tenant" + std::to_string((w + op) % kSweepTenants), "data"};
+            auto release = server.GetRelease(key, request);
+            if (!release.ok()) {
+              std::fprintf(stderr, "shard sweep op failed\n");
+              std::abort();
+            }
+          }
+        });
+      }
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      total_ms += ElapsedMs(start, stop);
+    }
+    const double elapsed_ms = total_ms / static_cast<double>(reps);
+    shard_table.AddRow({std::to_string(shards),
+                        std::to_string(kSweepThreads),
+                        dphist::TablePrinter::FormatDouble(elapsed_ms, 3)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("mode", "shard_sweep")
+                    .Int("n", n)
+                    .Int("shards", shards)
+                    .Int("threads", kSweepThreads)
+                    .Int("reps", reps)
+                    .Num("elapsed_ms", elapsed_ms));
+  }
+  shard_table.Print();
+
+  // -- (e) journal replay (BM_JournalReplay) -------------------------------
+  // Startup cost of recovery: decode + CRC-check a realistic record mix
+  // (one charge per publish, 64-bin releases) entirely in memory.
+  std::printf("\n");
+  dphist::TablePrinter replay_table(
+      {"records", "replay_ms", "records_per_ms"});
+  for (std::size_t records : {1024, 8192}) {
+    std::string bytes(dphist::serve::JournalMagic());
+    for (std::size_t i = 0; i < records; i += 2) {
+      dphist::serve::JournalRecord charge;
+      charge.type = dphist::serve::JournalRecord::Type::kCharge;
+      charge.key = {"tenant" + std::to_string(i % 7), "data"};
+      charge.epsilon = 0.1;
+      charge.label = "noise_first:seed=" + std::to_string(i);
+      bytes += dphist::serve::EncodeJournalRecord(charge);
+      dphist::serve::JournalRecord publish;
+      publish.type = dphist::serve::JournalRecord::Type::kPublish;
+      publish.key = charge.key;
+      publish.fingerprint = 0x9E3779B97F4A7C15ULL + i;
+      publish.publisher = "noise_first";
+      publish.epsilon = 0.1;
+      publish.seed = i;
+      publish.counts.assign(64, static_cast<double>(i));
+      bytes += dphist::serve::EncodeJournalRecord(publish);
+    }
+    const std::size_t iters = reps * 5;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      auto replay = dphist::serve::ReplayJournalBytes(bytes);
+      if (!replay.ok() || replay.value().records.size() != records) {
+        std::fprintf(stderr, "journal replay failed\n");
+        return 1;
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double replay_ms =
+        ElapsedMs(start, stop) / static_cast<double>(iters);
+    replay_table.AddRow(
+        {std::to_string(records),
+         dphist::TablePrinter::FormatDouble(replay_ms, 4),
+         dphist::TablePrinter::FormatDouble(
+             static_cast<double>(records) / replay_ms, 1)});
+    json.AddRow(json.Row()
+                    .Str("dataset", dataset.name)
+                    .Str("mode", "journal_replay")
+                    .Int("records", records)
+                    .Int("reps", reps)
+                    .Num("replay_ms", replay_ms));
+  }
+  replay_table.Print();
   json.Finish();
   return 0;
 }

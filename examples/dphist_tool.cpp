@@ -6,7 +6,8 @@
 //   publish  <algorithm> <epsilon> <in.csv> <out.csv> [--seed S]
 //   evaluate <truth.csv> <released.csv> [--queries Q] [--seed S]
 //   serve    <algorithm> <epsilon> <in.csv> [--budget E] [--batches B]
-//            [--queries Q] [--seed S]
+//            [--queries Q] [--seed S] [--journal DIR] [--shards N]
+//            [--tenant NAME]
 //   list
 //
 // Exit code 0 on success; errors go to stderr.
@@ -28,6 +29,7 @@
 #include "dphist/obs/export.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
+#include "dphist/serve/journal.h"
 #include "dphist/serve/release_server.h"
 
 namespace {
@@ -38,12 +40,18 @@ struct Flags {
   std::size_t queries = 500;
   double budget = 1.0;
   std::size_t batches = 8;
+  // Serve durability/tenancy knobs. An empty journal dir falls back to
+  // DPHIST_JOURNAL_DIR; still empty means in-memory serving. Shards 0
+  // defers to DPHIST_SERVE_SHARDS, then the built-in default.
+  std::string journal_dir;
+  std::size_t shards = 0;
+  std::string tenant = "default";
   dphist::VOptStrategy vopt_strategy = dphist::VOptStrategy::kAuto;
   bool vopt_strategy_set = false;
 };
 
-// Parses trailing --n/--seed/--queries/--budget/--batches/--vopt-strategy
-// flags from argv[start..).
+// Parses trailing --n/--seed/--queries/--budget/--batches/--journal/
+// --shards/--tenant/--vopt-strategy flags from argv[start..).
 bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
   for (int i = start; i < argc; ++i) {
     auto need_value = [&](const char* name) -> const char* {
@@ -75,6 +83,19 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       if (value == nullptr) return false;
       flags->batches =
           static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      const char* value = need_value("--journal");
+      if (value == nullptr) return false;
+      flags->journal_dir = value;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* value = need_value("--shards");
+      if (value == nullptr) return false;
+      flags->shards =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      const char* value = need_value("--tenant");
+      if (value == nullptr) return false;
+      flags->tenant = value;
     } else if (std::strcmp(argv[i], "--vopt-strategy") == 0) {
       const char* value = need_value("--vopt-strategy");
       if (value == nullptr) return false;
@@ -105,8 +126,16 @@ int Usage() {
       "  dphist_tool evaluate <truth.csv> <released.csv> [--queries Q]"
       " [--seed S]\n"
       "  dphist_tool serve <algorithm> <epsilon-per-release> <in.csv>"
-      " [--budget E] [--batches B] [--queries Q] [--seed S]\n"
+      " [--budget E] [--batches B] [--queries Q] [--seed S]"
+      " [--journal DIR] [--shards N] [--tenant NAME]\n"
       "  dphist_tool list\n"
+      "\n"
+      "--journal makes serving durable: charges and publications are\n"
+      "written ahead to DIR/events.jnl and replayed on the next start, so\n"
+      "a restart never re-spends epsilon that already bought a release\n"
+      "(default: $DPHIST_JOURNAL_DIR; unset means in-memory). --shards\n"
+      "sets the release-cache shard count (default: $DPHIST_SERVE_SHARDS).\n"
+      "--tenant names the serving namespace.\n"
       "\n"
       "--vopt-strategy picks the v-opt DP row fill for noise_first /\n"
       "structure_first (a pure execution knob: every strategy publishes\n"
@@ -246,7 +275,9 @@ int RunEvaluate(int argc, char** argv) {
 // Demonstrates the serving layer: load a CSV histogram, stand up a
 // ReleaseServer with a lifetime budget, and drive `--batches` query
 // batches at distinct seeds until the ledger refuses and batches degrade
-// to stale cached releases.
+// to stale cached releases. With --journal (or DPHIST_JOURNAL_DIR) the
+// store is durable: this run replays whatever a previous run journaled,
+// then appends its own charges and publications.
 int RunServe(int argc, char** argv) {
   if (argc < 5) {
     return Usage();
@@ -262,12 +293,58 @@ int RunServe(int argc, char** argv) {
     return 1;
   }
   const std::size_t domain = truth.value().size();
-  dphist::serve::ReleaseServer server(std::move(truth).value(), flags.budget);
-  std::printf("serving %s (n=%zu, fingerprint=%016llx) with budget "
-              "epsilon=%g, %g per release\n",
-              argv[4], domain,
-              static_cast<unsigned long long>(server.fingerprint()),
-              flags.budget, epsilon);
+  const std::uint64_t fingerprint =
+      dphist::serve::FingerprintHistogram(truth.value());
+
+  std::string journal_dir = flags.journal_dir;
+  if (journal_dir.empty()) {
+    journal_dir = dphist::serve::JournalDirFromEnv().value_or("");
+  }
+  std::unique_ptr<dphist::serve::Journal> journal;
+  std::string journal_path;
+  if (!journal_dir.empty()) {
+    journal_path = journal_dir + "/events.jnl";
+    auto opened = dphist::serve::Journal::Open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "journal open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(opened).value();
+  }
+
+  dphist::serve::ReleaseServerOptions options;
+  options.cache_shards = flags.shards;
+  options.journal = journal.get();
+  dphist::serve::ReleaseServer server(options);
+  const dphist::serve::TenantKey ns{flags.tenant, "default"};
+  const dphist::Status added =
+      server.AddDataset(ns, std::move(truth).value(), flags.budget);
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.ToString().c_str());
+    return 1;
+  }
+  if (journal != nullptr) {
+    auto replay = dphist::serve::ReplayJournalFile(journal_path);
+    if (!replay.ok()) {
+      std::fprintf(stderr, "journal replay failed: %s\n",
+                   replay.status().ToString().c_str());
+      return 1;
+    }
+    auto recovered = server.Recover(replay.value());
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("journal %s: %s\n", journal_path.c_str(),
+                recovered.value().ToString().c_str());
+  }
+  std::printf("serving %s as %s (n=%zu, fingerprint=%016llx, %zu cache "
+              "shard(s)) with budget epsilon=%g, %g per release\n",
+              argv[4], dphist::serve::FormatTenantKey(ns).c_str(), domain,
+              static_cast<unsigned long long>(fingerprint),
+              server.cache().shard_count(), flags.budget, epsilon);
 
   dphist::Rng workload_rng(flags.seed);
   auto queries =
@@ -284,7 +361,7 @@ int RunServe(int argc, char** argv) {
     request.publisher = argv[2];
     request.epsilon = epsilon;
     request.seed = flags.seed + b;
-    auto batch = server.AnswerBatch(queries.value(), request);
+    auto batch = server.AnswerBatch(ns, queries.value(), request);
     if (!batch.ok()) {
       std::fprintf(stderr, "batch %zu failed: %s\n", b,
                    batch.status().ToString().c_str());
@@ -312,11 +389,16 @@ int RunServe(int argc, char** argv) {
   }
   std::printf("batches: %zu fresh, %zu cache hits, %zu stale\n", fresh, hits,
               stale);
+  auto ledger = server.LedgerFor(ns);
+  if (!ledger.ok()) {
+    std::fprintf(stderr, "%s\n", ledger.status().ToString().c_str());
+    return 1;
+  }
   std::printf("cache: %zu release(s); ledger: spent %.4f of %.4f "
               "(%zu charges)\n",
-              server.cache().size(), server.ledger().spent_epsilon(),
-              server.ledger().total_epsilon(),
-              server.ledger().charge_count());
+              server.cache().size(), ledger.value()->spent_epsilon(),
+              ledger.value()->total_epsilon(),
+              ledger.value()->charge_count());
   return 0;
 }
 

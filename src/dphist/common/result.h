@@ -78,13 +78,23 @@ class Result {
 
 }  // namespace dphist
 
+// Two-level paste so __LINE__ expands before concatenation; without the
+// indirection every expansion shares the literal name
+// `dphist_result_tmp___LINE__` and two uses in one scope collide.
+#define DPHIST_RESULT_CONCAT_INNER_(a, b) a##b
+#define DPHIST_RESULT_CONCAT_(a, b) DPHIST_RESULT_CONCAT_INNER_(a, b)
+
 /// Assigns the value of a `Result<T>` expression to `lhs`, returning the
 /// error status from the enclosing function when the result is an error.
-#define DPHIST_ASSIGN_OR_RETURN(lhs, expr)          \
-  auto dphist_result_tmp_##__LINE__ = (expr);       \
-  if (!dphist_result_tmp_##__LINE__.ok()) {         \
-    return dphist_result_tmp_##__LINE__.status();   \
-  }                                                 \
-  lhs = std::move(dphist_result_tmp_##__LINE__).value()
+#define DPHIST_ASSIGN_OR_RETURN(lhs, expr) \
+  DPHIST_ASSIGN_OR_RETURN_IMPL_(           \
+      DPHIST_RESULT_CONCAT_(dphist_result_tmp_, __LINE__), lhs, expr)
+
+#define DPHIST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
 
 #endif  // DPHIST_COMMON_RESULT_H_

@@ -26,6 +26,14 @@ Status Status::DeadlineExceeded(std::string_view message) {
   return Status(StatusCode::kDeadlineExceeded, message);
 }
 
+Status Status::PermissionDenied(std::string_view message) {
+  return Status(StatusCode::kPermissionDenied, message);
+}
+
+Status Status::DataLoss(std::string_view message) {
+  return Status(StatusCode::kDataLoss, message);
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "OK";
@@ -52,6 +60,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -30,6 +30,17 @@ enum class StatusCode : int {
   /// because finishing another attempt would overrun the caller's
   /// deadline. Carries the last underlying error in its message.
   kDeadlineExceeded = 6,
+  /// A caller addressed a namespace it does not own (e.g. tenant A asking
+  /// for a dataset registered under tenant B). Distinct from kNotFound so
+  /// a cross-tenant probe is distinguishable from a typo'd dataset name in
+  /// logs and tests — the serving layer must never silently re-route such
+  /// a request to the other tenant's releases.
+  kPermissionDenied = 7,
+  /// Durable state is unrecoverably corrupt (a journal whose header or
+  /// body fails validation beyond the tolerated torn tail). Unlike
+  /// kParseError this refers to state the system itself wrote; replay
+  /// refuses to guess rather than reconstruct a wrong ledger.
+  kDataLoss = 8,
 };
 
 /// \brief Lightweight status object carrying a code and a human-readable
@@ -58,6 +69,10 @@ class Status {
   static Status ResourceExhausted(std::string_view message);
   /// Returns a DeadlineExceeded status with the given message.
   static Status DeadlineExceeded(std::string_view message);
+  /// Returns a PermissionDenied status with the given message.
+  static Status PermissionDenied(std::string_view message);
+  /// Returns a DataLoss status with the given message.
+  static Status DataLoss(std::string_view message);
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }

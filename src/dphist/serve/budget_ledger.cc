@@ -37,7 +37,11 @@ Status Record(Status status) {
 }  // namespace
 
 BudgetLedger::BudgetLedger(double total_epsilon)
-    : accountant_(total_epsilon) {}
+    : BudgetLedger(DefaultTenantKey(), total_epsilon, nullptr) {}
+
+BudgetLedger::BudgetLedger(TenantKey key, double total_epsilon,
+                           Journal* journal)
+    : key_(std::move(key)), journal_(journal), accountant_(total_epsilon) {}
 
 Status BudgetLedger::Charge(double epsilon, std::string label) {
   // Chaos hooks: an induced refusal (return-status, before anything is
@@ -46,14 +50,59 @@ Status BudgetLedger::Charge(double epsilon, std::string label) {
   // serializing the introspection accessors behind it.
   DPHIST_FAILPOINT_RETURN_IF_SET("serve/ledger/charge");
   std::lock_guard<std::mutex> lock(mutex_);
-  return Record(accountant_.ChargeSequential(epsilon, std::move(label)));
+  Status status = Record(accountant_.ChargeSequential(epsilon, label));
+  if (!status.ok() || journal_ == nullptr) {
+    return status;
+  }
+  // Commit point: the spend is accepted in memory; make it durable before
+  // the caller learns it succeeded. An append failure leaves the epsilon
+  // spent (conservative — we may under-release, never over-spend) and
+  // tells the caller not to release anything against this charge.
+  JournalRecord record;
+  record.type = JournalRecord::Type::kCharge;
+  record.key = key_;
+  record.epsilon = epsilon;
+  record.parallel = false;
+  record.label = std::move(label);
+  return journal_->Append(record);
 }
 
 Status BudgetLedger::ChargeParallel(double epsilon, std::string group,
                                     std::string label) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Record(accountant_.ChargeParallel(epsilon, std::move(group),
-                                           std::move(label)));
+  Status status = Record(accountant_.ChargeParallel(epsilon, group, label));
+  if (!status.ok() || journal_ == nullptr) {
+    return status;
+  }
+  JournalRecord record;
+  record.type = JournalRecord::Type::kCharge;
+  record.key = key_;
+  record.epsilon = epsilon;
+  record.parallel = true;
+  record.group = std::move(group);
+  record.label = std::move(label);
+  return journal_->Append(record);
+}
+
+Status BudgetLedger::RestoreCharge(const JournalRecord& record) {
+  if (record.type != JournalRecord::Type::kCharge) {
+    return Status::InvalidArgument(
+        "RestoreCharge requires a kCharge record");
+  }
+  if (record.key != key_) {
+    return Status::PermissionDenied(
+        "journal charge for namespace '" + FormatTenantKey(record.key) +
+        "' replayed into ledger for '" + FormatTenantKey(key_) + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Replay never journals: the record is already durable. The accountant's
+  // verdict passes through so recovery can count refusals (a shrunk grant).
+  if (record.parallel) {
+    return Record(
+        accountant_.ChargeParallel(record.epsilon, record.group,
+                                   record.label));
+  }
+  return Record(accountant_.ChargeSequential(record.epsilon, record.label));
 }
 
 double BudgetLedger::total_epsilon() const {

@@ -7,17 +7,28 @@
 
 #include "dphist/common/status.h"
 #include "dphist/privacy/budget.h"
+#include "dphist/serve/journal.h"
+#include "dphist/serve/tenant.h"
 
 namespace dphist {
 namespace serve {
 
-/// \brief A per-dataset, thread-safe privacy budget: `BudgetAccountant`
-/// behind one mutex, so concurrent publish requests against the same
-/// dataset compose *sequentially* — each charge sees every previously
-/// accepted charge, and the accountant's accept/reject arithmetic is
-/// exactly the single-threaded one. Refusal is a typed Status
-/// (`kResourceExhausted`), never a crash; the serving front-end reacts to
-/// it by degrading to a cached release.
+/// \brief A per-namespace (tenant x dataset), thread-safe privacy budget:
+/// `BudgetAccountant` behind one mutex, so concurrent publish requests
+/// against the same namespace compose *sequentially* — each charge sees
+/// every previously accepted charge, and the accountant's accept/reject
+/// arithmetic is exactly the single-threaded one. Refusal is a typed
+/// Status (`kResourceExhausted`), never a crash; the serving front-end
+/// reacts to it by degrading to a cached release.
+///
+/// Durability: when constructed with a `Journal`, every *accepted* charge
+/// is appended as a `kCharge` record at its commit point, before the
+/// charge's Status is returned — so a crash can never forget spend that a
+/// release was (or is about to be) sampled against. A journal append
+/// failure keeps the epsilon spent in memory (the conservative direction)
+/// and surfaces the journal's error to the caller, who must not release
+/// anything. `RestoreCharge` is the replay inverse: it re-applies a
+/// journaled charge without re-journaling it.
 ///
 /// The wrapped accountant maintains its spend incrementally (see
 /// privacy/budget.h), so a long-lived ledger absorbing millions of charges
@@ -27,18 +38,35 @@ namespace serve {
 /// `serve/ledger/refusals` counts ResourceExhausted rejections.
 class BudgetLedger {
  public:
-  /// Creates a ledger with `total_epsilon` to spend (non-positive pins to
-  /// 0, same as BudgetAccountant: everything refuses loudly).
+  /// Creates an in-memory-only ledger with `total_epsilon` to spend
+  /// (non-positive pins to 0, same as BudgetAccountant: everything refuses
+  /// loudly). Keyed to the default namespace.
   explicit BudgetLedger(double total_epsilon);
+
+  /// Creates a ledger for `key` whose accepted charges are journaled
+  /// through `journal` (may be null for an in-memory ledger).
+  BudgetLedger(TenantKey key, double total_epsilon, Journal* journal);
 
   BudgetLedger(const BudgetLedger&) = delete;
   BudgetLedger& operator=(const BudgetLedger&) = delete;
 
-  /// Sequential charge; see BudgetAccountant::ChargeSequential.
+  /// Sequential charge; see BudgetAccountant::ChargeSequential. Journaled
+  /// at the commit point when a journal is attached.
   Status Charge(double epsilon, std::string label);
 
   /// Parallel-composition charge; see BudgetAccountant::ChargeParallel.
+  /// Journaled at the commit point when a journal is attached.
   Status ChargeParallel(double epsilon, std::string group, std::string label);
+
+  /// Replays one journaled charge into the accountant WITHOUT journaling
+  /// it again. Returns the accountant's verdict: a refusal here means the
+  /// journal holds more spend than the (possibly re-configured, smaller)
+  /// grant covers — the spend pins at the total, which is the no-overspend
+  /// direction. The record must be a kCharge for this ledger's namespace.
+  Status RestoreCharge(const JournalRecord& record);
+
+  /// The namespace this ledger accounts for.
+  const TenantKey& tenant_key() const { return key_; }
 
   /// Total epsilon granted at construction.
   double total_epsilon() const;
@@ -56,6 +84,8 @@ class BudgetLedger {
   std::string ToString() const;
 
  private:
+  TenantKey key_;
+  Journal* journal_;  // not owned; null = in-memory only
   mutable std::mutex mutex_;
   BudgetAccountant accountant_;
 };

@@ -1,0 +1,205 @@
+#ifndef DPHIST_SERVE_JOURNAL_H_
+#define DPHIST_SERVE_JOURNAL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dphist/common/clock.h"
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/serve/tenant.h"
+
+namespace dphist {
+namespace serve {
+
+/// \brief Write-ahead event journal for the release store.
+///
+/// The journal is what survives a crash: every accepted budget charge is
+/// appended at the ledger's commit point, and every successful publication
+/// is appended (with the released counts) before the client is
+/// acknowledged. Replay-on-startup reconstructs ledger spend and cache
+/// contents from the record stream, so a restarted server can never
+/// re-spend epsilon that already bought a release — the durability half of
+/// the ε-DP guarantee.
+///
+/// On-disk format (all integers little-endian):
+///
+///   file   := magic record*
+///   magic  := "DPHJNL1\n"                                (8 bytes)
+///   record := payload_len:u32 crc32:u32 payload
+///   payload:= type:u8 body
+///
+/// `crc32` is the IEEE CRC-32 of the payload bytes. A record is valid only
+/// when its full frame fits in the file AND the CRC matches; replay stops
+/// at the first invalid frame and reports everything before it — a torn
+/// or bit-flipped tail truncates, never crashes, and never invents a
+/// charge. A file whose magic is damaged is rejected with a typed
+/// kDataLoss instead (nothing can be salvaged without the header).
+///
+/// Bodies (strings are len:u32 + bytes, doubles are raw IEEE-754 bits):
+///   kCharge  := tenant dataset epsilon:f64 parallel:u8 group label
+///   kPublish := tenant dataset fingerprint:u64 publisher epsilon:f64
+///               seed:u64 bins:u64 counts:f64*bins
+///
+/// Failpoints (chaos suite): `serve/journal/append` before a frame is
+/// handed to the sink, `serve/journal/sync` before fsync, and
+/// `serve/journal/replay_record` per replayed record.
+///
+/// Obs: `serve/journal/records` / `serve/journal/bytes` count appended
+/// frames, `serve/journal/replayed_records` / `serve/journal/truncated_bytes`
+/// describe recovery, and replay wall time lands in the
+/// `serve/journal/replay` distribution.
+
+/// One journal event.
+struct JournalRecord {
+  enum class Type : std::uint8_t {
+    /// A budget charge the ledger accepted (its commit point).
+    kCharge = 1,
+    /// A successful publication, carrying the released counts.
+    kPublish = 2,
+  };
+
+  Type type = Type::kCharge;
+  /// Namespace the event belongs to.
+  TenantKey key;
+
+  // kCharge fields.
+  double epsilon = 0.0;
+  bool parallel = false;
+  std::string group;
+  std::string label;
+
+  // kPublish fields (epsilon above doubles as the release epsilon).
+  std::uint64_t fingerprint = 0;
+  std::string publisher;
+  std::uint64_t seed = 0;
+  std::vector<double> counts;
+
+  friend bool operator==(const JournalRecord&, const JournalRecord&) = default;
+};
+
+/// The 8-byte file magic ("DPHJNL1\n").
+std::string_view JournalMagic();
+
+/// Encodes one record as a complete frame (length prefix + CRC + payload).
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// \brief What replay recovered from a byte stream.
+struct ReplayResult {
+  /// Every record whose full frame was present and CRC-valid, in order.
+  std::vector<JournalRecord> records;
+  /// Bytes consumed by the magic plus the valid frames.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes discarded past the last valid frame (the torn/corrupt tail).
+  std::uint64_t truncated_bytes = 0;
+
+  bool truncated() const { return truncated_bytes > 0; }
+};
+
+/// Replays an in-memory byte stream (magic + frames). Tolerates any torn
+/// or corrupted tail by truncating at the last valid record; only a
+/// missing/damaged magic is a typed kDataLoss error. An empty input
+/// replays to zero records (a journal that was never created).
+Result<ReplayResult> ReplayJournalBytes(std::string_view bytes);
+
+/// Replays the journal file at `path`. A nonexistent file replays to zero
+/// records; read failures are kInternal; corrupt magic is kDataLoss.
+Result<ReplayResult> ReplayJournalFile(const std::string& path);
+
+/// \brief Byte sink the journal writes through — the filesystem seam.
+/// Production uses an O_APPEND file descriptor; tests inject sinks that
+/// drop bytes mid-frame (torn writes) or fail on command.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  /// Appends `size` bytes; all-or-nothing at the Status level (a partial
+  /// physical write may still land on disk — that is exactly the torn
+  /// tail replay tolerates).
+  virtual Status Append(const void* data, std::size_t size) = 0;
+  /// Forces appended bytes to durable storage (fsync).
+  virtual Status Sync() = 0;
+};
+
+/// When the journal fsyncs.
+enum class FsyncPolicy {
+  /// Sync after every appended record: strongest durability, one fsync per
+  /// charge/publish. The default — budget spend must not outlive a crash.
+  kEveryRecord,
+  /// Sync when at least `fsync_interval` has elapsed on the journal clock
+  /// since the last sync. Bounds data loss by time instead of by record.
+  kInterval,
+  /// Never sync implicitly; the OS decides (and `Journal::Sync` is manual).
+  kNever,
+};
+
+struct JournalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
+  /// Minimum spacing between implicit syncs under kInterval.
+  std::chrono::nanoseconds fsync_interval = std::chrono::milliseconds(50);
+  /// Time source for kInterval decisions; nullptr means Clock::Real().
+  Clock* clock = nullptr;
+};
+
+/// \brief Append handle to one journal file. Thread-safe: appends are
+/// serialized internally (callers are the ledger and the cache publish
+/// slot, which may race).
+class Journal {
+ public:
+  /// Opens `path` for appending, creating it (with magic) if absent. An
+  /// existing file is validated first and truncated to its last valid
+  /// record, so new frames never land after a torn tail.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& path,
+                                               JournalOptions options = {});
+
+  /// Wraps an injected sink (tests). The sink receives the magic
+  /// immediately when `write_magic` is true.
+  static Result<std::unique_ptr<Journal>> WithSink(
+      std::unique_ptr<JournalSink> sink, JournalOptions options = {},
+      bool write_magic = true);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Appends one record and applies the fsync policy. On any error the
+  /// record must be treated as NOT durable (the caller's ack must not
+  /// happen); the file may hold a torn frame, which the next replay
+  /// truncates.
+  Status Append(const JournalRecord& record);
+
+  /// Forces a sync now (used before acknowledging under kNever/kInterval).
+  Status Sync();
+
+  /// Bytes successfully handed to the sink (magic + frames) over this
+  /// handle's lifetime plus any pre-existing valid bytes.
+  std::uint64_t bytes_written() const;
+
+  /// Records appended through this handle.
+  std::uint64_t records_written() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Journal(std::unique_ptr<JournalSink> sink, JournalOptions options,
+          std::string path, std::uint64_t preexisting_bytes);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string path_;
+};
+
+/// The journal directory named by DPHIST_JOURNAL_DIR, or nullopt when
+/// unset — how `dphist_tool serve` (and any embedder) finds its default
+/// durable location.
+std::optional<std::string> JournalDirFromEnv();
+
+}  // namespace serve
+}  // namespace dphist
+
+#endif  // DPHIST_SERVE_JOURNAL_H_

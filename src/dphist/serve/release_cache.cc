@@ -32,6 +32,12 @@ obs::Counter& EntryCounter() {
   return counter;
 }
 
+obs::Counter& EvictionCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/cache/evictions");
+  return counter;
+}
+
 }  // namespace
 
 std::uint64_t FingerprintHistogram(const Histogram& histogram) {
@@ -58,8 +64,10 @@ std::uint64_t FingerprintHistogram(const Histogram& histogram) {
 
 bool ReleaseKeyLess::operator()(const ReleaseKey& a,
                                 const ReleaseKey& b) const {
-  return std::tie(a.dataset_fingerprint, a.publisher, a.epsilon, a.seed) <
-         std::tie(b.dataset_fingerprint, b.publisher, b.epsilon, b.seed);
+  return std::tie(a.dataset_fingerprint, a.tenant, a.dataset, a.publisher,
+                  a.epsilon, a.seed) <
+         std::tie(b.dataset_fingerprint, b.tenant, b.dataset, b.publisher,
+                  b.epsilon, b.seed);
 }
 
 CachedRelease::CachedRelease(ReleaseKey key, Histogram histogram)
@@ -67,12 +75,21 @@ CachedRelease::CachedRelease(ReleaseKey key, Histogram histogram)
       histogram_(std::move(histogram)),
       prefix_(PrefixSums(histogram_.counts())) {}
 
+ReleaseCache::ReleaseCache(ReleaseCacheOptions options)
+    : shard_map_(options.shards) {
+  shards_.reserve(shard_map_.count());
+  for (std::size_t i = 0; i < shard_map_.count(); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
     const ReleaseKey& key, const PublishFn& publish) {
+  Shard& shard = ShardFor(key);
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = entries_.try_emplace(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.entries.try_emplace(key);
     if (inserted) {
       it->second = std::make_shared<Entry>();
     } else if (it->second->release != nullptr) {
@@ -86,7 +103,7 @@ Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
   // without ever invoking their own callback.
   std::lock_guard<std::mutex> publish_lock(entry->publish_mutex);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(shard.mutex);
     if (entry->release != nullptr) {
       HitCounter().Increment();
       return entry->release;
@@ -107,28 +124,70 @@ Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
   auto release = std::make_shared<CachedRelease>(
       key, std::move(published).value());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    release->sequence_ = next_sequence_++;
-    entry->release = std::move(release);
-    EntryCounter().Increment();
-    return entry->release;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // An eviction may have removed the entry while this publish ran (a
+    // racing caller then re-created it and may even have finished its own
+    // publish). Re-anchor, and keep whichever release is already ready —
+    // equal keys imply bit-identical releases, so dropping ours is safe.
+    auto [it, inserted] = shard.entries.try_emplace(key, entry);
+    (void)inserted;
+    if (it->second->release == nullptr) {
+      release->sequence_ =
+          next_sequence_.fetch_add(1, std::memory_order_relaxed);
+      it->second->release = std::move(release);
+      EntryCounter().Increment();
+    }
+    return it->second->release;
   }
 }
 
 std::shared_ptr<const CachedRelease> ReleaseCache::Lookup(
     const ReleaseKey& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : it->second->release;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : it->second->release;
+}
+
+bool ReleaseCache::Evict(const ReleaseKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second->release == nullptr) {
+    return false;
+  }
+  shard.entries.erase(it);
+  EvictionCounter().Increment();
+  return true;
+}
+
+std::shared_ptr<const CachedRelease> ReleaseCache::RestorePublished(
+    const ReleaseKey& key, Histogram histogram) {
+  auto release = std::make_shared<CachedRelease>(key, std::move(histogram));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.entries.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_shared<Entry>();
+  } else if (it->second->release != nullptr) {
+    return it->second->release;  // idempotent replay
+  }
+  release->sequence_ = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  it->second->release = std::move(release);
+  EntryCounter().Increment();
+  return it->second->release;
 }
 
 std::shared_ptr<const CachedRelease> ReleaseCache::NewestFor(
-    std::uint64_t dataset_fingerprint, std::string_view publisher) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+    const TenantKey& tenant_key, std::string_view publisher) const {
+  // The whole namespace hashes to one shard, so this scan is consistent
+  // under exactly one lock.
+  Shard& shard = *shards_[shard_map_.IndexFor(tenant_key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
   std::shared_ptr<const CachedRelease> newest;
-  for (const auto& [key, entry] : entries_) {
-    if (key.dataset_fingerprint != dataset_fingerprint ||
-        entry->release == nullptr) {
+  for (const auto& [key, entry] : shard.entries) {
+    if (key.tenant != tenant_key.tenant ||
+        key.dataset != tenant_key.dataset || entry->release == nullptr) {
       continue;
     }
     if (!publisher.empty() && key.publisher != publisher) {
@@ -142,10 +201,12 @@ std::shared_ptr<const CachedRelease> ReleaseCache::NewestFor(
 }
 
 std::size_t ReleaseCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t ready = 0;
-  for (const auto& [key, entry] : entries_) {
-    ready += entry->release != nullptr ? 1 : 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) {
+      ready += entry->release != nullptr ? 1 : 0;
+    }
   }
   return ready;
 }

@@ -1,6 +1,7 @@
 #ifndef DPHIST_SERVE_RELEASE_CACHE_H_
 #define DPHIST_SERVE_RELEASE_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,8 @@
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
 #include "dphist/hist/histogram.h"
+#include "dphist/serve/shard.h"
+#include "dphist/serve/tenant.h"
 
 namespace dphist {
 namespace serve {
@@ -25,24 +28,35 @@ namespace serve {
 /// is the same deterministic release.
 std::uint64_t FingerprintHistogram(const Histogram& histogram);
 
-/// \brief Identity of one published release: which data, which algorithm,
-/// at what budget, with which noise stream. Publishers are deterministic
-/// functions of (histogram, epsilon, rng seed), so equal keys imply
-/// bit-identical releases — the invariant that makes caching sound (a
-/// cache hit re-serves the *same* release, costing zero extra privacy).
+/// \brief Identity of one published release: which tenant's dataset, which
+/// algorithm, at what budget, with which noise stream. Publishers are
+/// deterministic functions of (histogram, epsilon, rng seed), so equal
+/// keys imply bit-identical releases — the invariant that makes caching
+/// sound (a cache hit re-serves the *same* release, costing zero extra
+/// privacy).
+///
+/// The tenant and dataset names are part of the key on purpose: the
+/// fingerprint identifies the *data*, but two tenants may serve identical
+/// data, and caching (or worse, the degraded "newest release" fallback)
+/// across that boundary would hand one tenant a release the other paid
+/// for. Keys never match across namespaces.
 struct ReleaseKey {
+  std::string tenant;
+  std::string dataset;
   std::uint64_t dataset_fingerprint = 0;
   std::string publisher;
   double epsilon = 0.0;
   std::uint64_t seed = 0;
 
+  TenantKey tenant_key() const { return {tenant, dataset}; }
+
   friend bool operator==(const ReleaseKey&, const ReleaseKey&) = default;
 };
 
 /// Strict weak order over ReleaseKey for map storage (field-wise
-/// lexicographic; epsilon compared as a double, which is exact for the
-/// cache's purposes — keys come from caller-supplied values, not derived
-/// arithmetic).
+/// lexicographic, cheap fingerprint first; epsilon compared as a double,
+/// which is exact for the cache's purposes — keys come from
+/// caller-supplied values, not derived arithmetic).
 struct ReleaseKeyLess {
   bool operator()(const ReleaseKey& a, const ReleaseKey& b) const;
 };
@@ -82,7 +96,22 @@ class CachedRelease {
   std::uint64_t sequence_ = 0;
 };
 
-/// \brief Thread-safe memo of published releases keyed by ReleaseKey.
+/// Construction knobs for ReleaseCache.
+struct ReleaseCacheOptions {
+  /// Shard count; 0 defers to DPHIST_SERVE_SHARDS, then
+  /// kDefaultServeShards.
+  std::size_t shards = 0;
+};
+
+/// \brief Thread-safe, sharded memo of published releases keyed by
+/// ReleaseKey.
+///
+/// Sharding: keys hash by tenant x dataset onto a fixed array of shards,
+/// each with its own mutex and map, so serving throughput scales with
+/// cores instead of serializing every tenant on one cache-wide lock.
+/// Routing a key to its shard is lock-free (the shard array never changes
+/// after construction); a whole namespace lives on one shard, so
+/// namespace-scoped scans (`NewestFor`) lock exactly one shard.
 ///
 /// Concurrency contract: for any key, the publish callback passed to
 /// `GetOrPublish` runs **at most once concurrently and exactly once
@@ -94,12 +123,13 @@ class CachedRelease {
 ///
 /// Obs (recorded only while obs is enabled): `serve/cache/hits`,
 /// `serve/cache/misses` (a miss is counted once per publish attempt, not
-/// per coalesced waiter), `serve/cache/entries` tracks insertions.
+/// per coalesced waiter), `serve/cache/entries` tracks insertions,
+/// `serve/cache/evictions` tracks removals.
 class ReleaseCache {
  public:
   using PublishFn = std::function<Result<Histogram>()>;
 
-  ReleaseCache() = default;
+  explicit ReleaseCache(ReleaseCacheOptions options = {});
   ReleaseCache(const ReleaseCache&) = delete;
   ReleaseCache& operator=(const ReleaseCache&) = delete;
 
@@ -112,29 +142,57 @@ class ReleaseCache {
   /// The cached release for `key`, or null when absent. Never publishes.
   std::shared_ptr<const CachedRelease> Lookup(const ReleaseKey& key) const;
 
-  /// The most recently published release for (fingerprint, publisher)
-  /// across all (epsilon, seed) keys, or null when none exists — the
-  /// degraded-serving fallback after a budget refusal. An empty
-  /// `publisher` matches any publisher.
-  std::shared_ptr<const CachedRelease> NewestFor(
-      std::uint64_t dataset_fingerprint, std::string_view publisher) const;
+  /// Removes the ready release for `key`; returns true when one was
+  /// present. An in-flight publication of the same key is unaffected (its
+  /// insert re-creates the entry).
+  bool Evict(const ReleaseKey& key);
 
-  /// Number of successfully published (ready) releases.
+  /// Inserts an already-published release (journal replay). Idempotent:
+  /// when `key` is already ready the existing release is returned and the
+  /// histogram is discarded — replaying a journal twice cannot double any
+  /// state.
+  std::shared_ptr<const CachedRelease> RestorePublished(
+      const ReleaseKey& key, Histogram histogram);
+
+  /// The most recently published release in `tenant_key`'s namespace, or
+  /// null when none exists — the degraded-serving fallback after a budget
+  /// refusal. An empty `publisher` matches any publisher; a non-empty one
+  /// filters to that publisher's releases. Never crosses a tenant/dataset
+  /// boundary.
+  std::shared_ptr<const CachedRelease> NewestFor(
+      const TenantKey& tenant_key, std::string_view publisher) const;
+
+  /// Number of successfully published (ready) releases across all shards.
   std::size_t size() const;
+
+  /// Number of shards (for tests and `bench_serve`'s shard sweep).
+  std::size_t shard_count() const { return shard_map_.count(); }
 
  private:
   struct Entry {
     /// Serializes publish attempts for this key; never held while the
-    /// cache-wide mutex is held.
+    /// shard mutex is held.
     std::mutex publish_mutex;
-    /// The ready release; guarded by the cache-wide mutex_, null until a
-    /// publish succeeded.
+    /// The ready release; guarded by the owning shard's mutex, null until
+    /// a publish succeeded.
     std::shared_ptr<const CachedRelease> release;
   };
 
-  mutable std::mutex mutex_;
-  std::map<ReleaseKey, std::shared_ptr<Entry>, ReleaseKeyLess> entries_;
-  std::uint64_t next_sequence_ = 1;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<ReleaseKey, std::shared_ptr<Entry>, ReleaseKeyLess> entries;
+  };
+
+  Shard& ShardFor(const ReleaseKey& key) const {
+    return *shards_[shard_map_.IndexFor(key.tenant, key.dataset)];
+  }
+
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Cache-wide publication order (sequence numbers must order releases
+  /// across shards, since a tenant's namespace could in principle move
+  /// between shard counts across restarts).
+  std::atomic<std::uint64_t> next_sequence_{1};
 };
 
 }  // namespace serve

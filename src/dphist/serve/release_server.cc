@@ -62,17 +62,79 @@ std::chrono::nanoseconds NextBackoff(std::chrono::nanoseconds backoff,
 
 }  // namespace
 
+std::string RecoveryStats::ToString() const {
+  return "recovered " + std::to_string(charges_replayed) + " charge(s), " +
+         std::to_string(releases_replayed) + " release(s); " +
+         std::to_string(refusals) + " refusal(s), " +
+         std::to_string(skipped) + " skipped, " +
+         std::to_string(truncated_bytes) + " torn byte(s) discarded";
+}
+
+ReleaseServer::Dataset::Dataset(TenantKey key, Histogram truth_in,
+                                double total_epsilon, Journal* journal)
+    : truth(std::move(truth_in)),
+      fingerprint(FingerprintHistogram(truth)),
+      ledger(std::move(key), total_epsilon, journal) {}
+
+ReleaseServer::ReleaseServer(ReleaseServerOptions options)
+    : options_(options), cache_(ReleaseCacheOptions{options.cache_shards}) {}
+
 ReleaseServer::ReleaseServer(Histogram truth, double total_epsilon,
                              ReleaseServerOptions options)
-    : truth_(std::move(truth)),
-      fingerprint_(FingerprintHistogram(truth_)),
-      ledger_(total_epsilon),
-      options_(options) {}
+    : ReleaseServer(options) {
+  // The single-tenant constructor cannot fail: the default namespace is
+  // empty by construction.
+  (void)AddDataset(DefaultTenantKey(), std::move(truth), total_epsilon);
+}
+
+Status ReleaseServer::AddDataset(const TenantKey& key, Histogram truth,
+                                 double total_epsilon) {
+  auto dataset = std::make_unique<Dataset>(key, std::move(truth),
+                                           total_epsilon, options_.journal);
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  auto [it, inserted] = datasets_.try_emplace(key, std::move(dataset));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("namespace '" + FormatTenantKey(key) +
+                                   "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Result<ReleaseServer::Dataset*> ReleaseServer::FindDataset(
+    const TenantKey& key) const {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  const auto it = datasets_.find(key);
+  if (it != datasets_.end()) {
+    return it->second.get();
+  }
+  // Typed isolation: the same dataset name under a DIFFERENT tenant is a
+  // cross-tenant probe, not a missing dataset. Never re-route it.
+  for (const auto& [registered, dataset] : datasets_) {
+    (void)dataset;
+    if (registered.dataset == key.dataset &&
+        registered.tenant != key.tenant) {
+      return Status::PermissionDenied(
+          "tenant '" + key.tenant + "' does not own dataset '" +
+          key.dataset + "' (registered under another tenant)");
+    }
+  }
+  return Status::NotFound("no dataset '" + key.dataset +
+                          "' registered for tenant '" + key.tenant + "'");
+}
+
+ReleaseServer::Dataset* ReleaseServer::DefaultDataset() const {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  const auto it = datasets_.find(DefaultTenantKey());
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
 
 Result<std::shared_ptr<const CachedRelease>> ReleaseServer::GetRelease(
-    const ServeRequest& request) {
-  ReleaseKey key{fingerprint_, request.publisher, request.epsilon,
-                 request.seed};
+    const TenantKey& tenant_key, const ServeRequest& request) {
+  DPHIST_ASSIGN_OR_RETURN(Dataset* dataset, FindDataset(tenant_key));
+  ReleaseKey key{tenant_key.tenant,   tenant_key.dataset,
+                 dataset->fingerprint, request.publisher,
+                 request.epsilon,      request.seed};
   // The charge happens inside the cache's once-per-key publish slot:
   // racing cache misses for the same key coalesce onto a single ledger
   // charge and a single publication, so a popular release is paid for
@@ -82,20 +144,48 @@ Result<std::shared_ptr<const CachedRelease>> ReleaseServer::GetRelease(
     if (!publisher.ok()) {
       return publisher.status();
     }
-    DPHIST_RETURN_IF_ERROR(ledger_.Charge(
+    DPHIST_RETURN_IF_ERROR(dataset->ledger.Charge(
         request.epsilon, request.publisher + ":seed=" +
                              std::to_string(request.seed)));
     // A charge precedes its publication (never sample noise the budget
     // cannot cover); publish failures after a successful charge are
     // conservative — the epsilon stays spent.
     Rng rng(request.seed);
-    return publisher.value()->Publish(truth_, request.epsilon, rng);
+    Result<Histogram> published =
+        publisher.value()->Publish(dataset->truth, request.epsilon, rng);
+    if (!published.ok() || options_.journal == nullptr) {
+      return published;
+    }
+    // Durability before acknowledgement: the publish record (with the
+    // released counts) must be on disk before the cache insert that makes
+    // this release visible. The explicit Sync pins the ack boundary even
+    // under relaxed fsync policies; under kEveryRecord it is a no-op
+    // second sync. On failure the epsilon stays spent and nothing is
+    // released — the caller may retry into the same coalesced slot.
+    JournalRecord record;
+    record.type = JournalRecord::Type::kPublish;
+    record.key = tenant_key;
+    record.fingerprint = dataset->fingerprint;
+    record.publisher = request.publisher;
+    record.epsilon = request.epsilon;
+    record.seed = request.seed;
+    record.counts = published.value().counts();
+    DPHIST_RETURN_IF_ERROR(options_.journal->Append(record));
+    DPHIST_RETURN_IF_ERROR(options_.journal->Sync());
+    return published;
   });
 }
 
+Result<std::shared_ptr<const CachedRelease>> ReleaseServer::GetRelease(
+    const ServeRequest& request) {
+  return GetRelease(DefaultTenantKey(), request);
+}
+
 Result<BatchAnswer> ReleaseServer::AnswerBatch(
-    const std::vector<RangeQuery>& queries, const ServeRequest& request) {
-  DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, truth_.size()));
+    const TenantKey& tenant_key, const std::vector<RangeQuery>& queries,
+    const ServeRequest& request) {
+  DPHIST_ASSIGN_OR_RETURN(Dataset* dataset, FindDataset(tenant_key));
+  DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, dataset->truth.size()));
   obs::ScopedTimer batch_timer("serve/batch");
   BatchCounter().Increment();
   BatchQueryCounter().Add(queries.size());
@@ -105,8 +195,9 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
   BatchAnswer batch;
   std::shared_ptr<const CachedRelease> release;
   const bool was_cached =
-      cache_.Lookup({fingerprint_, request.publisher, request.epsilon,
-                     request.seed}) != nullptr;
+      cache_.Lookup({tenant_key.tenant, tenant_key.dataset,
+                     dataset->fingerprint, request.publisher,
+                     request.epsilon, request.seed}) != nullptr;
 
   // Resolve the release with bounded retries on transient failure. The
   // deadline and every backoff sleep go through the injectable clock, so
@@ -120,7 +211,7 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
   const std::chrono::steady_clock::time_point deadline =
       has_deadline ? clock.Now() + retry.deadline
                    : std::chrono::steady_clock::time_point{};
-  auto requested = GetRelease(request);
+  auto requested = GetRelease(tenant_key, request);
   std::chrono::nanoseconds backoff = retry.initial_backoff;
   for (std::size_t attempt = 1; !requested.ok() &&
                                 IsTransient(requested.status()) &&
@@ -139,7 +230,7 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
     clock.SleepFor(backoff);
     backoff = NextBackoff(backoff, retry);
     RetryCounter().Increment();
-    requested = GetRelease(request);
+    requested = GetRelease(tenant_key, request);
   }
 
   if (requested.ok()) {
@@ -147,11 +238,11 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
     batch.cache_hit = was_cached;
   } else if (requested.status().code() == StatusCode::kResourceExhausted) {
     // Degrade instead of failing the batch: newest release of the same
-    // publisher if any, else the newest release of any publisher. The
-    // answers are stale (older epsilon/seed) but cost no extra privacy.
-    release = cache_.NewestFor(fingerprint_, request.publisher);
+    // publisher if any, else the newest release of any publisher — always
+    // inside this namespace; degradation never crosses a tenant boundary.
+    release = cache_.NewestFor(tenant_key, request.publisher);
     if (release == nullptr) {
-      release = cache_.NewestFor(fingerprint_, "");
+      release = cache_.NewestFor(tenant_key, "");
     }
     if (release == nullptr) {
       return requested.status();
@@ -185,6 +276,81 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
     answer_range(0, queries.size());
   }
   return batch;
+}
+
+Result<BatchAnswer> ReleaseServer::AnswerBatch(
+    const std::vector<RangeQuery>& queries, const ServeRequest& request) {
+  return AnswerBatch(DefaultTenantKey(), queries, request);
+}
+
+Result<RecoveryStats> ReleaseServer::Recover(const ReplayResult& replay) {
+  RecoveryStats stats;
+  stats.truncated_bytes = replay.truncated_bytes;
+  for (const JournalRecord& record : replay.records) {
+    auto dataset = FindDataset(record.key);
+    if (!dataset.ok()) {
+      // The namespace is gone (or moved tenants). The record stays in the
+      // journal but is not applied; count it so operators notice.
+      ++stats.skipped;
+      continue;
+    }
+    switch (record.type) {
+      case JournalRecord::Type::kCharge: {
+        const Status status = dataset.value()->ledger.RestoreCharge(record);
+        if (status.ok()) {
+          ++stats.charges_replayed;
+        } else if (status.code() == StatusCode::kResourceExhausted) {
+          // The grant shrank across the restart; the accountant refuses
+          // the excess. Remaining budget stays >= 0 — the no-overspend
+          // direction — but the refusal is worth surfacing.
+          ++stats.refusals;
+        } else {
+          return status;
+        }
+        break;
+      }
+      case JournalRecord::Type::kPublish: {
+        if (record.fingerprint != dataset.value()->fingerprint) {
+          // The registered truth changed since this release was journaled;
+          // its answers describe data the server no longer holds.
+          ++stats.skipped;
+          break;
+        }
+        ReleaseKey key{record.key.tenant, record.key.dataset,
+                       record.fingerprint, record.publisher,
+                       record.epsilon,     record.seed};
+        cache_.RestorePublished(key, Histogram(record.counts));
+        ++stats.releases_replayed;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+std::size_t ReleaseServer::dataset_count() const {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  return datasets_.size();
+}
+
+Result<const BudgetLedger*> ReleaseServer::LedgerFor(
+    const TenantKey& key) const {
+  DPHIST_ASSIGN_OR_RETURN(Dataset* dataset, FindDataset(key));
+  return static_cast<const BudgetLedger*>(&dataset->ledger);
+}
+
+std::uint64_t ReleaseServer::fingerprint() const {
+  const Dataset* dataset = DefaultDataset();
+  return dataset == nullptr ? 0 : dataset->fingerprint;
+}
+
+std::size_t ReleaseServer::domain_size() const {
+  const Dataset* dataset = DefaultDataset();
+  return dataset == nullptr ? 0 : dataset->truth.size();
+}
+
+const BudgetLedger& ReleaseServer::ledger() const {
+  return DefaultDataset()->ledger;
 }
 
 }  // namespace serve

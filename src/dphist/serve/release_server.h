@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,7 +18,9 @@
 #include "dphist/hist/histogram.h"
 #include "dphist/query/range_query.h"
 #include "dphist/serve/budget_ledger.h"
+#include "dphist/serve/journal.h"
 #include "dphist/serve/release_cache.h"
+#include "dphist/serve/tenant.h"
 
 namespace dphist {
 namespace serve {
@@ -91,24 +95,71 @@ struct ReleaseServerOptions {
   /// Clock::Real(). Tests install a FakeClock so retries never sleep
   /// wall-clock.
   Clock* clock = nullptr;
+  /// Release-cache shard count; 0 defers to DPHIST_SERVE_SHARDS, then the
+  /// built-in default.
+  std::size_t cache_shards = 0;
+  /// Write-ahead journal (not owned; may be null for an in-memory server).
+  /// When set, every accepted charge and every successful publication is
+  /// durable before its caller is acknowledged, and `Recover` can rebuild
+  /// ledger spend + cache contents after a crash.
+  Journal* journal = nullptr;
 };
 
-/// \brief The release-serving front-end: owns the true histogram, a
-/// per-dataset `BudgetLedger`, and a `ReleaseCache`, and answers batched
-/// range queries from cached releases.
+/// \brief What `Recover` rebuilt from a journal replay.
+struct RecoveryStats {
+  /// Charges re-applied into their ledgers.
+  std::size_t charges_replayed = 0;
+  /// Publications re-inserted into the cache.
+  std::size_t releases_replayed = 0;
+  /// Replayed charges the accountant refused — only possible when a
+  /// tenant's grant shrank across the restart; the refused spend does NOT
+  /// re-enter the ledger, so inspect this before trusting
+  /// `remaining_epsilon` of a reconfigured tenant.
+  std::size_t refusals = 0;
+  /// Records skipped: namespaces no longer registered, or publish records
+  /// whose dataset fingerprint no longer matches the registered truth
+  /// (the data changed — replaying the old release would serve answers
+  /// about a histogram the server no longer holds).
+  std::size_t skipped = 0;
+  /// Torn/corrupt tail bytes the replay discarded (from ReplayResult).
+  std::uint64_t truncated_bytes = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief The release-serving front-end: a registry of tenant-x-dataset
+/// namespaces (each with its own true histogram and `BudgetLedger`), one
+/// sharded `ReleaseCache`, and an optional write-ahead `Journal`, answering
+/// batched range queries from cached releases.
+///
+/// Multi-tenancy: every dataset is registered under a `TenantKey` via
+/// `AddDataset`, and every request names the namespace it targets. The
+/// isolation contract is typed: a request for a dataset name that exists
+/// only under OTHER tenants fails `kPermissionDenied` (the caller is
+/// probing across the boundary); a name no tenant registered fails
+/// `kNotFound`. Cached releases and the degraded "newest release" fallback
+/// never cross a namespace boundary (the tenant and dataset are part of
+/// the cache key).
 ///
 /// Request flow for `AnswerBatch`:
-///  1. Validate the batch against the domain.
+///  1. Resolve the namespace; validate the batch against its domain.
 ///  2. Get the release for (publisher, epsilon, seed): a cache hit costs
-///     zero privacy and zero publisher work; a miss charges the ledger
-///     (inside the cache's once-per-key publish slot, so racing misses
-///     coalesce onto one charge + one publication) and publishes.
-///  3. Budget refused? Degrade: serve the newest cached release for this
-///     dataset (same publisher preferred, any publisher otherwise) with
+///     zero privacy and zero publisher work; a miss charges the namespace
+///     ledger (inside the cache's once-per-key publish slot, so racing
+///     misses coalesce onto one charge + one publication) and publishes.
+///  3. Budget refused? Degrade: serve the newest cached release in this
+///     namespace (same publisher preferred, any publisher otherwise) with
 ///     `stale = true`. Only when *nothing* was ever released does the
 ///     batch fail, with the ledger's typed ResourceExhausted status.
 ///  4. Fan the answers across the pool (O(1) each off the release's
 ///     prefix array) when the batch is large enough.
+///
+/// Durability (when a journal is attached): a charge is journaled at the
+/// ledger's commit point, and a publication is journaled AND fsynced
+/// before the cache insert that acknowledges it — so after `Recover`,
+/// every acknowledged release is present and replayed spend never exceeds
+/// committed spend. Journal failures surface as the publish slot's error:
+/// the epsilon stays spent (conservative) and nothing is released.
 ///
 /// Transient (`kInternal`) release failures are retried per
 /// `ReleaseServerOptions::retry` — bounded attempts, deterministic
@@ -117,54 +168,110 @@ struct ReleaseServerOptions {
 /// (step 3) is not retried: a budget refusal is deterministic.
 ///
 /// Thread safety: all public methods may be called concurrently; the
-/// ledger serializes charges, the cache serializes per-key publications,
-/// and releases are immutable once cached.
+/// registry is read-mostly under its own mutex, each ledger serializes its
+/// charges, the cache serializes per-key publications, and releases are
+/// immutable once cached. `AddDataset` and `Recover` are typically called
+/// at startup but are themselves thread-safe.
 ///
 /// Obs: `serve/batches`, `serve/batch/queries`, `serve/batches_stale`,
 /// `serve/retries`, `serve/deadline_exceeded` counters and the
-/// `serve/batch` wall-ms distribution, on top of the cache and ledger
-/// metrics.
+/// `serve/batch` wall-ms distribution, on top of the cache, ledger, and
+/// journal metrics.
 class ReleaseServer {
  public:
-  /// Serves `truth` under a lifetime privacy budget of `total_epsilon`.
+  /// Creates an empty server; register namespaces with `AddDataset`.
+  explicit ReleaseServer(ReleaseServerOptions options = {});
+
+  /// Single-tenant convenience: serves `truth` under a lifetime privacy
+  /// budget of `total_epsilon`, registered as the default namespace
+  /// (tenant "default", dataset "default"). The tenant-less overloads
+  /// below target this namespace.
   ReleaseServer(Histogram truth, double total_epsilon,
                 ReleaseServerOptions options = {});
 
   ReleaseServer(const ReleaseServer&) = delete;
   ReleaseServer& operator=(const ReleaseServer&) = delete;
 
-  /// Returns the (cached or newly published) release for `request`.
-  /// Errors: NotFound for an unknown publisher name, ResourceExhausted
-  /// when the ledger refuses the charge, InvalidArgument for bad publish
-  /// arguments. Never degrades — that policy lives in AnswerBatch.
+  /// Registers `truth` under `key` with a lifetime budget of
+  /// `total_epsilon`. Fails `kInvalidArgument` when the namespace is taken.
+  Status AddDataset(const TenantKey& key, Histogram truth,
+                    double total_epsilon);
+
+  /// Returns the (cached or newly published) release for `request` in
+  /// `key`'s namespace. Errors: kPermissionDenied when `key.dataset`
+  /// exists only under other tenants, kNotFound for an unknown dataset or
+  /// publisher name, kResourceExhausted when the ledger refuses the
+  /// charge, kInvalidArgument for bad publish arguments, and the journal's
+  /// error when durability failed. Never degrades — that policy lives in
+  /// AnswerBatch.
+  Result<std::shared_ptr<const CachedRelease>> GetRelease(
+      const TenantKey& key, const ServeRequest& request);
+
+  /// Default-namespace convenience overload.
   Result<std::shared_ptr<const CachedRelease>> GetRelease(
       const ServeRequest& request);
 
-  /// Answers every query in `queries` against the release for `request`,
-  /// degrading to the newest cached release on budget refusal (see class
-  /// comment). Fails if any query exceeds the domain, or on refusal with
-  /// an empty cache.
+  /// Answers every query in `queries` against the release for `request`
+  /// in `key`'s namespace, degrading to the newest cached release on
+  /// budget refusal (see class comment). Fails if any query exceeds the
+  /// domain, or on refusal with an empty namespace cache.
+  Result<BatchAnswer> AnswerBatch(const TenantKey& key,
+                                  const std::vector<RangeQuery>& queries,
+                                  const ServeRequest& request);
+
+  /// Default-namespace convenience overload.
   Result<BatchAnswer> AnswerBatch(const std::vector<RangeQuery>& queries,
                                   const ServeRequest& request);
 
-  /// Fingerprint of the served dataset (the cache key component).
-  std::uint64_t fingerprint() const { return fingerprint_; }
+  /// Replays a recovered journal into the registered namespaces: charges
+  /// re-enter their ledgers (without re-journaling), publications re-enter
+  /// the cache (idempotently). Call after registering every dataset and
+  /// before serving. Records for unregistered namespaces and publish
+  /// records whose fingerprint no longer matches the registered truth are
+  /// counted in `skipped`, never applied.
+  Result<RecoveryStats> Recover(const ReplayResult& replay);
 
-  /// Domain size of the served dataset.
-  std::size_t domain_size() const { return truth_.size(); }
+  /// Number of registered namespaces.
+  std::size_t dataset_count() const;
 
-  /// The per-dataset budget ledger (spend/remaining introspection).
-  const BudgetLedger& ledger() const { return ledger_; }
+  /// The ledger for `key`'s namespace (spend/remaining introspection), or
+  /// the same typed kPermissionDenied/kNotFound errors as GetRelease.
+  Result<const BudgetLedger*> LedgerFor(const TenantKey& key) const;
+
+  /// Fingerprint of the default-namespace dataset (0 when unregistered).
+  std::uint64_t fingerprint() const;
+
+  /// Domain size of the default-namespace dataset (0 when unregistered).
+  std::size_t domain_size() const;
+
+  /// The default-namespace budget ledger. Requires the default namespace
+  /// to be registered (the single-tenant constructor does this).
+  const BudgetLedger& ledger() const;
 
   /// The release cache (size/lookups introspection).
   const ReleaseCache& cache() const { return cache_; }
 
  private:
-  Histogram truth_;
-  std::uint64_t fingerprint_;
-  BudgetLedger ledger_;
-  ReleaseCache cache_;
+  /// One registered namespace: the truth, its fingerprint, its ledger.
+  struct Dataset {
+    Dataset(TenantKey key, Histogram truth_in, double total_epsilon,
+            Journal* journal);
+
+    Histogram truth;
+    std::uint64_t fingerprint;
+    BudgetLedger ledger;
+  };
+
+  /// Resolves `key` to its namespace, or the typed isolation error.
+  Result<Dataset*> FindDataset(const TenantKey& key) const;
+
+  /// FindDataset for the default namespace.
+  Dataset* DefaultDataset() const;
+
   ReleaseServerOptions options_;
+  ReleaseCache cache_;
+  mutable std::mutex datasets_mutex_;
+  std::map<TenantKey, std::unique_ptr<Dataset>, TenantKeyLess> datasets_;
 };
 
 }  // namespace serve

@@ -1,0 +1,64 @@
+#ifndef DPHIST_SERVE_SHARD_H_
+#define DPHIST_SERVE_SHARD_H_
+
+#include <cstddef>
+
+#include "dphist/common/env.h"
+#include "dphist/serve/tenant.h"
+
+namespace dphist {
+namespace serve {
+
+/// Shard count used when neither the caller nor DPHIST_SERVE_SHARDS picks
+/// one. Small enough that a single-tenant test store is not wasteful,
+/// large enough that a handful of hot tenants stop serializing on one
+/// mutex.
+inline constexpr std::size_t kDefaultServeShards = 8;
+
+/// Resolves a shard count: an explicit `requested` wins, else the
+/// DPHIST_SERVE_SHARDS environment variable, else `kDefaultServeShards`.
+/// Never returns 0.
+inline std::size_t ResolveShardCount(std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const auto env = GetEnvPositiveInt("DPHIST_SERVE_SHARDS")) {
+    return *env;
+  }
+  return kDefaultServeShards;
+}
+
+/// \brief The shard map: a pure function from tenant x dataset to a shard
+/// index in [0, shard_count).
+///
+/// The count is fixed at construction, so routing a key to its shard needs
+/// no lock — the "lock-free shard lookup" half of the sharded cache's
+/// concurrency story (the per-shard mutex is taken only after routing).
+/// The whole tenant x dataset namespace lands on one shard on purpose:
+/// scans that must see a namespace consistently (the degraded-serving
+/// "newest release" walk) then lock exactly one shard.
+class ShardMap {
+ public:
+  /// `requested` = 0 defers to DPHIST_SERVE_SHARDS / the default.
+  explicit ShardMap(std::size_t requested = 0)
+      : count_(ResolveShardCount(requested)) {}
+
+  std::size_t count() const { return count_; }
+
+  std::size_t IndexFor(const TenantKey& key) const {
+    return static_cast<std::size_t>(HashTenantKey(key)) % count_;
+  }
+
+  std::size_t IndexFor(std::string_view tenant, std::string_view dataset)
+      const {
+    return static_cast<std::size_t>(HashTenantKey(tenant, dataset)) % count_;
+  }
+
+ private:
+  std::size_t count_;
+};
+
+}  // namespace serve
+}  // namespace dphist
+
+#endif  // DPHIST_SERVE_SHARD_H_

@@ -1,0 +1,70 @@
+#ifndef DPHIST_SERVE_TENANT_H_
+#define DPHIST_SERVE_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+namespace dphist {
+namespace serve {
+
+/// \brief Identity of one serving namespace: which logical owner, which of
+/// that owner's datasets. Every ledger, cache entry, and journal record in
+/// the release store is keyed by a TenantKey, so two tenants registering
+/// datasets with the same name never share budget, releases, or the
+/// degraded-serving fallback — the isolation invariant the multi-tenant
+/// store exists to enforce.
+struct TenantKey {
+  std::string tenant;
+  std::string dataset;
+
+  friend bool operator==(const TenantKey&, const TenantKey&) = default;
+};
+
+/// Strict weak order for map storage (tenant first, then dataset).
+struct TenantKeyLess {
+  using is_transparent = void;
+  bool operator()(const TenantKey& a, const TenantKey& b) const {
+    return std::tie(a.tenant, a.dataset) < std::tie(b.tenant, b.dataset);
+  }
+};
+
+/// 64-bit FNV-1a over `tenant`, a 0 separator, and `dataset`. The separator
+/// makes ("ab","c") and ("a","bc") hash differently; used by the sharded
+/// release cache to pin a whole tenant x dataset namespace to one shard.
+inline std::uint64_t HashTenantKey(std::string_view tenant,
+                                   std::string_view dataset) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t hash = kOffset;
+  auto mix = [&hash](std::string_view bytes) {
+    for (const char c : bytes) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= kPrime;
+    }
+  };
+  mix(tenant);
+  hash ^= 0;
+  hash *= kPrime;
+  mix(dataset);
+  return hash;
+}
+
+inline std::uint64_t HashTenantKey(const TenantKey& key) {
+  return HashTenantKey(key.tenant, key.dataset);
+}
+
+/// "tenant/dataset" for log and error messages.
+inline std::string FormatTenantKey(const TenantKey& key) {
+  return key.tenant + "/" + key.dataset;
+}
+
+/// The namespace the legacy single-tenant ReleaseServer constructor (and
+/// every pre-tenant call site) maps onto.
+inline TenantKey DefaultTenantKey() { return {"default", "default"}; }
+
+}  // namespace serve
+}  // namespace dphist
+
+#endif  // DPHIST_SERVE_TENANT_H_

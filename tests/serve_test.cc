@@ -27,6 +27,14 @@ Histogram TestTruth(std::size_t n = 64, std::uint64_t seed = 5) {
   return MakeSearchLogs(n, seed).histogram;
 }
 
+// Default-namespace key (the shape most cache tests exercise; tenant
+// isolation has its own suite in tenant_test.cc).
+ReleaseKey Key(std::uint64_t fingerprint, std::string publisher,
+               double epsilon, std::uint64_t seed) {
+  return {"default", "default", fingerprint, std::move(publisher), epsilon,
+          seed};
+}
+
 TEST(FingerprintTest, DistinguishesHistograms) {
   const Histogram a({1, 2, 3});
   const Histogram b({1, 2, 4});
@@ -39,7 +47,7 @@ TEST(FingerprintTest, DistinguishesHistograms) {
 
 TEST(CachedReleaseTest, RangeSumMatchesHistogram) {
   const Histogram truth = TestTruth(32);
-  CachedRelease release({1, "direct", 0.5, 7}, truth);
+  CachedRelease release(Key(1, "direct", 0.5, 7), truth);
   EXPECT_EQ(release.size(), truth.size());
   for (std::size_t begin = 0; begin < truth.size(); begin += 5) {
     for (std::size_t end = begin + 1; end <= truth.size(); end += 7) {
@@ -52,7 +60,7 @@ TEST(CachedReleaseTest, RangeSumMatchesHistogram) {
 
 TEST(ReleaseCacheTest, GetOrPublishPublishesOncePerKey) {
   ReleaseCache cache;
-  const ReleaseKey key{42, "noise_first", 0.1, 1};
+  const ReleaseKey key = Key(42, "noise_first", 0.1, 1);
   int publishes = 0;
   auto publish = [&]() -> Result<Histogram> {
     ++publishes;
@@ -67,7 +75,7 @@ TEST(ReleaseCacheTest, GetOrPublishPublishesOncePerKey) {
   EXPECT_EQ(cache.size(), 1u);
 
   // A different key publishes separately.
-  auto other = cache.GetOrPublish({42, "noise_first", 0.1, 2}, publish);
+  auto other = cache.GetOrPublish(Key(42, "noise_first", 0.1, 2), publish);
   ASSERT_TRUE(other.ok());
   EXPECT_EQ(publishes, 2);
   EXPECT_EQ(cache.size(), 2u);
@@ -75,7 +83,7 @@ TEST(ReleaseCacheTest, GetOrPublishPublishesOncePerKey) {
 
 TEST(ReleaseCacheTest, FailedPublishCachesNothingAndAllowsRetry) {
   ReleaseCache cache;
-  const ReleaseKey key{7, "p", 0.1, 1};
+  const ReleaseKey key = Key(7, "p", 0.1, 1);
   auto failing = [&]() -> Result<Histogram> {
     return Status::ResourceExhausted("no budget");
   };
@@ -96,21 +104,27 @@ TEST(ReleaseCacheTest, NewestForOrdersBySequenceAndFiltersPublisher) {
   auto publish = [](double v) {
     return [v]() -> Result<Histogram> { return Histogram({v}); };
   };
-  ASSERT_TRUE(cache.GetOrPublish({1, "nf", 0.1, 1}, publish(1)).ok());
-  ASSERT_TRUE(cache.GetOrPublish({1, "dwork", 0.1, 1}, publish(2)).ok());
-  ASSERT_TRUE(cache.GetOrPublish({1, "nf", 0.2, 1}, publish(3)).ok());
-  ASSERT_TRUE(cache.GetOrPublish({2, "nf", 0.1, 1}, publish(4)).ok());
+  const TenantKey ns{"default", "d1"};
+  const TenantKey other_ns{"default", "d2"};
+  auto key = [](const TenantKey& k, std::string publisher, double epsilon) {
+    return ReleaseKey{k.tenant, k.dataset, 1, std::move(publisher), epsilon,
+                      1};
+  };
+  ASSERT_TRUE(cache.GetOrPublish(key(ns, "nf", 0.1), publish(1)).ok());
+  ASSERT_TRUE(cache.GetOrPublish(key(ns, "dwork", 0.1), publish(2)).ok());
+  ASSERT_TRUE(cache.GetOrPublish(key(ns, "nf", 0.2), publish(3)).ok());
+  ASSERT_TRUE(cache.GetOrPublish(key(other_ns, "nf", 0.1), publish(4)).ok());
 
-  auto newest_nf = cache.NewestFor(1, "nf");
+  auto newest_nf = cache.NewestFor(ns, "nf");
   ASSERT_NE(newest_nf, nullptr);
   EXPECT_DOUBLE_EQ(newest_nf->histogram().count(0), 3.0);
 
-  auto newest_any = cache.NewestFor(1, "");
+  auto newest_any = cache.NewestFor(ns, "");
   ASSERT_NE(newest_any, nullptr);
   EXPECT_DOUBLE_EQ(newest_any->histogram().count(0), 3.0);
 
-  EXPECT_EQ(cache.NewestFor(1, "privelet"), nullptr);
-  EXPECT_EQ(cache.NewestFor(99, ""), nullptr);
+  EXPECT_EQ(cache.NewestFor(ns, "privelet"), nullptr);
+  EXPECT_EQ(cache.NewestFor({"default", "absent"}, ""), nullptr);
 }
 
 TEST(BudgetLedgerTest, ChargesAndTypedRefusal) {

@@ -172,7 +172,8 @@ TEST(ThreadSafetyTest, ReleaseCachePublishesExactlyOnceUnderContention) {
   constexpr int kRounds = 20;
   for (int round = 0; round < kRounds; ++round) {
     serve::ReleaseCache cache;
-    const serve::ReleaseKey key{static_cast<std::uint64_t>(round), "nf", 0.5,
+    const serve::ReleaseKey key{"default", "default",
+                                static_cast<std::uint64_t>(round), "nf", 0.5,
                                 1};
     std::atomic<int> publishes{0};
     std::vector<std::shared_ptr<const serve::CachedRelease>> got(kThreads);

@@ -39,7 +39,8 @@ ID_FIELDS = {
     "bench", "type", "fig", "dataset", "algo", "score", "strategy",
     "n", "threads", "reps", "k", "length", "bins", "epsilon", "ratio",
     # bench_serve identity fields: which sweep, and which cell of it.
-    "mode", "batches", "distinct_releases", "batch_size",
+    "mode", "batches", "distinct_releases", "batch_size", "shards",
+    "records",
 }
 
 # Measured wall-clock fields: machine-dependent, ratio-gated.
