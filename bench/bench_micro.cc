@@ -17,6 +17,7 @@
 #include "dphist/privacy/budget.h"
 #include "dphist/privacy/exponential_mechanism.h"
 #include "dphist/random/distributions.h"
+#include "dphist/random/noise_batch.h"
 #include "dphist/random/rng.h"
 #include "dphist/transform/haar_wavelet.h"
 #include "dphist/transform/interval_tree.h"
@@ -151,13 +152,77 @@ void BM_VOptSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_VOptSolve)->ArgsProduct({{256, 1024, 4096}, {0, 1}});
 
+// Arg 0: vector length; arg 1: noise model (0 = textbook, 1 = batched,
+// 2 = snapped, 3 = discrete). The model is set explicitly so a
+// DPHIST_NOISE_MODEL override cannot collapse the comparison.
+constexpr dphist::NoiseModel kBenchNoiseModels[] = {
+    dphist::NoiseModel::kTextbook, dphist::NoiseModel::kBatched,
+    dphist::NoiseModel::kSnapped, dphist::NoiseModel::kDiscrete};
+
+void BM_NoiseBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const dphist::NoiseModel model = kBenchNoiseModels[state.range(1)];
+  state.SetLabel(dphist::NoiseModelName(model));
+  const std::vector<double> values = RandomCounts(n);
+  std::vector<double> out(n);
+  dphist::Rng rng(6);
+  for (auto _ : state) {
+    dphist::noise_batch::AddContinuousNoise(model, 1.0, values.data(),
+                                            out.data(), n, rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NoiseBatch)
+    ->ArgsProduct({{4096, 65536, 1048576}, {0, 1, 2, 3}});
+
+// The M1 noise-model table: per (model, n), the median wall time of one
+// full-vector perturbation, with each non-textbook model's speedup over
+// the textbook scalar per-draw sampler at the same n. The noise_model
+// column is a regression-gate identity field, so rows never cross-match
+// between models.
+void RunNoiseBatchTable(dphist_bench::BenchJsonWriter& json) {
+  const std::size_t reps = dphist_bench::Repetitions();
+  for (const std::size_t n : {std::size_t{4096}, std::size_t{65536},
+                              std::size_t{1048576}}) {
+    const std::vector<double> values = RandomCounts(n);
+    std::vector<double> out(n);
+    double textbook_ms = 0.0;
+    for (const dphist::NoiseModel model : kBenchNoiseModels) {
+      dphist::Rng rng(6);
+      std::vector<double> wall_ms;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        dphist::noise_batch::AddContinuousNoise(model, 1.0, values.data(),
+                                                out.data(), n, rng);
+        wall_ms.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      }
+      std::sort(wall_ms.begin(), wall_ms.end());
+      const double median = wall_ms[wall_ms.size() / 2];
+      auto row = json.Row()
+                     .Str("fig", "m1_noise")
+                     .Str("algo", "noise_batch")
+                     .Str("noise_model", dphist::NoiseModelName(model))
+                     .Num("n", static_cast<double>(n))
+                     .Num("sample_ms", median);
+      if (model == dphist::NoiseModel::kTextbook) {
+        textbook_ms = median;
+      } else {
+        row.Num("speedup", textbook_ms / median);
+      }
+      json.AddRow(row);
+    }
+  }
+}
+
 // The M1 strategy table: per (n, strategy), the median wall time of a
 // 64-bucket solve over the uniform worst-case counts, plus the solver's
 // deterministic work counters. Emitted as bench JSON so the regression
 // gate holds both the timing ratio and — tightly — the pruning behavior
 // (a jump in cost_lookups means the bound or the skip rules changed).
-void RunVOptStrategyTable() {
-  dphist_bench::BenchJsonWriter json("micro");
+void RunVOptStrategyTable(dphist_bench::BenchJsonWriter& json) {
   const std::size_t reps = dphist_bench::Repetitions();
   for (const std::size_t n : {std::size_t{256}, std::size_t{1024},
                               std::size_t{4096}}) {
@@ -201,7 +266,6 @@ void RunVOptStrategyTable() {
       json.AddRow(row);
     }
   }
-  json.Finish();
 }
 
 }  // namespace
@@ -217,6 +281,9 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  RunVOptStrategyTable();
+  dphist_bench::BenchJsonWriter json("micro");
+  RunVOptStrategyTable(json);
+  RunNoiseBatchTable(json);
+  json.Finish();
   return 0;
 }

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "dphist/algorithms/identity_geometric.h"
+#include "dphist/algorithms/identity_laplace.h"
 #include "dphist/algorithms/noise_first.h"
 #include "dphist/algorithms/registry.h"
 #include "dphist/algorithms/structure_first.h"
@@ -48,10 +50,12 @@ struct Flags {
   std::string tenant = "default";
   dphist::VOptStrategy vopt_strategy = dphist::VOptStrategy::kAuto;
   bool vopt_strategy_set = false;
+  dphist::NoiseModel noise_model = dphist::NoiseModel::kAuto;
+  bool noise_model_set = false;
 };
 
 // Parses trailing --n/--seed/--queries/--budget/--batches/--journal/
-// --shards/--tenant/--vopt-strategy flags from argv[start..).
+// --shards/--tenant/--vopt-strategy/--noise-model flags from argv[start..).
 bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
   for (int i = start; i < argc; ++i) {
     auto need_value = [&](const char* name) -> const char* {
@@ -107,6 +111,17 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
         return false;
       }
       flags->vopt_strategy_set = true;
+    } else if (std::strcmp(argv[i], "--noise-model") == 0) {
+      const char* value = need_value("--noise-model");
+      if (value == nullptr) return false;
+      if (!dphist::ParseNoiseModel(value, &flags->noise_model)) {
+        std::fprintf(stderr,
+                     "--noise-model must be auto, textbook, batched, "
+                     "snapped, or discrete (got: %s)\n",
+                     value);
+        return false;
+      }
+      flags->noise_model_set = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -123,6 +138,7 @@ int Usage() {
       " [--n N] [--seed S]\n"
       "  dphist_tool publish <algorithm> <epsilon> <in.csv> <out.csv>"
       " [--seed S] [--vopt-strategy auto|naive|monotone]\n"
+      "           [--noise-model auto|textbook|batched|snapped|discrete]\n"
       "  dphist_tool evaluate <truth.csv> <released.csv> [--queries Q]"
       " [--seed S]\n"
       "  dphist_tool serve <algorithm> <epsilon-per-release> <in.csv>"
@@ -141,7 +157,15 @@ int Usage() {
       "structure_first (a pure execution knob: every strategy publishes\n"
       "bit-identical histograms). The DPHIST_VOPT_STRATEGY environment\n"
       "variable applies the same override to every solve, including the\n"
-      "serve subcommand's publishers.\n");
+      "serve subcommand's publishers.\n"
+      "\n"
+      "--noise-model picks the noise sampling construction for dwork /\n"
+      "geometric / noise_first / structure_first (DESIGN §10): textbook\n"
+      "(the historical scalar samplers, the default), batched (the SIMD\n"
+      "batch kernel), snapped (Mironov-style snapped Laplace), or\n"
+      "discrete (exact discrete Laplace). The DPHIST_NOISE_MODEL\n"
+      "environment variable applies the same override to every\n"
+      "mechanism-based publisher; an explicit flag wins.\n");
   return 2;
 }
 
@@ -193,24 +217,38 @@ int RunPublish(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", publisher.status().ToString().c_str());
     return 1;
   }
-  // An explicit --vopt-strategy rebuilds the publisher with the strategy
-  // in its Options (beating any DPHIST_VOPT_STRATEGY in the environment),
-  // re-wrapped in the registry's obs decorator so metrics stay uniform.
-  if (flags.vopt_strategy_set) {
+  // Explicit --vopt-strategy / --noise-model flags rebuild the publisher
+  // with the knob in its Options (beating any DPHIST_VOPT_STRATEGY /
+  // DPHIST_NOISE_MODEL in the environment), re-wrapped in the registry's
+  // obs decorator so metrics stay uniform.
+  if (flags.vopt_strategy_set || flags.noise_model_set) {
     if (algorithm == "noise_first") {
       dphist::NoiseFirst::Options options;
       options.vopt_strategy = flags.vopt_strategy;
+      options.noise_model = flags.noise_model;
       publisher = dphist::PublisherRegistry::Instrument(
           std::make_unique<dphist::NoiseFirst>(options));
     } else if (algorithm == "structure_first") {
       dphist::StructureFirst::Options options;
       options.vopt_strategy = flags.vopt_strategy;
+      options.noise_model = flags.noise_model;
       publisher = dphist::PublisherRegistry::Instrument(
           std::make_unique<dphist::StructureFirst>(options));
+    } else if (algorithm == "dwork" && flags.noise_model_set) {
+      dphist::IdentityLaplace::Options options;
+      options.noise_model = flags.noise_model;
+      publisher = dphist::PublisherRegistry::Instrument(
+          std::make_unique<dphist::IdentityLaplace>(options));
+    } else if (algorithm == "geometric" && flags.noise_model_set) {
+      dphist::IdentityGeometric::Options options;
+      options.noise_model = flags.noise_model;
+      publisher = dphist::PublisherRegistry::Instrument(
+          std::make_unique<dphist::IdentityGeometric>(options));
     } else {
       std::fprintf(stderr,
-                   "note: --vopt-strategy only affects noise_first and "
-                   "structure_first; ignored for %s\n",
+                   "note: --vopt-strategy affects only noise_first and "
+                   "structure_first, --noise-model additionally dwork and "
+                   "geometric; ignored for %s\n",
                    algorithm.c_str());
     }
   }

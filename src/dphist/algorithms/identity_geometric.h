@@ -4,6 +4,7 @@
 #include <string>
 
 #include "dphist/algorithms/publisher.h"
+#include "dphist/random/noise_batch.h"
 
 namespace dphist {
 
@@ -22,12 +23,25 @@ namespace dphist {
 /// (true histograms are integral by definition).
 class IdentityGeometric final : public HistogramPublisher {
  public:
+  struct Options {
+    /// Sampling construction for the per-bin noise (DESIGN §10): the
+    /// textbook scalar sampler, or the exact batched CDF-inversion kernel
+    /// (any non-textbook model). kAuto resolves DPHIST_NOISE_MODEL.
+    NoiseModel noise_model = NoiseModel::kAuto;
+  };
+
   IdentityGeometric() = default;
+  explicit IdentityGeometric(Options options) : options_(options) {}
 
   std::string name() const override { return "geometric"; }
 
   Result<Histogram> Publish(const Histogram& histogram, double epsilon,
                             Rng& rng) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
 };
 
 }  // namespace dphist

@@ -7,7 +7,8 @@ namespace dphist {
 Result<Histogram> IdentityLaplace::Publish(const Histogram& histogram,
                                            double epsilon, Rng& rng) const {
   DPHIST_RETURN_IF_ERROR(ValidatePublishArgs(histogram, epsilon));
-  auto mechanism = LaplaceMechanism::Create(epsilon, /*sensitivity=*/1.0);
+  auto mechanism = LaplaceMechanism::Create(epsilon, /*sensitivity=*/1.0,
+                                            options_.noise_model);
   if (!mechanism.ok()) {
     return mechanism.status();
   }

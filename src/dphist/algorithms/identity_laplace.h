@@ -4,6 +4,7 @@
 #include <string>
 
 #include "dphist/algorithms/publisher.h"
+#include "dphist/random/noise_batch.h"
 
 namespace dphist {
 
@@ -20,12 +21,25 @@ namespace dphist {
 /// profile is the yardstick both of the paper's algorithms improve on.
 class IdentityLaplace final : public HistogramPublisher {
  public:
+  struct Options {
+    /// Sampling construction for the per-bin noise (DESIGN §10). kAuto
+    /// resolves DPHIST_NOISE_MODEL and falls back to the textbook scalar
+    /// sampler; an explicit model here wins over the environment.
+    NoiseModel noise_model = NoiseModel::kAuto;
+  };
+
   IdentityLaplace() = default;
+  explicit IdentityLaplace(Options options) : options_(options) {}
 
   std::string name() const override { return "dwork"; }
 
   Result<Histogram> Publish(const Histogram& histogram, double epsilon,
                             Rng& rng) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
 };
 
 }  // namespace dphist

@@ -33,7 +33,8 @@ Result<Histogram> NoiseFirst::PublishWithDetails(const Histogram& histogram,
   const std::size_t n = histogram.size();
 
   // Step 1: spend the whole budget on per-bin Laplace noise.
-  auto mechanism = LaplaceMechanism::Create(epsilon, /*sensitivity=*/1.0);
+  auto mechanism = LaplaceMechanism::Create(epsilon, /*sensitivity=*/1.0,
+                                            options_.noise_model);
   if (!mechanism.ok()) {
     return mechanism.status();
   }

@@ -8,6 +8,7 @@
 #include "dphist/algorithms/publisher.h"
 #include "dphist/hist/bucketization.h"
 #include "dphist/hist/vopt_dp.h"
+#include "dphist/random/noise_batch.h"
 
 namespace dphist {
 
@@ -66,6 +67,12 @@ class NoiseFirst final : public HistogramPublisher {
     /// knob: every strategy yields bit-identical structures; see
     /// VOptSolver::SolveOptions::strategy).
     VOptStrategy vopt_strategy = VOptStrategy::kAuto;
+    /// Sampling construction for the step-1 per-bin noise (DESIGN §10).
+    /// kAuto resolves DPHIST_NOISE_MODEL and falls back to the textbook
+    /// scalar sampler; an explicit model here wins over the environment.
+    /// Steps 2-3 post-process whatever step 1 released, so the model
+    /// never changes the structure-selection logic itself.
+    NoiseModel noise_model = NoiseModel::kAuto;
   };
 
   /// Diagnostic output of a publication run, for tests and benches.

@@ -199,7 +199,8 @@ Result<Histogram> StructureFirst::PublishWithDetails(
   // structures) flows back to the counts.
   const double eps_counts = epsilon - structure_spent;
 
-  auto laplace = LaplaceMechanism::Create(eps_counts, /*sensitivity=*/1.0);
+  auto laplace = LaplaceMechanism::Create(eps_counts, /*sensitivity=*/1.0,
+                                          options_.noise_model);
   if (!laplace.ok()) {
     return laplace.status();
   }

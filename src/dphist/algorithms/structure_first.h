@@ -9,6 +9,7 @@
 #include "dphist/hist/bucketization.h"
 #include "dphist/hist/interval_cost.h"
 #include "dphist/hist/vopt_dp.h"
+#include "dphist/random/noise_batch.h"
 
 namespace dphist {
 
@@ -86,6 +87,11 @@ class StructureFirst final : public HistogramPublisher {
     /// knob: every strategy yields bit-identical tables, hence identical
     /// boundary-sampling utilities; see VOptSolver::SolveOptions).
     VOptStrategy vopt_strategy = VOptStrategy::kAuto;
+    /// Sampling construction for the step-2 bucket-sum noise (DESIGN
+    /// §10). kAuto resolves DPHIST_NOISE_MODEL and falls back to the
+    /// textbook scalar sampler. The step-1 exponential-mechanism draws
+    /// are unaffected (they add no additive noise to snap or batch).
+    NoiseModel noise_model = NoiseModel::kAuto;
   };
 
   /// Diagnostic output of a publication run.

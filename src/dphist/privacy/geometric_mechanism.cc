@@ -8,6 +8,11 @@ namespace dphist {
 
 Result<GeometricMechanism> GeometricMechanism::Create(
     double epsilon, std::int64_t sensitivity) {
+  return Create(epsilon, sensitivity, NoiseModel::kAuto);
+}
+
+Result<GeometricMechanism> GeometricMechanism::Create(
+    double epsilon, std::int64_t sensitivity, NoiseModel model) {
   if (!(epsilon > 0.0)) {
     return Status::InvalidArgument("GeometricMechanism requires epsilon > 0");
   }
@@ -17,7 +22,8 @@ Result<GeometricMechanism> GeometricMechanism::Create(
   }
   const double alpha =
       std::exp(-epsilon / static_cast<double>(sensitivity));
-  return GeometricMechanism(epsilon, sensitivity, alpha);
+  return GeometricMechanism(epsilon, sensitivity, alpha,
+                            ResolveNoiseModel(model));
 }
 
 double GeometricMechanism::noise_variance() const {
@@ -26,16 +32,19 @@ double GeometricMechanism::noise_variance() const {
 }
 
 std::int64_t GeometricMechanism::Perturb(std::int64_t value, Rng& rng) const {
-  return value + SampleTwoSidedGeometric(rng, alpha_);
+  if (model_ == NoiseModel::kTextbook) {
+    return value + SampleTwoSidedGeometric(rng, alpha_);
+  }
+  const double t = epsilon_ / static_cast<double>(sensitivity_);
+  return noise_batch::AddIntegerNoiseScalar(model_, t, value, rng);
 }
 
 std::vector<std::int64_t> GeometricMechanism::PerturbVector(
     const std::vector<std::int64_t>& values, Rng& rng) const {
-  std::vector<std::int64_t> out;
-  out.reserve(values.size());
-  for (std::int64_t v : values) {
-    out.push_back(Perturb(v, rng));
-  }
+  std::vector<std::int64_t> out(values.size());
+  const double t = epsilon_ / static_cast<double>(sensitivity_);
+  noise_batch::AddIntegerNoise(model_, t, values.data(), out.data(),
+                               values.size(), rng);
   return out;
 }
 

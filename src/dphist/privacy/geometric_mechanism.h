@@ -6,6 +6,7 @@
 
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
+#include "dphist/random/noise_batch.h"
 #include "dphist/random/rng.h"
 
 namespace dphist {
@@ -19,11 +20,23 @@ namespace dphist {
 /// the integer-valued, floating-point-side-channel-free alternative to the
 /// Laplace mechanism, useful when published histogram counts must remain
 /// integers.
+///
+/// The NoiseModel (DESIGN §10) selects the sampling construction:
+/// kTextbook (the resolved default) is the historical scalar sampler,
+/// bit-identical to prior releases; every other model uses the exact
+/// batched CDF-inversion kernel (integer noise is already discrete, so
+/// kBatched/kSnapped/kDiscrete coincide here).
 class GeometricMechanism {
  public:
   /// Creates a mechanism; requires epsilon > 0 and sensitivity >= 1.
   static Result<GeometricMechanism> Create(double epsilon,
                                            std::int64_t sensitivity);
+
+  /// As above with an explicit noise model; kAuto consults the
+  /// DPHIST_NOISE_MODEL environment variable (an explicit model wins).
+  static Result<GeometricMechanism> Create(double epsilon,
+                                           std::int64_t sensitivity,
+                                           NoiseModel model);
 
   /// The privacy budget epsilon.
   double epsilon() const { return epsilon_; }
@@ -33,6 +46,8 @@ class GeometricMechanism {
   double alpha() const { return alpha_; }
   /// Noise variance 2*alpha / (1-alpha)^2.
   double noise_variance() const;
+  /// The resolved sampling construction (never kAuto).
+  NoiseModel noise_model() const { return model_; }
 
   /// Returns `value + TwoSidedGeometric(alpha())`.
   std::int64_t Perturb(std::int64_t value, Rng& rng) const;
@@ -43,12 +58,17 @@ class GeometricMechanism {
       const std::vector<std::int64_t>& values, Rng& rng) const;
 
  private:
-  GeometricMechanism(double epsilon, std::int64_t sensitivity, double alpha)
-      : epsilon_(epsilon), sensitivity_(sensitivity), alpha_(alpha) {}
+  GeometricMechanism(double epsilon, std::int64_t sensitivity, double alpha,
+                     NoiseModel model)
+      : epsilon_(epsilon),
+        sensitivity_(sensitivity),
+        alpha_(alpha),
+        model_(model) {}
 
   double epsilon_;
   std::int64_t sensitivity_;
   double alpha_;
+  NoiseModel model_;
 };
 
 }  // namespace dphist

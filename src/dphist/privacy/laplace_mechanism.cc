@@ -6,6 +6,12 @@ namespace dphist {
 
 Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
                                                   double sensitivity) {
+  return Create(epsilon, sensitivity, NoiseModel::kAuto);
+}
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                  double sensitivity,
+                                                  NoiseModel model) {
   if (!(epsilon > 0.0)) {
     return Status::InvalidArgument("LaplaceMechanism requires epsilon > 0");
   }
@@ -13,21 +19,21 @@ Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
     return Status::InvalidArgument(
         "LaplaceMechanism requires sensitivity > 0");
   }
-  return LaplaceMechanism(epsilon, sensitivity);
+  return LaplaceMechanism(epsilon, sensitivity, ResolveNoiseModel(model));
 }
 
 double LaplaceMechanism::Perturb(double value, Rng& rng) const {
-  return value + SampleLaplace(rng, scale());
+  if (model_ == NoiseModel::kTextbook) {
+    return value + SampleLaplace(rng, scale());
+  }
+  return noise_batch::AddContinuousNoiseScalar(model_, scale(), value, rng);
 }
 
 std::vector<double> LaplaceMechanism::PerturbVector(
     const std::vector<double>& values, Rng& rng) const {
-  std::vector<double> out;
-  out.reserve(values.size());
-  const double b = scale();
-  for (double v : values) {
-    out.push_back(v + SampleLaplace(rng, b));
-  }
+  std::vector<double> out(values.size());
+  noise_batch::AddContinuousNoise(model_, scale(), values.data(), out.data(),
+                                  values.size(), rng);
   return out;
 }
 

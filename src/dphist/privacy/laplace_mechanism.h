@@ -5,6 +5,7 @@
 
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
+#include "dphist/random/noise_batch.h"
 #include "dphist/random/rng.h"
 
 namespace dphist {
@@ -15,11 +16,22 @@ namespace dphist {
 /// `f(D) + Lap(Delta/epsilon)` satisfies epsilon-differential privacy.
 /// This class validates its parameters once at construction and then offers
 /// scalar and vector perturbation.
+///
+/// The sampling construction is selected by a NoiseModel (DESIGN §10):
+/// the default resolves DPHIST_NOISE_MODEL and falls back to the textbook
+/// scalar sampler, which reproduces the historical draw sequence
+/// bit-for-bit. kAuto is resolved once at Create, so one mechanism's calls
+/// are always mutually consistent even if the environment changes.
 class LaplaceMechanism {
  public:
   /// Creates a mechanism for the given budget and sensitivity.
   /// Returns InvalidArgument unless epsilon > 0 and sensitivity > 0.
   static Result<LaplaceMechanism> Create(double epsilon, double sensitivity);
+
+  /// As above with an explicit noise model; kAuto consults the
+  /// DPHIST_NOISE_MODEL environment variable (an explicit model wins).
+  static Result<LaplaceMechanism> Create(double epsilon, double sensitivity,
+                                         NoiseModel model);
 
   /// The privacy budget epsilon.
   double epsilon() const { return epsilon_; }
@@ -29,8 +41,10 @@ class LaplaceMechanism {
   double scale() const { return sensitivity_ / epsilon_; }
   /// The noise variance 2 b^2 of each released coordinate.
   double noise_variance() const { return 2.0 * scale() * scale(); }
+  /// The resolved sampling construction (never kAuto).
+  NoiseModel noise_model() const { return model_; }
 
-  /// Returns `value + Lap(scale())`.
+  /// Returns `value + Lap(scale())` (model-dependent construction).
   double Perturb(double value, Rng& rng) const;
 
   /// Returns the element-wise perturbation of `values`.
@@ -43,11 +57,12 @@ class LaplaceMechanism {
                                     Rng& rng) const;
 
  private:
-  LaplaceMechanism(double epsilon, double sensitivity)
-      : epsilon_(epsilon), sensitivity_(sensitivity) {}
+  LaplaceMechanism(double epsilon, double sensitivity, NoiseModel model)
+      : epsilon_(epsilon), sensitivity_(sensitivity), model_(model) {}
 
   double epsilon_;
   double sensitivity_;
+  NoiseModel model_;
 };
 
 }  // namespace dphist

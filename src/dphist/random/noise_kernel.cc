@@ -1,0 +1,155 @@
+#include "dphist/random/noise_kernel.h"
+
+#include <cmath>
+
+// Runtime multi-versioning, same rationale as hist/vopt_kernel.cc: the
+// default clone keeps the portable baseline ABI while x86-64-v3/v4 clones
+// use AVX2/AVX-512 where the CPU has them, and the IFUNC dispatch is
+// disabled under the sanitizer runtimes.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define DPHIST_NOISE_KERNEL_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+#define DPHIST_NOISE_KERNEL_CLONES
+#endif
+
+namespace dphist {
+namespace noise_kernel {
+namespace {
+
+// SplitMix64 (Steele, Lea & Flood): the golden-gamma counter increment and
+// the two-round mixer. Statistically independent words for distinct
+// counters under one seed — the standard seeding generator of the
+// xoshiro family, reused here as a counter-based substream.
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+inline std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// fdlibm-style log, restricted to normal x in (0, 2): decompose
+// x = 2^k * m with m in [sqrt(2)/2, sqrt(2)) by mantissa offset, then a
+// degree-14 odd polynomial in s = (m-1)/(m+1) with the ln2 split keeping
+// the |result| < 1 ulp error bound. Every step is elementary IEEE
+// arithmetic on one lane, so it vectorizes — unlike the libm call — and
+// rounds identically everywhere (this TU bans FP contraction).
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kLg1 = 6.666666666666735130e-01;
+constexpr double kLg2 = 3.999999999940941908e-01;
+constexpr double kLg3 = 2.857142874366239149e-01;
+constexpr double kLg4 = 2.222219843214978396e-01;
+constexpr double kLg5 = 1.818357216161805012e-01;
+constexpr double kLg6 = 1.531383769920937332e-01;
+constexpr double kLg7 = 1.479819860511658591e-01;
+constexpr std::uint64_t kLogOffset = 0x3fe6a09e00000000ULL;
+constexpr std::uint64_t kMantMask = 0x000fffffffffffffULL;
+
+inline double LogNormal(double x) {
+  const std::uint64_t xb = __builtin_bit_cast(std::uint64_t, x);
+  const std::uint64_t adj = xb - kLogOffset;
+  const std::uint64_t mb = (adj & kMantMask) + kLogOffset;
+  // Exponent k recovered from the high 32 bits alone: a 32-bit arithmetic
+  // shift, which (unlike a 64-bit one) exists in AVX2.
+  const std::int32_t k = static_cast<std::int32_t>(adj >> 32) >> 20;
+  const double m = __builtin_bit_cast(double, mb);
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t1 + t2;
+  const double hfsq = 0.5 * f * f;
+  const double dk = static_cast<double>(k);
+  return dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+}
+
+// (double)(bits >> 12) via the exponent-OR trick: for 0 <= x < 2^52,
+// bit_cast(x | bits_of(2^52)) - 2^52 == (double)x exactly. The direct
+// u64->f64 vector convert only exists from AVX-512DQ on; this form keeps
+// the v3/AVX2 clone vectorized too.
+inline double High52AsDouble(std::uint64_t bits) {
+  return __builtin_bit_cast(double, (bits >> 12) | 0x4330000000000000ULL) -
+         0x1.0p52;
+}
+
+// Exponential draw -log(u) >= 0 from a draw word (u = DrawUniform(bits)).
+inline double NegLog(std::uint64_t bits) {
+  const double u = (High52AsDouble(bits) + 0.5) * 0x1.0p-52;
+  return -LogNormal(u);
+}
+
+// Applies the draw's sign bit (bit 0) to a non-negative magnitude by
+// toggling the IEEE sign bit — branch- and select-free.
+inline double ApplySign(double magnitude, std::uint64_t bits) {
+  return __builtin_bit_cast(
+      double, __builtin_bit_cast(std::uint64_t, magnitude) ^ (bits << 63));
+}
+
+}  // namespace
+
+std::uint64_t DrawBits(std::uint64_t seed, std::uint64_t counter) {
+  return Mix(seed + counter * kGamma);
+}
+
+double DrawUniform(std::uint64_t bits) {
+  return (High52AsDouble(bits) + 0.5) * 0x1.0p-52;
+}
+
+DPHIST_NOISE_KERNEL_CLONES
+void AddLaplaceBatch(const double* values, double* out, std::size_t n,
+                     std::uint64_t seed, std::uint64_t base, double scale) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = Mix(seed + (base + i) * kGamma);
+    const double noise = ApplySign(scale * NegLog(bits), bits);
+    out[i] = values[i] + noise;
+  }
+}
+
+DPHIST_NOISE_KERNEL_CLONES
+void AddSnappedLaplaceBatch(const double* values, double* out, std::size_t n,
+                            std::uint64_t seed, std::uint64_t base,
+                            double snapped_scale, double granularity,
+                            double bound) {
+  const double inv_granularity = 1.0 / granularity;  // exact: power of two
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = Mix(seed + (base + i) * kGamma);
+    const double noise = ApplySign(snapped_scale * NegLog(bits), bits);
+    double v = values[i];
+    v = v < -bound ? -bound : v;
+    v = v > bound ? bound : v;
+    double y = granularity * std::rint((v + noise) * inv_granularity);
+    y = y < -bound ? -bound : y;
+    y = y > bound ? bound : y;
+    out[i] = y;
+  }
+}
+
+DPHIST_NOISE_KERNEL_CLONES
+void AddDiscreteLaplaceBatch(const std::int64_t* values, std::int64_t* out,
+                             std::size_t n, std::uint64_t seed,
+                             std::uint64_t base, double alpha,
+                             double inv_log_alpha) {
+  const double one_plus_alpha = 1.0 + alpha;
+  // floor(log(W(1+a))/log(a)) <= 54*ln2 / -log(a); cap far above any real
+  // magnitude but far below int64 range so the conversion stays defined.
+  const double kMagnitudeCap = 0x1.0p62;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = Mix(seed + (base + i) * kGamma);
+    // W in (0, 1/2): the half-line uniform; bit 0 picks the half-line.
+    const double w = (High52AsDouble(bits) + 0.5) * 0x1.0p-53;
+    double dm = std::floor(LogNormal(w * one_plus_alpha) * inv_log_alpha);
+    dm = dm < kMagnitudeCap ? dm : kMagnitudeCap;
+    const std::int64_t magnitude = static_cast<std::int64_t>(dm);
+    // Branch-free sign: bit 0 selects m or -m (two's complement).
+    const std::int64_t mask = -static_cast<std::int64_t>(bits & 1ULL);
+    out[i] = values[i] + ((magnitude ^ mask) - mask);
+  }
+}
+
+}  // namespace noise_kernel
+}  // namespace dphist

@@ -1,0 +1,68 @@
+#ifndef DPHIST_RANDOM_NOISE_KERNEL_H_
+#define DPHIST_RANDOM_NOISE_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dphist {
+namespace noise_kernel {
+
+// Batch noise kernels for the NoiseModel subsystem (DESIGN §10).
+//
+// This translation unit is compiled with -ffp-contract=off (see
+// src/CMakeLists.txt) so no expression is fused into an FMA: every lane
+// performs the same rounding steps as every other, which is what makes the
+// output a pure per-element function of (seed, counter) — bit-identical
+// across SIMD widths, thread counts, and block decompositions. The
+// target_clones dispatch (same pattern as hist/vopt_kernel.cc) only changes
+// *how many* elements are processed per instruction, never their values.
+//
+// Draw scheme: element i consumes the 64-bit word
+//   bits = SplitMix64(seed + (base + i) * golden_gamma),
+// a counter-based substream keyed by one parent Rng draw (`seed`). The top
+// 52 bits form the uniform, bit 0 the sign; there is no cross-element
+// state, so any [base, base+n) range can be computed independently.
+
+/// The per-element draw word; exposed so tests can recompute decisions.
+std::uint64_t DrawBits(std::uint64_t seed, std::uint64_t counter);
+
+/// The uniform u in (0, 1) derived from a draw word:
+///   u = (2 * (bits >> 12) + 1) * 2^-53,
+/// an odd 53-bit dyadic rational (52 random bits; never 0, never 1).
+double DrawUniform(std::uint64_t bits);
+
+/// out[i] = values[i] + s_i * scale * (-log(u_i)) where u_i = DrawUniform
+/// and s_i = +/-1 from bit 0 of the draw — Laplace(0, scale) noise via a
+/// single exponential with a random sign. `values` may alias `out`.
+void AddLaplaceBatch(const double* values, double* out, std::size_t n,
+                     std::uint64_t seed, std::uint64_t base, double scale);
+
+/// The snapped-Laplace release of Mironov (CCS'12), batched:
+///   out[i] = clamp_B( L * rint( (clamp_B(values[i]) + noise_i) / L ) )
+/// with noise_i = s_i * snapped_scale * (-log(u_i)). Requires
+/// `snapped_scale` and `granularity` (L) to be exact powers of two and
+/// bound > 0 (noise_batch.cc computes them); rounding onto the L-grid and
+/// clamping to [-bound, bound] erase the low-order mantissa artifacts that
+/// leak the unsnapped sum.
+void AddSnappedLaplaceBatch(const double* values, double* out, std::size_t n,
+                            std::uint64_t seed, std::uint64_t base,
+                            double snapped_scale, double granularity,
+                            double bound);
+
+/// Two-sided geometric (discrete Laplace) noise with decay alpha:
+///   P[X = k] = (1-alpha)/(1+alpha) * alpha^|k|,
+/// added to integer values. Inverts the CDF from the single uniform:
+/// W = u/2 in (0, 1/2), magnitude m = floor(log(W*(1+alpha)) / log(alpha)),
+/// sign from bit 0 (m = 0 keeps mass on both signs, so P[0] comes out
+/// exactly (1-alpha)/(1+alpha)). Requires alpha in (0, 1);
+/// `inv_log_alpha` = 1/log(alpha) is passed in so the kernel stays
+/// division-free. `values` may alias `out`.
+void AddDiscreteLaplaceBatch(const std::int64_t* values, std::int64_t* out,
+                             std::size_t n, std::uint64_t seed,
+                             std::uint64_t base, double alpha,
+                             double inv_log_alpha);
+
+}  // namespace noise_kernel
+}  // namespace dphist
+
+#endif  // DPHIST_RANDOM_NOISE_KERNEL_H_

@@ -1,0 +1,416 @@
+#include "dphist/random/noise_batch.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dphist/algorithms/identity_geometric.h"
+#include "dphist/algorithms/identity_laplace.h"
+#include "dphist/hist/histogram.h"
+#include "dphist/privacy/geometric_mechanism.h"
+#include "dphist/privacy/laplace_mechanism.h"
+#include "dphist/random/distributions.h"
+#include "dphist/random/noise_kernel.h"
+#include "dphist/random/rng.h"
+#include "testing/statistical.h"
+
+namespace dphist {
+namespace {
+
+// Scoped DPHIST_NOISE_MODEL override; restores "unset" on destruction so
+// tests cannot leak a model into each other.
+class ScopedNoiseModelEnv {
+ public:
+  explicit ScopedNoiseModelEnv(const char* value) {
+    ::setenv("DPHIST_NOISE_MODEL", value, /*overwrite=*/1);
+  }
+  ~ScopedNoiseModelEnv() { ::unsetenv("DPHIST_NOISE_MODEL"); }
+};
+
+TEST(NoiseModelTest, NameParseRoundTrip) {
+  const NoiseModel all[] = {NoiseModel::kAuto, NoiseModel::kTextbook,
+                            NoiseModel::kBatched, NoiseModel::kSnapped,
+                            NoiseModel::kDiscrete};
+  for (NoiseModel model : all) {
+    NoiseModel parsed = NoiseModel::kAuto;
+    ASSERT_TRUE(ParseNoiseModel(NoiseModelName(model), &parsed))
+        << NoiseModelName(model);
+    EXPECT_EQ(parsed, model);
+  }
+  NoiseModel out = NoiseModel::kSnapped;
+  EXPECT_FALSE(ParseNoiseModel("gaussian", &out));
+  EXPECT_EQ(out, NoiseModel::kSnapped) << "failed parse must not write";
+  EXPECT_FALSE(ParseNoiseModel("", &out));
+}
+
+TEST(NoiseModelTest, ResolveDefaultsToTextbook) {
+  ::unsetenv("DPHIST_NOISE_MODEL");
+  EXPECT_EQ(ResolveNoiseModel(NoiseModel::kAuto), NoiseModel::kTextbook);
+  EXPECT_EQ(ResolveNoiseModel(NoiseModel::kSnapped), NoiseModel::kSnapped);
+}
+
+TEST(NoiseModelTest, ResolveHonorsEnvironment) {
+  ScopedNoiseModelEnv env("batched");
+  EXPECT_EQ(ResolveNoiseModel(NoiseModel::kAuto), NoiseModel::kBatched);
+  // An explicit model always wins over the environment.
+  EXPECT_EQ(ResolveNoiseModel(NoiseModel::kDiscrete), NoiseModel::kDiscrete);
+}
+
+TEST(NoiseModelTest, ResolveIgnoresGarbageEnvironment) {
+  ScopedNoiseModelEnv env("gauss??");
+  EXPECT_EQ(ResolveNoiseModel(NoiseModel::kAuto), NoiseModel::kTextbook);
+}
+
+TEST(SnappedParamsTest, SnapsScaleUpToPowerOfTwo) {
+  EXPECT_DOUBLE_EQ(ComputeSnappedLaplaceParams(1.3).snapped_scale, 2.0);
+  EXPECT_DOUBLE_EQ(ComputeSnappedLaplaceParams(2.0).snapped_scale, 2.0);
+  EXPECT_DOUBLE_EQ(ComputeSnappedLaplaceParams(2.1).snapped_scale, 4.0);
+  EXPECT_DOUBLE_EQ(ComputeSnappedLaplaceParams(0.3).snapped_scale, 0.5);
+}
+
+TEST(SnappedParamsTest, GranularityIsPowerOfTwoGrid) {
+  const SnappedLaplaceParams params = ComputeSnappedLaplaceParams(1.3);
+  EXPECT_DOUBLE_EQ(params.bound, kDefaultSnappedBound);
+  EXPECT_DOUBLE_EQ(params.granularity, kDefaultSnappedBound * 0x1.0p-46);
+  int exponent = 0;
+  EXPECT_DOUBLE_EQ(std::frexp(params.granularity, &exponent), 0.5)
+      << "granularity must be an exact power of two";
+  // Huge scales push the grid up with the snapped scale.
+  const SnappedLaplaceParams wide =
+      ComputeSnappedLaplaceParams(3.0 * kDefaultSnappedBound);
+  EXPECT_DOUBLE_EQ(wide.snapped_scale, 4.0 * kDefaultSnappedBound);
+  EXPECT_DOUBLE_EQ(wide.granularity, 4.0 * kDefaultSnappedBound * 0x1.0p-46);
+}
+
+// --- The default model reproduces the historical draw sequence ---------
+
+TEST(TextbookEquivalenceTest, LaplaceVectorMatchesLegacyLoop) {
+  ::unsetenv("DPHIST_NOISE_MODEL");
+  auto mechanism = LaplaceMechanism::Create(0.7, 1.0);
+  ASSERT_TRUE(mechanism.ok());
+  EXPECT_EQ(mechanism.value().noise_model(), NoiseModel::kTextbook);
+
+  Rng rng_mechanism(1234);
+  const std::vector<double> values = {0.0, 5.0, -3.0, 100.0, 0.25};
+  const std::vector<double> out =
+      mechanism.value().PerturbVector(values, rng_mechanism);
+
+  Rng rng_legacy(1234);
+  const double scale = mechanism.value().scale();
+  ASSERT_EQ(out.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i], values[i] + SampleLaplace(rng_legacy, scale)) << i;
+  }
+}
+
+TEST(TextbookEquivalenceTest, GeometricVectorMatchesLegacyLoop) {
+  ::unsetenv("DPHIST_NOISE_MODEL");
+  auto mechanism = GeometricMechanism::Create(0.4, 1);
+  ASSERT_TRUE(mechanism.ok());
+  EXPECT_EQ(mechanism.value().noise_model(), NoiseModel::kTextbook);
+
+  Rng rng_mechanism(99);
+  const std::vector<std::int64_t> values = {0, 7, -2, 1000};
+  const std::vector<std::int64_t> out =
+      mechanism.value().PerturbVector(values, rng_mechanism);
+
+  Rng rng_legacy(99);
+  const double alpha = mechanism.value().alpha();
+  ASSERT_EQ(out.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(out[i], values[i] + SampleTwoSidedGeometric(rng_legacy, alpha))
+        << i;
+  }
+}
+
+// --- Bitwise determinism of the batch kernel ---------------------------
+
+// The batch kernels promise a pure per-element function of (seed, counter):
+// any block decomposition — including n=1 slices, the scalar extreme —
+// must reproduce the full batch bit for bit. This is what makes the
+// non-textbook models independent of thread count and SIMD width.
+TEST(KernelDeterminismTest, LaplaceBatchInvariantUnderBlockSplits) {
+  const std::size_t n = 1003;  // deliberately not a vector multiple
+  const std::uint64_t seed = 0xfeedfacecafebeefULL;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<double>(i % 17) - 8.0;
+  }
+  std::vector<double> whole(n);
+  noise_kernel::AddLaplaceBatch(values.data(), whole.data(), n, seed, 0, 1.5);
+
+  for (const std::size_t block : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<double> pieced(n);
+    for (std::size_t base = 0; base < n; base += block) {
+      const std::size_t len = std::min(block, n - base);
+      noise_kernel::AddLaplaceBatch(values.data() + base,
+                                    pieced.data() + base, len, seed, base,
+                                    1.5);
+    }
+    EXPECT_EQ(whole, pieced) << "block=" << block;
+  }
+}
+
+TEST(KernelDeterminismTest, SnappedAndDiscreteBatchesInvariantUnderSplits) {
+  const std::size_t n = 517;
+  const std::uint64_t seed = 77;
+  const SnappedLaplaceParams params = ComputeSnappedLaplaceParams(2.0);
+
+  std::vector<double> dvalues(n, 10.0);
+  std::vector<double> dwhole(n);
+  noise_kernel::AddSnappedLaplaceBatch(dvalues.data(), dwhole.data(), n, seed,
+                                       0, params.snapped_scale,
+                                       params.granularity, params.bound);
+  std::vector<std::int64_t> ivalues(n, 4);
+  std::vector<std::int64_t> iwhole(n);
+  const double t = 0.5;
+  noise_kernel::AddDiscreteLaplaceBatch(ivalues.data(), iwhole.data(), n,
+                                        seed, 0, std::exp(-t), -1.0 / t);
+
+  std::vector<double> dpieced(n);
+  std::vector<std::int64_t> ipieced(n);
+  for (std::size_t base = 0; base < n; ++base) {  // scalar n=1 slices
+    noise_kernel::AddSnappedLaplaceBatch(dvalues.data() + base,
+                                         dpieced.data() + base, 1, seed, base,
+                                         params.snapped_scale,
+                                         params.granularity, params.bound);
+    noise_kernel::AddDiscreteLaplaceBatch(ivalues.data() + base,
+                                          ipieced.data() + base, 1, seed,
+                                          base, std::exp(-t), -1.0 / t);
+  }
+  EXPECT_EQ(dwhole, dpieced);
+  EXPECT_EQ(iwhole, ipieced);
+}
+
+// The kernel's vectorized log stays within ~1 ulp of libm, so the batch
+// output is recomputable from the documented draw scheme with std::log.
+TEST(KernelDeterminismTest, LaplaceBatchMatchesDocumentedConstruction) {
+  const std::size_t n = 4096;
+  const std::uint64_t seed = 31337;
+  const double scale = 2.25;
+  std::vector<double> zeros(n, 0.0);
+  std::vector<double> out(n);
+  noise_kernel::AddLaplaceBatch(zeros.data(), out.data(), n, seed, 0, scale);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = noise_kernel::DrawBits(seed, i);
+    const double u = noise_kernel::DrawUniform(bits);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const double sign = (bits & 1ULL) != 0 ? -1.0 : 1.0;
+    const double expected = sign * scale * -std::log(u);
+    EXPECT_NEAR(out[i], expected,
+                1e-12 * std::max(1.0, std::fabs(expected)))
+        << i;
+  }
+}
+
+// --- Statistical correctness of the new constructions ------------------
+
+std::vector<double> TextbookLaplaceSamples(std::size_t n, double scale,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> samples(n);
+  for (double& s : samples) {
+    s = SampleLaplace(rng, scale);
+  }
+  return samples;
+}
+
+TEST(StatisticalTest, BatchedLaplaceMatchesTextbookDistribution) {
+  const std::size_t n = 20000;
+  Rng rng(2024);
+  std::vector<double> zeros(n, 0.0);
+  std::vector<double> batched(n);
+  noise_batch::AddContinuousNoise(NoiseModel::kBatched, 1.7, zeros.data(),
+                                  batched.data(), n, rng);
+  EXPECT_TRUE(testing::KsSameDistribution(
+      batched, TextbookLaplaceSamples(n, 1.7, 4242)));
+}
+
+// Snapping rounds the scale 1.3 up to 2.0 and the release onto a 2^-16
+// grid — so the snapped release at requested scale 1.3 must match an
+// *analytic* Laplace(2.0), and must NOT match Laplace(1.3).
+TEST(StatisticalTest, SnappedLaplaceMatchesSnappedAnalyticScale) {
+  const std::size_t n = 20000;
+  Rng rng(515);
+  std::vector<double> zeros(n, 0.0);
+  std::vector<double> snapped(n);
+  noise_batch::AddContinuousNoise(NoiseModel::kSnapped, 1.3, zeros.data(),
+                                  snapped.data(), n, rng);
+  EXPECT_TRUE(testing::KsSameDistribution(
+      snapped, TextbookLaplaceSamples(n, 2.0, 616)));
+  EXPECT_FALSE(testing::KsSameDistribution(
+      snapped, TextbookLaplaceSamples(n, 1.3, 616)));
+}
+
+TEST(SnappedReleaseTest, OutputsLieOnGridAndClamp) {
+  const std::size_t n = 1000;
+  Rng rng(8);
+  const SnappedLaplaceParams params = ComputeSnappedLaplaceParams(2.0);
+  std::vector<double> values(n, 123.456);
+  values[0] = 2.0 * kDefaultSnappedBound;   // must clamp to +B
+  values[1] = -2.0 * kDefaultSnappedBound;  // must clamp to -B
+  std::vector<double> out(n);
+  noise_batch::AddContinuousNoise(NoiseModel::kSnapped, 2.0, values.data(),
+                                  out.data(), n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::fabs(out[i]), params.bound) << i;
+    const double steps = out[i] / params.granularity;
+    EXPECT_EQ(steps, std::rint(steps))
+        << "release off the snapping grid at " << i;
+  }
+}
+
+TEST(StatisticalTest, DiscreteLaplacePmfIsExact) {
+  const std::size_t n = 200000;
+  const double t = 0.8;
+  const double alpha = std::exp(-t);
+  Rng rng(77);
+  std::vector<std::int64_t> zeros(n, 0);
+  std::vector<std::int64_t> out(n);
+  noise_batch::AddIntegerNoise(NoiseModel::kDiscrete, t, zeros.data(),
+                               out.data(), n, rng);
+  // P[X = k] = (1-a)/(1+a) * a^|k|; four-sigma frequency bands.
+  const double p0 = (1.0 - alpha) / (1.0 + alpha);
+  for (int k = -3; k <= 3; ++k) {
+    const double p = p0 * std::pow(alpha, std::abs(k));
+    std::size_t hits = 0;
+    for (std::int64_t v : out) {
+      hits += (v == k) ? 1 : 0;
+    }
+    const double freq = static_cast<double>(hits) / static_cast<double>(n);
+    const double sigma = std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+    EXPECT_NEAR(freq, p, 4.0 * sigma) << "k=" << k;
+  }
+}
+
+TEST(StatisticalTest, BatchedGeometricMatchesTextbookDistribution) {
+  const std::size_t n = 20000;
+  const double epsilon = 0.5;
+  auto textbook = GeometricMechanism::Create(epsilon, 1,
+                                             NoiseModel::kTextbook);
+  auto batched = GeometricMechanism::Create(epsilon, 1, NoiseModel::kBatched);
+  ASSERT_TRUE(textbook.ok());
+  ASSERT_TRUE(batched.ok());
+  Rng rng_a(11);
+  Rng rng_b(22);
+  const std::vector<std::int64_t> zeros(n, 0);
+  const std::vector<std::int64_t> a =
+      textbook.value().PerturbVector(zeros, rng_a);
+  const std::vector<std::int64_t> b =
+      batched.value().PerturbVector(zeros, rng_b);
+  std::vector<double> da(a.begin(), a.end());
+  std::vector<double> db(b.begin(), b.end());
+  EXPECT_TRUE(testing::KsSameDistribution(da, db));
+}
+
+// --- Mechanism- and publisher-level model plumbing ---------------------
+
+TEST(MechanismModelTest, DiscreteContinuousReleaseIsIntegral) {
+  auto mechanism = LaplaceMechanism::Create(1.0, 1.0, NoiseModel::kDiscrete);
+  ASSERT_TRUE(mechanism.ok());
+  Rng rng(5);
+  const std::vector<double> values = {0.2, 7.9, -3.4, 1000.0};
+  const std::vector<double> out = mechanism.value().PerturbVector(values, rng);
+  for (double v : out) {
+    EXPECT_EQ(v, std::rint(v)) << "discrete release must stay integral";
+  }
+}
+
+TEST(MechanismModelTest, BatchModelsConsumeOneParentWordPerCall) {
+  auto mechanism = LaplaceMechanism::Create(1.0, 1.0, NoiseModel::kBatched);
+  ASSERT_TRUE(mechanism.ok());
+  Rng rng(123);
+  const std::vector<double> values(1000, 3.0);
+  (void)mechanism.value().PerturbVector(values, rng);
+  Rng expected(123);
+  (void)expected.NextUint64();
+  // After one vector call the parent stream has advanced by exactly one
+  // word — the substream seed — regardless of n.
+  EXPECT_EQ(rng.NextUint64(), expected.NextUint64());
+}
+
+// Publisher output under every model is a pure function of (options,
+// epsilon, seed): recomputing with a fresh same-seed Rng must reproduce it
+// bit for bit. CI runs this binary under DPHIST_THREADS=1 and =4, which
+// together with this test proves the release is thread-count invariant.
+TEST(PublisherModelTest, PublishIsPureFunctionOfSeedUnderEveryModel) {
+  const Histogram histogram(std::vector<double>{5, 0, 12, 3, 3, 9, 1, 0});
+  const NoiseModel models[] = {NoiseModel::kTextbook, NoiseModel::kBatched,
+                               NoiseModel::kSnapped, NoiseModel::kDiscrete};
+  for (NoiseModel model : models) {
+    IdentityLaplace::Options options;
+    options.noise_model = model;
+    const IdentityLaplace publisher(options);
+    Rng rng_a(42);
+    Rng rng_b(42);
+    auto a = publisher.Publish(histogram, 0.5, rng_a);
+    auto b = publisher.Publish(histogram, 0.5, rng_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().counts(), b.value().counts())
+        << NoiseModelName(model);
+  }
+}
+
+TEST(PublisherModelTest, DefaultPublisherIsBitIdenticalToLegacySampler) {
+  ::unsetenv("DPHIST_NOISE_MODEL");
+  const Histogram histogram(std::vector<double>{1, 2, 3, 4, 5});
+  const IdentityLaplace publisher;
+  Rng rng(7);
+  auto released = publisher.Publish(histogram, 0.8, rng);
+  ASSERT_TRUE(released.ok());
+
+  Rng legacy(7);
+  const double scale = 1.0 / 0.8;
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    EXPECT_EQ(released.value().counts()[i],
+              histogram.counts()[i] + SampleLaplace(legacy, scale))
+        << i;
+  }
+}
+
+TEST(PublisherModelTest, EnvironmentSelectsModelForPublishers) {
+  ScopedNoiseModelEnv env("batched");
+  const Histogram histogram(std::vector<double>{4, 4, 4, 4});
+  const IdentityLaplace publisher;  // kAuto -> env -> batched
+  Rng rng(9);
+  auto released = publisher.Publish(histogram, 1.0, rng);
+  ASSERT_TRUE(released.ok());
+  // The batched release is recomputable from the kernel directly.
+  Rng parent(9);
+  const std::uint64_t seed = parent.NextUint64();
+  std::vector<double> expected(histogram.size());
+  noise_kernel::AddLaplaceBatch(histogram.counts().data(), expected.data(),
+                                histogram.size(), seed, 0, 1.0);
+  EXPECT_EQ(released.value().counts(), expected);
+}
+
+TEST(PublisherModelTest, GeometricPublisherHonorsExplicitModel) {
+  IdentityGeometric::Options options;
+  options.noise_model = NoiseModel::kDiscrete;
+  const IdentityGeometric publisher(options);
+  const Histogram histogram(std::vector<double>{10, 20, 30});
+  Rng rng(3);
+  auto released = publisher.Publish(histogram, 1.0, rng);
+  ASSERT_TRUE(released.ok());
+  Rng parent(3);
+  const std::uint64_t seed = parent.NextUint64();
+  const std::vector<std::int64_t> truth = {10, 20, 30};
+  std::vector<std::int64_t> expected(truth.size());
+  noise_kernel::AddDiscreteLaplaceBatch(truth.data(), expected.data(),
+                                        truth.size(), seed, 0,
+                                        std::exp(-1.0), -1.0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(released.value().counts()[i],
+              static_cast<double>(expected[i]))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace dphist

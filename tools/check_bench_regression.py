@@ -41,6 +41,11 @@ ID_FIELDS = {
     # bench_serve identity fields: which sweep, and which cell of it.
     "mode", "batches", "distinct_releases", "batch_size", "shards",
     "records",
+    # bench_micro noise-model sweep: which sampling construction the row
+    # measured. A baseline captured without this field can never match a
+    # fresh row that has it — the per-bench empty-intersection check below
+    # turns that into a hard, explained failure instead of a silent pass.
+    "noise_model",
 }
 
 # Measured wall-clock fields: machine-dependent, ratio-gated.
@@ -181,6 +186,27 @@ def check(args):
         if json.loads(key).get("bench") in absent:
             continue  # already reported at the bench level
         failures.append(f"row missing from fresh run: {key}")
+    # The reverse direction must be a hard error too: a bench that ran and
+    # produced fresh rows but matches ZERO baseline rows is completely
+    # ungated, and "exit 0 with a new-coverage note" reads as a pass. Two
+    # ways to get there: the bench has no baseline rows at all, or its
+    # identity fields changed (e.g. a baseline captured before a new
+    # ID_FIELDS entry existed) so no key can ever match.
+    for bench in sorted(fresh_benches - baseline_benches):
+        failures.append(
+            f"bench '{bench}' has fresh rows but zero baseline rows — "
+            f"empty intersection; fold it into the baseline with "
+            f"--capture before gating on it")
+    for bench in sorted(fresh_benches & baseline_benches):
+        bench_fresh = {k for k, r in fresh.items()
+                       if r.get("bench") == bench}
+        bench_base = {k for k, r in baseline.items()
+                      if r.get("bench") == bench}
+        if bench_fresh and bench_base and not (bench_fresh & bench_base):
+            failures.append(
+                f"bench '{bench}': baseline and fresh share zero row keys "
+                f"— did an identity field change (or is the baseline "
+                f"missing one, e.g. noise_model)? re-capture the baseline")
     extra = len(set(fresh) - set(baseline))
     if extra:
         print(f"note: {extra} fresh row(s) not in baseline (new coverage)")
