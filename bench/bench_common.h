@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "dphist/common/env.h"
 #include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
 #include "dphist/obs/export.h"
@@ -26,16 +27,11 @@ inline constexpr std::size_t kTraceDomain = 1024;
 /// Root seed for the synthetic suite (fixed: the figures are reproducible).
 inline constexpr std::uint64_t kSuiteSeed = 42;
 
-/// Repetitions per cell; override with DPHIST_BENCH_REPS=<n>.
+/// Repetitions per cell; override with DPHIST_BENCH_REPS=<n>. Range- and
+/// garbage-checked (GetEnvPositiveInt), not raw strtol: a malformed or
+/// absurd value falls back instead of saturating.
 inline std::size_t Repetitions(std::size_t fallback = 5) {
-  const char* env = std::getenv("DPHIST_BENCH_REPS");
-  if (env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) {
-      return static_cast<std::size_t>(parsed);
-    }
-  }
-  return fallback;
+  return dphist::GetEnvPositiveInt("DPHIST_BENCH_REPS").value_or(fallback);
 }
 
 /// Worker threads RunCell fans repetitions across (the process-wide pool;

@@ -7,16 +7,22 @@
 //   evaluate <truth.csv> <released.csv> [--queries Q] [--seed S]
 //   serve    <algorithm> <epsilon> <in.csv> [--budget E] [--batches B]
 //            [--queries Q] [--seed S] [--journal DIR] [--shards N]
-//            [--tenant NAME]
+//            [--tenant NAME] [--listen PORT] [--max-inflight N]
+//   query    [--host H] [--port P] [--codec binary|json] [--publisher A]
+//            [--epsilon E] [--seed S] [--queries Q] [--workload-seed S]
+//            [--tenant NAME] [--out FILE]
 //   list
 //
 // Exit code 0 on success; errors go to stderr.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +34,9 @@
 #include "dphist/data/csv.h"
 #include "dphist/data/generators.h"
 #include "dphist/metrics/metrics.h"
+#include "dphist/net/client.h"
+#include "dphist/net/server.h"
+#include "dphist/net/wire_codec.h"
 #include "dphist/obs/export.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
@@ -35,6 +44,10 @@
 #include "dphist/serve/release_server.h"
 
 namespace {
+
+// serve --listen runs until one of these arrives.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
 
 struct Flags {
   std::size_t n = 1024;
@@ -48,6 +61,17 @@ struct Flags {
   std::string journal_dir;
   std::size_t shards = 0;
   std::string tenant = "default";
+  // Network front-end knobs (serve --listen, and the query subcommand).
+  bool listen_set = false;
+  std::uint16_t listen_port = 0;  // 0 = ephemeral; actual port is printed
+  std::size_t max_inflight = 64;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  bool binary_codec = true;
+  std::string publisher = "noise_first";
+  double epsilon = 0.1;
+  std::uint64_t workload_seed = 1;
+  std::string out_path;
   dphist::VOptStrategy vopt_strategy = dphist::VOptStrategy::kAuto;
   bool vopt_strategy_set = false;
   dphist::NoiseModel noise_model = dphist::NoiseModel::kAuto;
@@ -100,6 +124,54 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       const char* value = need_value("--tenant");
       if (value == nullptr) return false;
       flags->tenant = value;
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      const char* value = need_value("--listen");
+      if (value == nullptr) return false;
+      flags->listen_set = true;
+      flags->listen_port =
+          static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
+      const char* value = need_value("--max-inflight");
+      if (value == nullptr) return false;
+      flags->max_inflight =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      const char* value = need_value("--host");
+      if (value == nullptr) return false;
+      flags->host = value;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      const char* value = need_value("--port");
+      if (value == nullptr) return false;
+      flags->port =
+          static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--codec") == 0) {
+      const char* value = need_value("--codec");
+      if (value == nullptr) return false;
+      if (std::strcmp(value, "binary") == 0) {
+        flags->binary_codec = true;
+      } else if (std::strcmp(value, "json") == 0) {
+        flags->binary_codec = false;
+      } else {
+        std::fprintf(stderr, "--codec must be binary or json (got: %s)\n",
+                     value);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--publisher") == 0) {
+      const char* value = need_value("--publisher");
+      if (value == nullptr) return false;
+      flags->publisher = value;
+    } else if (std::strcmp(argv[i], "--epsilon") == 0) {
+      const char* value = need_value("--epsilon");
+      if (value == nullptr) return false;
+      flags->epsilon = std::atof(value);
+    } else if (std::strcmp(argv[i], "--workload-seed") == 0) {
+      const char* value = need_value("--workload-seed");
+      if (value == nullptr) return false;
+      flags->workload_seed = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* value = need_value("--out");
+      if (value == nullptr) return false;
+      flags->out_path = value;
     } else if (std::strcmp(argv[i], "--vopt-strategy") == 0) {
       const char* value = need_value("--vopt-strategy");
       if (value == nullptr) return false;
@@ -143,8 +215,22 @@ int Usage() {
       " [--seed S]\n"
       "  dphist_tool serve <algorithm> <epsilon-per-release> <in.csv>"
       " [--budget E] [--batches B] [--queries Q] [--seed S]"
-      " [--journal DIR] [--shards N] [--tenant NAME]\n"
+      " [--journal DIR] [--shards N] [--tenant NAME]"
+      " [--listen PORT] [--max-inflight N]\n"
+      "  dphist_tool query [--host H] [--port P] [--codec binary|json]"
+      " [--publisher A] [--epsilon E] [--seed S] [--queries Q]"
+      " [--workload-seed S] [--tenant NAME] [--out FILE]\n"
       "  dphist_tool list\n"
+      "\n"
+      "serve --listen PORT exposes the store over HTTP/1.1 on\n"
+      "127.0.0.1:PORT (0 picks an ephemeral port; the bound port is\n"
+      "printed) instead of running local batches, until SIGINT/SIGTERM.\n"
+      "--max-inflight bounds the admission queue (excess requests are\n"
+      "refused with a typed 503). query connects to such a server, asks a\n"
+      "deterministic random-range workload (--queries, --workload-seed)\n"
+      "in the chosen codec, and prints one answer per line with\n"
+      "round-trip precision — two runs differing only in --codec must\n"
+      "print byte-identical answers.\n"
       "\n"
       "--journal makes serving durable: charges and publications are\n"
       "written ahead to DIR/events.jnl and replayed on the next start, so\n"
@@ -384,6 +470,43 @@ int RunServe(int argc, char** argv) {
               static_cast<unsigned long long>(fingerprint),
               server.cache().shard_count(), flags.budget, epsilon);
 
+  if (flags.listen_set) {
+    // Network mode: expose the store over HTTP until SIGINT/SIGTERM.
+    // Workers come from ThreadPool::Global(), so DPHIST_THREADS sizes the
+    // handler pool exactly like every other parallel stage. A long-running
+    // server records its own metrics regardless of DPHIST_OBS_OUT — the
+    // /statsz endpoint is useless over an empty snapshot.
+    dphist::obs::Registry::Global().set_enabled(true);
+    dphist::net::NetServerOptions net_options;
+    net_options.port = flags.listen_port;
+    net_options.max_inflight = flags.max_inflight;
+    dphist::net::NetServer net_server(&server, net_options);
+    const dphist::Status started = net_server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on %s (max_inflight=%zu)\n",
+                net_server.address().c_str(), flags.max_inflight);
+    std::fflush(stdout);
+    g_stop_requested = 0;
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    net_server.Stop();
+    auto ledger = server.LedgerFor(ns);
+    if (ledger.ok()) {
+      std::printf("stopped; cache: %zu release(s); ledger: spent %.4f of "
+                  "%.4f (%zu charges)\n",
+                  server.cache().size(), ledger.value()->spent_epsilon(),
+                  ledger.value()->total_epsilon(),
+                  ledger.value()->charge_count());
+    }
+    return 0;
+  }
+
   dphist::Rng workload_rng(flags.seed);
   auto queries =
       dphist::RandomRangeWorkload(domain, flags.queries, workload_rng);
@@ -440,6 +563,99 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
+// Connects to a `serve --listen` server, asks a deterministic
+// random-range workload, and prints one answer per line with round-trip
+// precision. The answers are the wire bytes decoded — so diffing a
+// --codec binary run against a --codec json run proves the two paths
+// byte-identical (the CI loopback smoke does exactly that).
+int RunQuery(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) {
+    return 2;
+  }
+  if (flags.port == 0) {
+    std::fprintf(stderr, "query requires --port\n");
+    return 2;
+  }
+  dphist::net::NetClient client;
+  const dphist::Status connected = client.Connect(flags.host, flags.port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  // The workload needs the served domain size; /v1/meta reports it.
+  dphist::net::HttpMessage meta_request;
+  meta_request.method = "GET";
+  meta_request.target = "/v1/meta";
+  auto meta_response = client.RoundTrip(meta_request);
+  if (!meta_response.ok()) {
+    std::fprintf(stderr, "%s\n", meta_response.status().ToString().c_str());
+    return 1;
+  }
+  auto meta = dphist::obs::ParseFlatJson(meta_response.value().body);
+  if (!meta.ok()) {
+    std::fprintf(stderr, "bad /v1/meta response: %s\n",
+                 meta.status().ToString().c_str());
+    return 1;
+  }
+  const auto domain_it = meta.value().find("domain_size");
+  if (domain_it == meta.value().end() ||
+      domain_it->second.kind != dphist::obs::JsonValue::Kind::kNumber ||
+      domain_it->second.number_value < 1.0) {
+    std::fprintf(stderr, "server reports no served dataset\n");
+    return 1;
+  }
+  const std::size_t domain =
+      static_cast<std::size_t>(domain_it->second.number_value);
+
+  dphist::Rng workload_rng(flags.workload_seed);
+  auto queries =
+      dphist::RandomRangeWorkload(domain, flags.queries, workload_rng);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  dphist::net::WireQueryRequest query;
+  query.tenant = flags.tenant;
+  query.request.publisher = flags.publisher;
+  query.request.epsilon = flags.epsilon;
+  query.request.seed = flags.seed;
+  query.queries = std::move(queries).value();
+  auto answer = client.Query(query, flags.binary_codec);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+
+  std::FILE* out = stdout;
+  if (!flags.out_path.empty()) {
+    out = std::fopen(flags.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.out_path.c_str());
+      return 1;
+    }
+  }
+  for (const double value : answer.value().answers) {
+    std::fprintf(out, "%.17g\n", value);
+  }
+  if (out != stdout) {
+    std::fclose(out);
+  }
+  std::fprintf(stderr,
+               "%zu answers over %s codec (%s, served seed=%llu, domain "
+               "n=%zu)\n",
+               answer.value().answers.size(),
+               flags.binary_codec ? "binary" : "json",
+               answer.value().stale
+                   ? "stale"
+                   : (answer.value().cache_hit ? "cache hit" : "fresh"),
+               static_cast<unsigned long long>(answer.value().served.seed),
+               domain);
+  return 0;
+}
+
 int RunList() {
   std::printf("available algorithms:\n");
   for (const std::string& name : dphist::PublisherRegistry::BuiltinNames()) {
@@ -464,6 +680,8 @@ int main(int argc, char** argv) {
     rc = RunEvaluate(argc, argv);
   } else if (command == "serve") {
     rc = RunServe(argc, argv);
+  } else if (command == "query") {
+    rc = RunQuery(argc, argv);
   } else if (command == "list") {
     rc = RunList();
   } else {

@@ -1,0 +1,127 @@
+#ifndef DPHIST_COMMON_BINARY_IO_H_
+#define DPHIST_COMMON_BINARY_IO_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dphist {
+namespace binio {
+
+/// \brief Shared little-endian byte codec primitives and the IEEE CRC-32,
+/// used by every framed on-disk/on-wire format in the tree (the serve
+/// journal and the net wire codec). Both formats promise the same
+/// properties: integers are little-endian regardless of host endianness,
+/// doubles travel as their raw IEEE-754 bits, strings are a u32 length
+/// prefix plus bytes, and a frame is valid only when it fits AND its CRC
+/// matches. Centralizing the primitives keeps those promises in one place.
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven. Vendored
+/// in ~15 lines instead of taking a zlib dependency: these codecs are the
+/// only CRC users and the container may not ship zlib headers.
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline std::uint32_t Crc32(std::string_view bytes) {
+  const auto& table = Crc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- encoding primitives (little-endian, append-to-string) ---
+
+inline void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void PutF64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutStr(std::string& out, std::string_view s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+// --- decoding primitives: advance a cursor, false on underflow ---
+
+struct Cursor {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  bool Remaining(std::size_t n) const { return bytes.size() - pos >= n; }
+};
+
+inline bool GetU32(Cursor& in, std::uint32_t* v) {
+  if (!in.Remaining(4)) return false;
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(in.bytes[in.pos + i]))
+           << (8 * i);
+  }
+  in.pos += 4;
+  *v = out;
+  return true;
+}
+
+inline bool GetU64(Cursor& in, std::uint64_t* v) {
+  if (!in.Remaining(8)) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(in.bytes[in.pos + i]))
+           << (8 * i);
+  }
+  in.pos += 8;
+  *v = out;
+  return true;
+}
+
+inline bool GetF64(Cursor& in, double* v) {
+  std::uint64_t bits = 0;
+  if (!GetU64(in, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+inline bool GetStr(Cursor& in, std::string* s) {
+  std::uint32_t len = 0;
+  if (!GetU32(in, &len) || !in.Remaining(len)) return false;
+  s->assign(in.bytes.data() + in.pos, len);
+  in.pos += len;
+  return true;
+}
+
+}  // namespace binio
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_BINARY_IO_H_

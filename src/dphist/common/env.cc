@@ -1,8 +1,8 @@
 #include "dphist/common/env.h"
 
-#include <cerrno>
-#include <climits>
+#include <charconv>
 #include <cstdlib>
+#include <system_error>
 
 namespace dphist {
 
@@ -19,14 +19,18 @@ std::optional<std::size_t> GetEnvPositiveInt(const char* name) {
   if (!value.has_value()) {
     return std::nullopt;
   }
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(value->c_str(), &end, 10);
-  if (errno != 0 || end == nullptr || *end != '\0' || parsed <= 0 ||
-      parsed == LONG_MAX) {
+  // std::from_chars rather than strtol: no locale dependence, no errno
+  // protocol to forget (the historical strtol path saturated out-of-range
+  // values to LONG_MAX when errno went unchecked), and strict by default —
+  // leading whitespace, '+', and hex are all rejected, not skipped.
+  const char* first = value->data();
+  const char* last = first + value->size();
+  std::size_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, parsed, 10);
+  if (ec != std::errc{} || ptr != last || parsed == 0) {
     return std::nullopt;
   }
-  return static_cast<std::size_t>(parsed);
+  return parsed;
 }
 
 }  // namespace dphist

@@ -11,9 +11,13 @@ namespace dphist {
 /// variable is unset or empty.
 std::optional<std::string> GetEnv(const char* name);
 
-/// Parses `name` as a strictly positive integer. Returns nullopt when the
-/// variable is unset, empty, unparseable, zero, or negative — callers fall
-/// back to their built-in default rather than silently misconfiguring.
+/// Parses `name` as a strictly positive decimal integer. Returns nullopt
+/// when the variable is unset, empty, unparseable, zero, negative, has
+/// trailing garbage, or overflows std::size_t (an absurd value like
+/// 99999999999999999999 must fall back to the default, not saturate and be
+/// accepted) — callers fall back to their built-in default rather than
+/// silently misconfiguring. Strict: leading whitespace and '+' are
+/// rejected, and the parse is locale-independent.
 std::optional<std::size_t> GetEnvPositiveInt(const char* name);
 
 }  // namespace dphist

@@ -21,10 +21,16 @@ thread_local const ThreadPool* current_worker_pool = nullptr;
 }  // namespace
 
 std::size_t ThreadPool::DefaultThreadCount() {
-  // Unparseable or non-positive values fall through to the hardware
-  // default rather than silently serializing the process.
+  // Unparseable, non-positive, or absurdly large values fall through to
+  // the hardware default rather than silently serializing the process or
+  // attempting to spawn billions of workers. GetEnvPositiveInt accepts
+  // anything that fits std::size_t; the cap here is the thread pool's own
+  // sanity bound on what can be a real thread count.
+  constexpr std::size_t kMaxThreadCount = 65536;
   if (const auto parsed = GetEnvPositiveInt("DPHIST_THREADS")) {
-    return *parsed;
+    if (*parsed <= kMaxThreadCount) {
+      return *parsed;
+    }
   }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
@@ -84,6 +90,18 @@ void ThreadPool::WorkerLoop() {
 
 bool ThreadPool::MustRunInline() const {
   return thread_count_ < 2 || current_worker_pool == this;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (MustRunInline()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_available_.notify_one();
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,

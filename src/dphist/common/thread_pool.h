@@ -77,6 +77,17 @@ class ThreadPool {
       std::size_t begin, std::size_t end, std::size_t min_chunk,
       const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Enqueues one independent task and returns without waiting for it —
+  /// the fire-and-forget primitive the net server's request handlers use
+  /// (a handler signals its own completion, so a fork/join loop is the
+  /// wrong shape). Tasks must not throw. Degenerate cases run `task`
+  /// inline on the caller before returning: a single-threaded pool (no
+  /// workers exist) and submission from one of this pool's own workers
+  /// (blocking semantics elsewhere rely on workers never stalling behind
+  /// their own queue). Callers needing completion signalling bake it into
+  /// the task.
+  void Submit(std::function<void()> task);
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,180 @@
+#include "dphist/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dphist {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(std::string_view what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Builds the POST carrying one encoded query-request message.
+HttpMessage BuildPost(const std::string& target, const WireQueryRequest& query,
+                      bool binary) {
+  HttpMessage request;
+  request.method = "POST";
+  request.target = target;
+  request.headers["content-type"] =
+      binary ? kContentTypeBinary : kContentTypeJson;
+  request.body =
+      binary ? EncodeQueryRequest(query) : EncodeQueryRequestJson(query);
+  return request;
+}
+
+// Decodes a response body in the codec the response declares; a non-200
+// (or an explicit error message) becomes its typed Status.
+Result<WireMessage> DecodeResponse(const HttpMessage& response) {
+  const bool binary = response.Header("content-type") == kContentTypeBinary;
+  auto decoded =
+      binary ? DecodeFrame(response.body) : DecodeJson(response.body);
+  if (!decoded.ok()) {
+    if (response.status != 200) {
+      // Plain-text protocol errors (400/413/431 from the parser).
+      return Status::Internal("server error " +
+                              std::to_string(response.status) + ": " +
+                              response.body);
+    }
+    return decoded.status();
+  }
+  if (decoded.value().type == WireType::kError) {
+    return decoded.value().error.ToStatus();
+  }
+  return decoded;
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  host_ = host;
+  port_ = port;
+  return Status::Ok();
+}
+
+Result<HttpMessage> NetClient::RoundTrip(const HttpMessage& request) {
+  if (fd_ < 0) {
+    return Status::Internal("not connected");
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::string bytes = SerializeRequest(request);
+    std::size_t sent = 0;
+    bool broken = false;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        broken = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (!broken) {
+      HttpParser parser(HttpParser::Kind::kResponse);
+      char buffer[65536];
+      for (;;) {
+        const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+        if (n <= 0) {
+          broken = true;
+          break;
+        }
+        std::string_view chunk(buffer, static_cast<std::size_t>(n));
+        while (!chunk.empty()) {
+          std::size_t consumed = 0;
+          const HttpParser::State state = parser.Feed(chunk, &consumed);
+          chunk.remove_prefix(consumed);
+          if (state == HttpParser::State::kError) {
+            return Status::Internal("malformed response: " + parser.error());
+          }
+          if (state == HttpParser::State::kComplete) {
+            if (parser.message().WantsClose()) {
+              Close();
+            }
+            return std::move(parser.message());
+          }
+        }
+      }
+    }
+    // The keep-alive connection died under us (server restarted, idle
+    // timeout): reconnect once and retry. A second failure is real.
+    const Status reconnected = Connect(host_, port_);
+    if (!reconnected.ok()) {
+      return reconnected;
+    }
+  }
+  return Status::Internal("connection repeatedly broken");
+}
+
+Result<WireBatchAnswer> NetClient::Query(const WireQueryRequest& query,
+                                         bool binary) {
+  auto response = RoundTrip(BuildPost("/v1/query", query, binary));
+  if (!response.ok()) {
+    return response.status();
+  }
+  auto decoded = DecodeResponse(response.value());
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  if (decoded.value().type != WireType::kBatchAnswer) {
+    return Status::Internal("unexpected response message type");
+  }
+  return std::move(decoded.value().batch_answer);
+}
+
+Result<WireHistogram> NetClient::Release(const WireQueryRequest& query,
+                                         bool binary) {
+  auto response = RoundTrip(BuildPost("/v1/release", query, binary));
+  if (!response.ok()) {
+    return response.status();
+  }
+  auto decoded = DecodeResponse(response.value());
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  if (decoded.value().type != WireType::kHistogram) {
+    return Status::Internal("unexpected response message type");
+  }
+  return std::move(decoded.value().histogram);
+}
+
+}  // namespace net
+}  // namespace dphist

@@ -1,0 +1,56 @@
+#ifndef DPHIST_NET_CLIENT_H_
+#define DPHIST_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/net/http.h"
+#include "dphist/net/wire_codec.h"
+
+namespace dphist {
+namespace net {
+
+/// \brief A small blocking HTTP/1.1 client with keep-alive, used by the
+/// tool's `query` subcommand, the loopback tests, and the load harness.
+/// One instance == one connection == one thread; it is not thread-safe.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Opens (or re-opens) the connection.
+  Status Connect(const std::string& host, std::uint16_t port);
+
+  /// True while the socket is open.
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+  /// Sends `request` and blocks for the full response. Reconnects once if
+  /// the server closed the keep-alive connection. Transport failures are
+  /// kInternal; an HTTP response — any status — is returned as a value.
+  Result<HttpMessage> RoundTrip(const HttpMessage& request);
+
+  /// Convenience: POSTs `query` to /v1/query in the chosen codec and
+  /// decodes the answer. A server-side error (typed refusal, budget
+  /// exhaustion, bad request) comes back as that error's Status.
+  Result<WireBatchAnswer> Query(const WireQueryRequest& query, bool binary);
+
+  /// Convenience: POSTs to /v1/release and decodes the full histogram.
+  Result<WireHistogram> Release(const WireQueryRequest& query, bool binary);
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace dphist
+
+#endif  // DPHIST_NET_CLIENT_H_

@@ -1,0 +1,698 @@
+#include "dphist/net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dphist/net/http.h"
+#include "dphist/net/wire_codec.h"
+#include "dphist/obs/export.h"
+#include "dphist/obs/obs.h"
+
+namespace dphist {
+namespace net {
+
+namespace {
+
+int MapStatusToHttp(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kDataLoss:  // corrupt frame from the client
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kPermissionDenied:
+      return 403;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kInternal:
+    default:
+      return 500;
+  }
+}
+
+Status ErrnoStatus(std::string_view what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Serializes an HTTP response carrying one codec-encoded message.
+std::string BuildResponse(int http_status, StatusCode code, bool binary,
+                          std::string body, bool close) {
+  HttpMessage response;
+  response.status = http_status;
+  response.headers["content-type"] =
+      binary ? kContentTypeBinary : kContentTypeJson;
+  response.headers["x-dphist-status"] = std::string(StatusCodeName(code));
+  if (close) {
+    response.headers["connection"] = "close";
+  }
+  response.body = std::move(body);
+  return SerializeResponse(response);
+}
+
+std::string BuildErrorResponse(const Status& status, bool binary, bool close) {
+  return BuildResponse(MapStatusToHttp(status.code()), status.code(), binary,
+                       binary ? EncodeError(status) : EncodeErrorJson(status),
+                       close);
+}
+
+std::string BuildTextResponse(int http_status, std::string body) {
+  HttpMessage response;
+  response.status = http_status;
+  response.headers["content-type"] = "text/plain";
+  response.body = std::move(body);
+  return SerializeResponse(response);
+}
+
+// Identity of the release a query request resolves to — the coalescing
+// group key. Epsilon joins by bit pattern: coalescing must only merge
+// requests that are exactly the same release.
+std::string GroupSignature(const WireQueryRequest& request) {
+  std::uint64_t epsilon_bits = 0;
+  std::memcpy(&epsilon_bits, &request.request.epsilon, sizeof(epsilon_bits));
+  std::string sig = request.tenant;
+  sig += '\0';
+  sig += request.dataset;
+  sig += '\0';
+  sig += request.request.publisher;
+  sig += '\0';
+  sig += std::to_string(epsilon_bits);
+  sig += '\0';
+  sig += std::to_string(request.request.seed);
+  return sig;
+}
+
+}  // namespace
+
+struct NetServer::Impl {
+  serve::ReleaseServer* server = nullptr;
+  NetServerOptions options;
+  ThreadPool* pool = nullptr;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::thread loop_thread;
+  std::atomic<bool> stopping{false};
+
+  // --- connections (event-loop thread only) ---
+  struct Conn {
+    std::uint64_t id = 0;
+    int fd = -1;
+    HttpParser parser{HttpParser::Kind::kRequest};
+    std::string inbuf;    // read but not yet consumed by the parser
+    std::string outbuf;   // response bytes awaiting write
+    std::size_t out_pos = 0;
+    bool dispatched = false;   // a request is inside a handler
+    bool close_after_write = false;
+  };
+  std::map<std::uint64_t, Conn> conns;  // keyed by id, not fd (fds recycle)
+  std::uint64_t next_conn_id = 1;
+
+  // --- admission + worker bookkeeping ---
+  std::atomic<std::size_t> inflight{0};       // requests inside handlers
+  std::atomic<std::size_t> pending_tasks{0};  // submitted, not yet finished
+
+  // Completions: worker -> event loop, keyed by connection id.
+  std::mutex done_mutex;
+  std::vector<std::pair<std::uint64_t, std::string>> done;
+
+  // --- query coalescing ---
+  struct PendingQuery {
+    std::uint64_t conn_id = 0;
+    WireQueryRequest request;
+    bool binary = true;
+    bool close = false;
+    std::chrono::steady_clock::time_point start;
+  };
+  struct Group {
+    bool leader_active = false;
+    std::vector<PendingQuery> waiting;
+  };
+  std::mutex groups_mutex;
+  std::map<std::string, Group> groups;
+
+  // Metrics, resolved once.
+  obs::Counter& requests = obs::Registry::Global().GetCounter("net/requests");
+  obs::Counter& refused =
+      obs::Registry::Global().GetCounter("net/refused_admission");
+  obs::Counter& errors = obs::Registry::Global().GetCounter("net/errors");
+  obs::Counter& coalesced_batches =
+      obs::Registry::Global().GetCounter("net/coalesced_batches");
+  obs::Counter& coalesced_requests =
+      obs::Registry::Global().GetCounter("net/coalesced_requests");
+  obs::Counter& connections =
+      obs::Registry::Global().GetCounter("net/connections");
+  obs::Distribution& request_ms =
+      obs::Registry::Global().GetDistribution("net/request_ms");
+  obs::Distribution& coalesce_group =
+      obs::Registry::Global().GetDistribution("net/coalesce_group");
+
+  void Wake() {
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = write(wake_write, &byte, 1);
+  }
+
+  void CompleteRequest(const PendingQuery& pending, std::string response) {
+    if (obs::Enabled()) {
+      request_ms.Record(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - pending.start)
+                            .count());
+    }
+    inflight.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done.emplace_back(pending.conn_id, std::move(response));
+    }
+    Wake();
+  }
+
+  // Leader loop for one coalescing group: drain waiters, answer them with
+  // ONE serve-layer batch, repeat until the group is empty. Runs on a
+  // worker (or inline on the loop thread for a single-threaded pool).
+  void RunGroupLeader(const std::string& signature) {
+    for (;;) {
+      std::vector<PendingQuery> batch;
+      {
+        std::lock_guard<std::mutex> lock(groups_mutex);
+        Group& group = groups[signature];
+        batch.swap(group.waiting);
+        if (batch.empty()) {
+          groups.erase(signature);
+          break;
+        }
+      }
+      if (options.handler_hook) {
+        options.handler_hook();
+      }
+      coalesced_batches.Increment();
+      coalesced_requests.Add(batch.size());
+      if (obs::Enabled()) {
+        coalesce_group.Record(static_cast<double>(batch.size()));
+      }
+
+      std::vector<RangeQuery> all_queries;
+      for (const PendingQuery& pending : batch) {
+        all_queries.insert(all_queries.end(), pending.request.queries.begin(),
+                           pending.request.queries.end());
+      }
+      const WireQueryRequest& head = batch.front().request;
+      auto answered = server->AnswerBatch(
+          serve::TenantKey{head.tenant, head.dataset}, all_queries,
+          head.request);
+      if (!answered.ok()) {
+        errors.Add(batch.size());
+        for (const PendingQuery& pending : batch) {
+          CompleteRequest(pending,
+                          BuildErrorResponse(answered.status(), pending.binary,
+                                             pending.close));
+        }
+        continue;
+      }
+      const serve::BatchAnswer& result = answered.value();
+      std::size_t offset = 0;
+      for (const PendingQuery& pending : batch) {
+        WireBatchAnswer answer;
+        answer.stale = result.stale;
+        answer.cache_hit = result.cache_hit;
+        answer.served = result.served;
+        answer.answers.assign(
+            result.answers.begin() + static_cast<std::ptrdiff_t>(offset),
+            result.answers.begin() +
+                static_cast<std::ptrdiff_t>(offset +
+                                            pending.request.queries.size()));
+        offset += pending.request.queries.size();
+        CompleteRequest(
+            pending,
+            BuildResponse(200, StatusCode::kOk, pending.binary,
+                          pending.binary ? EncodeBatchAnswer(answer)
+                                         : EncodeBatchAnswerJson(answer),
+                          pending.close));
+      }
+    }
+    pending_tasks.fetch_sub(1, std::memory_order_acq_rel);
+    Wake();
+  }
+
+  // One /v1/release request: publish (or hit the cache) and ship the full
+  // released histogram.
+  void RunRelease(PendingQuery pending) {
+    if (options.handler_hook) {
+      options.handler_hook();
+    }
+    auto release = server->GetRelease(
+        serve::TenantKey{pending.request.tenant, pending.request.dataset},
+        pending.request.request);
+    std::string response;
+    if (!release.ok()) {
+      errors.Increment();
+      response =
+          BuildErrorResponse(release.status(), pending.binary, pending.close);
+    } else {
+      WireHistogram histogram;
+      histogram.key = release.value()->key();
+      histogram.counts = release.value()->histogram().counts();
+      response = BuildResponse(200, StatusCode::kOk, pending.binary,
+                               pending.binary
+                                   ? EncodeHistogram(histogram)
+                                   : EncodeHistogramJson(histogram),
+                               pending.close);
+    }
+    CompleteRequest(pending, std::move(response));
+    pending_tasks.fetch_sub(1, std::memory_order_acq_rel);
+    Wake();
+  }
+
+  // --- event-loop-side request handling ---
+
+  void Respond(Conn& conn, std::string bytes) {
+    conn.outbuf += bytes;
+    requests.Increment();
+  }
+
+  // Routes one complete parsed request. Returns false when the connection
+  // must close immediately (unrecoverable protocol state).
+  void HandleRequest(Conn& conn) {
+    const HttpMessage& request = conn.parser.message();
+    const bool close = request.WantsClose();
+    conn.close_after_write = conn.close_after_write || close;
+    const std::string_view target_full = request.target;
+    const std::size_t question = target_full.find('?');
+    const std::string_view target = target_full.substr(0, question);
+    const bool binary = request.Header("content-type") == kContentTypeBinary;
+
+    if (target == "/healthz") {
+      Respond(conn, BuildTextResponse(200, "ok\n"));
+      return;
+    }
+    if (target == "/statsz") {
+      std::ostringstream out;
+      obs::WriteSnapshotLines(out, obs::Registry::Global().Snapshot(), "net");
+      Respond(conn, BuildTextResponse(200, out.str()));
+      return;
+    }
+    if (target == "/v1/meta") {
+      obs::JsonObjectWriter writer;
+      writer.Str("type", "meta")
+          .Int("domain_size", server->domain_size())
+          .Str("fingerprint", std::to_string(server->fingerprint()));
+      Respond(conn, BuildResponse(200, StatusCode::kOk, /*binary=*/false,
+                                  writer.Finish(), close));
+      return;
+    }
+    if (target != "/v1/query" && target != "/v1/release") {
+      errors.Increment();
+      Respond(conn, BuildErrorResponse(
+                        Status::NotFound("no such endpoint: " +
+                                         std::string(target)),
+                        binary, close));
+      return;
+    }
+    if (request.method != "POST") {
+      errors.Increment();
+      Respond(conn,
+              BuildErrorResponse(
+                  Status::InvalidArgument("query endpoints require POST"),
+                  binary, close));
+      return;
+    }
+    auto decoded =
+        binary ? DecodeFrame(request.body) : DecodeJson(request.body);
+    if (!decoded.ok()) {
+      errors.Increment();
+      Respond(conn, BuildErrorResponse(decoded.status(), binary, close));
+      return;
+    }
+    if (decoded.value().type != WireType::kQueryRequest) {
+      errors.Increment();
+      Respond(conn, BuildErrorResponse(
+                        Status::InvalidArgument(
+                            "endpoint expects a query_request message"),
+                        binary, close));
+      return;
+    }
+
+    // Admission control: the bounded in-flight queue. Refusal is typed and
+    // immediate — the client gets kResourceExhausted over 503, never an
+    // unbounded queue or a dropped request.
+    std::size_t current = inflight.load(std::memory_order_acquire);
+    for (;;) {
+      if (current >= std::max<std::size_t>(options.max_inflight, 1)) {
+        refused.Increment();
+        Respond(conn,
+                BuildErrorResponse(
+                    Status::ResourceExhausted(
+                        "admission queue full (max_inflight=" +
+                        std::to_string(options.max_inflight) + ")"),
+                    binary, close));
+        return;
+      }
+      if (inflight.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+
+    PendingQuery pending;
+    pending.conn_id = conn.id;
+    pending.request = std::move(decoded.value().query_request);
+    pending.binary = binary;
+    pending.close = close;
+    pending.start = std::chrono::steady_clock::now();
+    conn.dispatched = true;
+    requests.Increment();
+
+    if (target == "/v1/release") {
+      pending_tasks.fetch_add(1, std::memory_order_acq_rel);
+      pool->Submit([this, p = std::move(pending)]() mutable {
+        RunRelease(std::move(p));
+      });
+      return;
+    }
+
+    const std::string signature = GroupSignature(pending.request);
+    bool need_leader = false;
+    {
+      std::lock_guard<std::mutex> lock(groups_mutex);
+      Group& group = groups[signature];
+      group.waiting.push_back(std::move(pending));
+      if (!group.leader_active) {
+        group.leader_active = true;
+        need_leader = true;
+      }
+    }
+    if (need_leader) {
+      pending_tasks.fetch_add(1, std::memory_order_acq_rel);
+      pool->Submit([this, signature] { RunGroupLeader(signature); });
+    }
+  }
+
+  // Feeds buffered bytes to the connection's parser; dispatches or
+  // responds as requests complete. Stops at a dispatched request (single
+  // outstanding) or when bytes run out.
+  void ProcessInbuf(Conn& conn) {
+    while (!conn.dispatched && !conn.close_after_write && !conn.inbuf.empty()) {
+      std::size_t consumed = 0;
+      const HttpParser::State state = conn.parser.Feed(conn.inbuf, &consumed);
+      conn.inbuf.erase(0, consumed);
+      if (state == HttpParser::State::kNeedMore) {
+        return;
+      }
+      if (state == HttpParser::State::kError) {
+        errors.Increment();
+        conn.outbuf += BuildTextResponse(conn.parser.error_status(),
+                                         conn.parser.error() + "\n");
+        conn.close_after_write = true;
+        return;
+      }
+      HandleRequest(conn);
+      conn.parser.Reset();
+    }
+  }
+
+  void CloseConn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    close(it->second.fd);
+    conns.erase(it);
+  }
+
+  void EventLoop() {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = none)
+    char buffer[65536];
+
+    for (;;) {
+      const bool draining = stopping.load(std::memory_order_acquire);
+      if (draining && pending_tasks.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      const bool saturated =
+          inflight.load(std::memory_order_acquire) >=
+          std::max<std::size_t>(options.max_inflight, 1);
+
+      fds.clear();
+      fd_conn.clear();
+      fds.push_back(pollfd{wake_read, POLLIN, 0});
+      fd_conn.push_back(0);
+      // Backpressure tier 1: accept() pauses while the connection table is
+      // full or admission is saturated (pending connects wait in the
+      // kernel backlog, they are not dropped).
+      if (!draining && !saturated && conns.size() < options.max_connections) {
+        fds.push_back(pollfd{listen_fd, POLLIN, 0});
+        fd_conn.push_back(0);
+      }
+      for (auto& [id, conn] : conns) {
+        short events = 0;
+        // Backpressure tier 2: a connection is not read while its request
+        // is in a handler or its response is still flushing.
+        if (!draining && !conn.dispatched && conn.outbuf.empty() &&
+            !conn.close_after_write) {
+          events |= POLLIN;
+        }
+        if (conn.out_pos < conn.outbuf.size()) {
+          events |= POLLOUT;
+        }
+        if (events == 0) {
+          continue;
+        }
+        fds.push_back(pollfd{conn.fd, events, 0});
+        fd_conn.push_back(id);
+      }
+
+      if (poll(fds.data(), fds.size(), /*timeout_ms=*/200) < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+
+      // Wakeups + completions.
+      if ((fds[0].revents & POLLIN) != 0) {
+        while (read(wake_read, buffer, sizeof(buffer)) > 0) {
+        }
+      }
+      std::vector<std::pair<std::uint64_t, std::string>> completed;
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        completed.swap(done);
+      }
+      for (auto& [id, response] : completed) {
+        const auto it = conns.find(id);
+        if (it == conns.end()) {
+          continue;  // client went away mid-request
+        }
+        it->second.outbuf += response;
+        it->second.dispatched = false;
+      }
+
+      std::vector<std::uint64_t> to_close;
+      for (std::size_t i = 1; i < fds.size(); ++i) {
+        const pollfd& pfd = fds[i];
+        if (pfd.revents == 0) {
+          continue;
+        }
+        if (pfd.fd == listen_fd) {
+          for (;;) {
+            const int fd = accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+              break;
+            }
+            if (!SetNonBlocking(fd)) {
+              close(fd);
+              continue;
+            }
+            const int one = 1;
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            Conn conn;
+            conn.id = next_conn_id++;
+            conn.fd = fd;
+            connections.Increment();
+            conns.emplace(conn.id, std::move(conn));
+          }
+          continue;
+        }
+        const std::uint64_t id = fd_conn[i];
+        const auto it = conns.find(id);
+        if (it == conns.end()) {
+          continue;
+        }
+        Conn& conn = it->second;
+        if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (pfd.revents & (POLLIN | POLLOUT)) == 0) {
+          to_close.push_back(id);
+          continue;
+        }
+        if ((pfd.revents & POLLIN) != 0) {
+          const ssize_t n = read(conn.fd, buffer, sizeof(buffer));
+          if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+            to_close.push_back(id);
+            continue;
+          }
+          if (n > 0) {
+            conn.inbuf.append(buffer, static_cast<std::size_t>(n));
+            ProcessInbuf(conn);
+          }
+        }
+        if ((pfd.revents & POLLOUT) != 0 &&
+            conn.out_pos < conn.outbuf.size()) {
+          const ssize_t n =
+              write(conn.fd, conn.outbuf.data() + conn.out_pos,
+                    conn.outbuf.size() - conn.out_pos);
+          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+            to_close.push_back(id);
+            continue;
+          }
+          if (n > 0) {
+            conn.out_pos += static_cast<std::size_t>(n);
+            if (conn.out_pos == conn.outbuf.size()) {
+              conn.outbuf.clear();
+              conn.out_pos = 0;
+              if (conn.close_after_write) {
+                to_close.push_back(id);
+              } else {
+                // Keep-alive: pick up any pipelined bytes already read.
+                ProcessInbuf(conn);
+              }
+            }
+          }
+        }
+      }
+      // Newly enqueued responses become writable next poll round; flushes
+      // happen opportunistically here too for responses built inline.
+      for (const std::uint64_t id : to_close) {
+        CloseConn(id);
+      }
+    }
+
+    for (auto& [id, conn] : conns) {
+      close(conn.fd);
+    }
+    conns.clear();
+  }
+};
+
+NetServer::NetServer(serve::ReleaseServer* release_server,
+                     NetServerOptions options)
+    : impl_(new Impl), release_server_(release_server),
+      options_(std::move(options)) {
+  impl_->server = release_server_;
+  impl_->options = options_;
+  impl_->pool = options_.pool != nullptr ? options_.pool
+                                         : &ThreadPool::Global();
+}
+
+NetServer::~NetServer() {
+  Stop();
+  delete impl_;
+}
+
+Status NetServer::Start() {
+  if (impl_->listen_fd >= 0) {
+    return Status::InvalidArgument("NetServer already started");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("bind " + address());
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 128) != 0) {
+    const Status status = ErrnoStatus("listen");
+    close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status status = ErrnoStatus("getsockname");
+    close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(fd)) {
+    close(fd);
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    close(fd);
+    return ErrnoStatus("pipe");
+  }
+  SetNonBlocking(pipe_fds[0]);
+  SetNonBlocking(pipe_fds[1]);
+
+  impl_->listen_fd = fd;
+  impl_->wake_read = pipe_fds[0];
+  impl_->wake_write = pipe_fds[1];
+  impl_->stopping.store(false, std::memory_order_release);
+  impl_->loop_thread = std::thread([impl = impl_] { impl->EventLoop(); });
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (impl_->listen_fd < 0) {
+    return;
+  }
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->Wake();
+  if (impl_->loop_thread.joinable()) {
+    impl_->loop_thread.join();
+  }
+  close(impl_->listen_fd);
+  close(impl_->wake_read);
+  close(impl_->wake_write);
+  impl_->listen_fd = -1;
+  impl_->wake_read = -1;
+  impl_->wake_write = -1;
+}
+
+std::string NetServer::address() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+}  // namespace net
+}  // namespace dphist

@@ -1,0 +1,126 @@
+#ifndef DPHIST_NET_SERVER_H_
+#define DPHIST_NET_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dphist/common/status.h"
+#include "dphist/common/thread_pool.h"
+#include "dphist/serve/release_server.h"
+
+namespace dphist {
+namespace net {
+
+/// \brief Knobs for the network front-end.
+struct NetServerOptions {
+  /// Interface to bind; loopback by default — the front-end carries noisy
+  /// releases, but exposing it beyond the host is a deliberate act.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (tests, benches) —
+  /// read the actual one back with `port()`.
+  std::uint16_t port = 0;
+  /// Worker pool answering requests; nullptr means ThreadPool::Global().
+  /// With a single-threaded pool handlers run inline on the event thread —
+  /// correct, just serial (the "any DPHIST_THREADS" contract).
+  ThreadPool* pool = nullptr;
+  /// Admission bound: maximum requests dispatched-but-unanswered. A
+  /// request completing parse beyond this is refused with a typed
+  /// kResourceExhausted (HTTP 503) instead of queueing unboundedly.
+  /// Values of 0 are pinned to 1.
+  std::size_t max_inflight = 64;
+  /// Maximum simultaneous connections; accept() pauses at the bound.
+  std::size_t max_connections = 256;
+  /// Test seam: runs on the worker at the start of every dispatched
+  /// request, before the serve-layer call. Lets tests hold workers inside
+  /// handlers to saturate the admission queue deterministically.
+  std::function<void()> handler_hook;
+};
+
+/// \brief The HTTP/1.1 query front-end over a `serve::ReleaseServer`.
+///
+/// One event-loop thread multiplexes all sockets with poll(); request
+/// handling runs on the worker pool via `ThreadPool::Submit`, and
+/// completed responses travel back to the loop through a queue plus a
+/// self-pipe wakeup. Dependency-free: kernel sockets + the in-tree
+/// thread pool, nothing else.
+///
+/// Connection state machine (per connection, single outstanding request —
+/// HTTP/1.1 without speculative pipelining execution):
+///
+///   READ_HEAD --parsed--> DISPATCHED --response built--> WRITE --flushed--+
+///      ^   \                                                             |
+///      |    \--saturated at parse completion--> WRITE (typed 503)        |
+///      +------------------------------------------------------------<---+
+///
+/// Admission control and backpressure are two distinct tiers:
+///  * Admission: at most `max_inflight` requests are inside handlers at
+///    once. A request that completes parsing while the bound is met gets
+///    an immediate typed refusal — kResourceExhausted over HTTP 503 with
+///    an `X-Dphist-Status` header and a codec-matched error body. No
+///    hang, no silent drop: the client always receives an answer.
+///  * Backpressure: a connection's socket is not read while its request
+///    is dispatched or its response is being written (per-conn single
+///    outstanding), and accept() pauses while the connection table is
+///    full or the admission bound is met — unread bytes stay in kernel
+///    buffers and TCP flow control pushes back on clients.
+///
+/// Query coalescing: concurrent /v1/query requests naming the same
+/// release (tenant, dataset, publisher, epsilon, seed) are merged — the
+/// first becomes the group leader, drains waiters, and issues ONE
+/// `AnswerBatch` over the concatenated queries, then splits the answers
+/// back per request. Answers are per-query O(1) prefix subtractions, so
+/// coalescing is invisible in the results; it exists so a thundering herd
+/// on a cold key costs one publisher invocation (and one budget charge)
+/// end to end, even before the release cache's per-key publish slot.
+///
+/// Endpoints:
+///   POST /v1/query    query request -> batch answer (codec by
+///                     Content-Type: application/x-dphist-wire | json)
+///   POST /v1/release  query request (queries ignored) -> full histogram
+///   GET  /healthz     liveness probe, "ok"
+///   GET  /statsz      obs registry snapshot, JSON lines
+///   GET  /v1/meta     default-namespace domain size + fingerprint (JSON)
+///
+/// Obs: `net/requests`, `net/refused_admission`, `net/errors`,
+/// `net/coalesced_batches`, `net/coalesced_requests`, `net/connections`
+/// counters; `net/request_ms` and `net/coalesce_group` distributions.
+class NetServer {
+ public:
+  /// `release_server` must outlive this object.
+  explicit NetServer(serve::ReleaseServer* release_server,
+                     NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the event thread. Fails with
+  /// kInvalidArgument on a bad host and kInternal on socket errors (the
+  /// message carries errno text).
+  Status Start();
+
+  /// Stops accepting, waits for in-flight handlers, closes every socket,
+  /// and joins the event thread. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start); the ephemeral-port answer.
+  std::uint16_t port() const { return port_; }
+
+  /// "host:port" of the listening socket (after Start).
+  std::string address() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl: keeps poll/socket headers out of dphist's API
+
+  serve::ReleaseServer* release_server_;
+  NetServerOptions options_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace dphist
+
+#endif  // DPHIST_NET_SERVER_H_

@@ -1,0 +1,533 @@
+#include "dphist/net/wire_codec.h"
+
+#include <charconv>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "dphist/common/binary_io.h"
+#include "dphist/obs/export.h"
+
+namespace dphist {
+namespace net {
+
+namespace {
+
+using binio::Crc32;
+using binio::Cursor;
+using binio::GetF64;
+using binio::GetStr;
+using binio::GetU32;
+using binio::GetU64;
+using binio::PutF64;
+using binio::PutStr;
+using binio::PutU32;
+using binio::PutU64;
+
+// Wraps an encoded payload into a complete frame.
+std::string Frame(std::string payload) {
+  std::string out;
+  out.reserve(kWireMagicLen + 8 + payload.size());
+  out.append(kWireMagic, kWireMagicLen);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out += payload;
+  return out;
+}
+
+void PutKey(std::string& out, const serve::ReleaseKey& key) {
+  PutStr(out, key.tenant);
+  PutStr(out, key.dataset);
+  PutU64(out, key.dataset_fingerprint);
+  PutStr(out, key.publisher);
+  PutF64(out, key.epsilon);
+  PutU64(out, key.seed);
+}
+
+bool GetKey(Cursor& in, serve::ReleaseKey* key) {
+  return GetStr(in, &key->tenant) && GetStr(in, &key->dataset) &&
+         GetU64(in, &key->dataset_fingerprint) &&
+         GetStr(in, &key->publisher) && GetF64(in, &key->epsilon) &&
+         GetU64(in, &key->seed);
+}
+
+Status BodyError(std::string_view what) {
+  return Status::ParseError("wire codec: " + std::string(what));
+}
+
+// Parses a status-code number back into the enum; unknown numbers map to
+// kInternal so a newer peer's codes still surface as errors, not garbage.
+StatusCode CodeFromInt(std::uint32_t raw) {
+  switch (raw) {
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kInternal;
+    case 3:
+      return StatusCode::kNotFound;
+    case 4:
+      return StatusCode::kParseError;
+    case 5:
+      return StatusCode::kResourceExhausted;
+    case 6:
+      return StatusCode::kDeadlineExceeded;
+    case 7:
+      return StatusCode::kPermissionDenied;
+    case 8:
+      return StatusCode::kDataLoss;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+// --- comma-joined doubles / queries for the flat-JSON fallback ---
+
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += obs::JsonDouble(values[i]);
+  }
+  return out;
+}
+
+bool SplitDoubles(std::string_view text, std::vector<double>* out) {
+  out->clear();
+  if (text.empty()) {
+    return true;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view token = text.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || end != token.data() + token.size()) {
+      return false;
+    }
+    out->push_back(value);
+    if (comma == std::string_view::npos) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
+std::string JoinQueries(const std::vector<RangeQuery>& queries) {
+  std::string out;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(queries[i].begin);
+    out += '-';
+    out += std::to_string(queries[i].end);
+  }
+  return out;
+}
+
+bool ParseU64(std::string_view token, std::uint64_t* out) {
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out, 10);
+  return ec == std::errc{} && end == token.data() + token.size() &&
+         !token.empty();
+}
+
+bool SplitQueries(std::string_view text, std::vector<RangeQuery>* out) {
+  out->clear();
+  if (text.empty()) {
+    return true;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view token = text.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    const std::size_t dash = token.find('-');
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    if (dash == std::string_view::npos ||
+        !ParseU64(token.substr(0, dash), &begin) ||
+        !ParseU64(token.substr(dash + 1), &end)) {
+      return false;
+    }
+    out->push_back(RangeQuery{static_cast<std::size_t>(begin),
+                              static_cast<std::size_t>(end)});
+    if (comma == std::string_view::npos) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
+// Field accessors over a parsed flat-JSON object.
+bool JsonStr(const obs::JsonObject& object, const std::string& key,
+             std::string* out) {
+  const auto it = object.find(key);
+  if (it == object.end() || it->second.kind != obs::JsonValue::Kind::kString) {
+    return false;
+  }
+  *out = it->second.string_value;
+  return true;
+}
+
+bool JsonNum(const obs::JsonObject& object, const std::string& key,
+             double* out) {
+  const auto it = object.find(key);
+  if (it == object.end() || it->second.kind != obs::JsonValue::Kind::kNumber) {
+    return false;
+  }
+  *out = it->second.number_value;
+  return true;
+}
+
+bool JsonBool(const obs::JsonObject& object, const std::string& key,
+              bool* out) {
+  const auto it = object.find(key);
+  if (it == object.end() || it->second.kind != obs::JsonValue::Kind::kBool) {
+    return false;
+  }
+  *out = it->second.bool_value;
+  return true;
+}
+
+// u64 fields (seed, fingerprint) travel as decimal strings in JSON —
+// a JSON number round-trips through double and silently loses precision
+// past 2^53, which would mis-key a release.
+bool JsonU64(const obs::JsonObject& object, const std::string& key,
+             std::uint64_t* out) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    return false;
+  }
+  if (it->second.kind == obs::JsonValue::Kind::kString) {
+    return ParseU64(it->second.string_value, out);
+  }
+  if (it->second.kind == obs::JsonValue::Kind::kNumber &&
+      it->second.number_value >= 0) {
+    *out = static_cast<std::uint64_t>(it->second.number_value);
+    return true;
+  }
+  return false;
+}
+
+void PutKeyJson(obs::JsonObjectWriter& writer, const serve::ReleaseKey& key) {
+  writer.Str("tenant", key.tenant)
+      .Str("dataset", key.dataset)
+      .Str("fingerprint", std::to_string(key.dataset_fingerprint))
+      .Str("publisher", key.publisher)
+      .Num("epsilon", key.epsilon)
+      .Str("seed", std::to_string(key.seed));
+}
+
+bool GetKeyJson(const obs::JsonObject& object, serve::ReleaseKey* key) {
+  return JsonStr(object, "tenant", &key->tenant) &&
+         JsonStr(object, "dataset", &key->dataset) &&
+         JsonU64(object, "fingerprint", &key->dataset_fingerprint) &&
+         JsonStr(object, "publisher", &key->publisher) &&
+         JsonNum(object, "epsilon", &key->epsilon) &&
+         JsonU64(object, "seed", &key->seed);
+}
+
+}  // namespace
+
+Status WireError::ToStatus() const {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kParseError:
+      return Status::ParseError(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kPermissionDenied:
+      return Status::PermissionDenied(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
+    case StatusCode::kInternal:
+    default:
+      return Status::Internal(message);
+  }
+}
+
+std::string EncodeQueryRequest(const WireQueryRequest& request) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WireType::kQueryRequest));
+  PutStr(payload, request.tenant);
+  PutStr(payload, request.dataset);
+  PutStr(payload, request.request.publisher);
+  PutF64(payload, request.request.epsilon);
+  PutU64(payload, request.request.seed);
+  PutU32(payload, static_cast<std::uint32_t>(request.queries.size()));
+  for (const RangeQuery& query : request.queries) {
+    PutU64(payload, query.begin);
+    PutU64(payload, query.end);
+  }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeBatchAnswer(const WireBatchAnswer& answer) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WireType::kBatchAnswer));
+  payload.push_back(answer.stale ? 1 : 0);
+  payload.push_back(answer.cache_hit ? 1 : 0);
+  PutKey(payload, answer.served);
+  PutU32(payload, static_cast<std::uint32_t>(answer.answers.size()));
+  for (const double value : answer.answers) {
+    PutF64(payload, value);
+  }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeHistogram(const WireHistogram& histogram) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WireType::kHistogram));
+  PutKey(payload, histogram.key);
+  PutU32(payload, static_cast<std::uint32_t>(histogram.counts.size()));
+  for (const double value : histogram.counts) {
+    PutF64(payload, value);
+  }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeError(const Status& status) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WireType::kError));
+  PutU32(payload, static_cast<std::uint32_t>(status.code()));
+  PutStr(payload, status.message());
+  return Frame(std::move(payload));
+}
+
+Result<WireMessage> DecodeFrame(std::string_view bytes) {
+  if (bytes.size() < kWireMagicLen + 8 ||
+      std::memcmp(bytes.data(), kWireMagic, kWireMagicLen) != 0) {
+    return Status::DataLoss("wire codec: bad magic or truncated frame");
+  }
+  Cursor header{bytes, kWireMagicLen};
+  std::uint32_t payload_len = 0;
+  std::uint32_t expected_crc = 0;
+  GetU32(header, &payload_len);
+  GetU32(header, &expected_crc);
+  if (bytes.size() - header.pos != payload_len) {
+    return Status::DataLoss("wire codec: frame length mismatch");
+  }
+  const std::string_view payload = bytes.substr(header.pos, payload_len);
+  if (Crc32(payload) != expected_crc) {
+    return Status::DataLoss("wire codec: CRC mismatch");
+  }
+  if (payload.empty()) {
+    return BodyError("empty payload");
+  }
+  Cursor in{payload, 1};
+  WireMessage message;
+  switch (static_cast<WireType>(static_cast<unsigned char>(payload[0]))) {
+    case WireType::kQueryRequest: {
+      message.type = WireType::kQueryRequest;
+      WireQueryRequest& request = message.query_request;
+      std::uint32_t count = 0;
+      if (!GetStr(in, &request.tenant) || !GetStr(in, &request.dataset) ||
+          !GetStr(in, &request.request.publisher) ||
+          !GetF64(in, &request.request.epsilon) ||
+          !GetU64(in, &request.request.seed) || !GetU32(in, &count)) {
+        return BodyError("truncated query request");
+      }
+      // Cheap sanity bound before reserving: each query is 16 payload
+      // bytes, so `count` beyond the remaining payload is corrupt (the
+      // CRC already passed, but defense in depth costs one compare).
+      if (!in.Remaining(static_cast<std::size_t>(count) * 16)) {
+        return BodyError("query count exceeds payload");
+      }
+      request.queries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;
+        if (!GetU64(in, &begin) || !GetU64(in, &end)) {
+          return BodyError("truncated query");
+        }
+        request.queries.push_back(RangeQuery{static_cast<std::size_t>(begin),
+                                             static_cast<std::size_t>(end)});
+      }
+      break;
+    }
+    case WireType::kBatchAnswer: {
+      message.type = WireType::kBatchAnswer;
+      WireBatchAnswer& answer = message.batch_answer;
+      if (!in.Remaining(2)) {
+        return BodyError("truncated batch answer");
+      }
+      answer.stale = payload[in.pos++] != 0;
+      answer.cache_hit = payload[in.pos++] != 0;
+      std::uint32_t count = 0;
+      if (!GetKey(in, &answer.served) || !GetU32(in, &count)) {
+        return BodyError("truncated batch answer");
+      }
+      if (!in.Remaining(static_cast<std::size_t>(count) * 8)) {
+        return BodyError("answer count exceeds payload");
+      }
+      answer.answers.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        double value = 0.0;
+        if (!GetF64(in, &value)) {
+          return BodyError("truncated answer");
+        }
+        answer.answers.push_back(value);
+      }
+      break;
+    }
+    case WireType::kHistogram: {
+      message.type = WireType::kHistogram;
+      WireHistogram& histogram = message.histogram;
+      std::uint32_t count = 0;
+      if (!GetKey(in, &histogram.key) || !GetU32(in, &count)) {
+        return BodyError("truncated histogram");
+      }
+      if (!in.Remaining(static_cast<std::size_t>(count) * 8)) {
+        return BodyError("bin count exceeds payload");
+      }
+      histogram.counts.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        double value = 0.0;
+        if (!GetF64(in, &value)) {
+          return BodyError("truncated bin");
+        }
+        histogram.counts.push_back(value);
+      }
+      break;
+    }
+    case WireType::kError: {
+      message.type = WireType::kError;
+      std::uint32_t code = 0;
+      if (!GetU32(in, &code) || !GetStr(in, &message.error.message)) {
+        return BodyError("truncated error");
+      }
+      message.error.code = CodeFromInt(code);
+      break;
+    }
+    default:
+      return BodyError("unknown message type");
+  }
+  if (in.pos != payload.size()) {
+    return BodyError("trailing payload bytes");
+  }
+  return message;
+}
+
+// --- JSON fallback ---
+
+std::string EncodeQueryRequestJson(const WireQueryRequest& request) {
+  obs::JsonObjectWriter writer;
+  writer.Str("type", "query_request")
+      .Str("tenant", request.tenant)
+      .Str("dataset", request.dataset)
+      .Str("publisher", request.request.publisher)
+      .Num("epsilon", request.request.epsilon)
+      .Str("seed", std::to_string(request.request.seed))
+      .Str("queries", JoinQueries(request.queries));
+  return writer.Finish();
+}
+
+std::string EncodeBatchAnswerJson(const WireBatchAnswer& answer) {
+  obs::JsonObjectWriter writer;
+  writer.Str("type", "batch_answer")
+      .Bool("stale", answer.stale)
+      .Bool("cache_hit", answer.cache_hit);
+  PutKeyJson(writer, answer.served);
+  writer.Str("answers", JoinDoubles(answer.answers));
+  return writer.Finish();
+}
+
+std::string EncodeHistogramJson(const WireHistogram& histogram) {
+  obs::JsonObjectWriter writer;
+  writer.Str("type", "histogram");
+  PutKeyJson(writer, histogram.key);
+  writer.Str("counts", JoinDoubles(histogram.counts));
+  return writer.Finish();
+}
+
+std::string EncodeErrorJson(const Status& status) {
+  obs::JsonObjectWriter writer;
+  writer.Str("type", "error")
+      .Int("code", static_cast<std::uint64_t>(status.code()))
+      .Str("code_name", StatusCodeName(status.code()))
+      .Str("message", status.message());
+  return writer.Finish();
+}
+
+Result<WireMessage> DecodeJson(std::string_view text) {
+  auto parsed = obs::ParseFlatJson(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const obs::JsonObject& object = parsed.value();
+  std::string type;
+  if (!JsonStr(object, "type", &type)) {
+    return BodyError("json message missing \"type\"");
+  }
+  WireMessage message;
+  if (type == "query_request") {
+    message.type = WireType::kQueryRequest;
+    WireQueryRequest& request = message.query_request;
+    std::string queries;
+    if (!JsonStr(object, "tenant", &request.tenant) ||
+        !JsonStr(object, "dataset", &request.dataset) ||
+        !JsonStr(object, "publisher", &request.request.publisher) ||
+        !JsonNum(object, "epsilon", &request.request.epsilon) ||
+        !JsonU64(object, "seed", &request.request.seed) ||
+        !JsonStr(object, "queries", &queries) ||
+        !SplitQueries(queries, &request.queries)) {
+      return BodyError("malformed json query request");
+    }
+    return message;
+  }
+  if (type == "batch_answer") {
+    message.type = WireType::kBatchAnswer;
+    WireBatchAnswer& answer = message.batch_answer;
+    std::string answers;
+    if (!JsonBool(object, "stale", &answer.stale) ||
+        !JsonBool(object, "cache_hit", &answer.cache_hit) ||
+        !GetKeyJson(object, &answer.served) ||
+        !JsonStr(object, "answers", &answers) ||
+        !SplitDoubles(answers, &answer.answers)) {
+      return BodyError("malformed json batch answer");
+    }
+    return message;
+  }
+  if (type == "histogram") {
+    message.type = WireType::kHistogram;
+    WireHistogram& histogram = message.histogram;
+    std::string counts;
+    if (!GetKeyJson(object, &histogram.key) ||
+        !JsonStr(object, "counts", &counts) ||
+        !SplitDoubles(counts, &histogram.counts)) {
+      return BodyError("malformed json histogram");
+    }
+    return message;
+  }
+  if (type == "error") {
+    message.type = WireType::kError;
+    double code = 0.0;
+    if (!JsonNum(object, "code", &code) ||
+        !JsonStr(object, "message", &message.error.message)) {
+      return BodyError("malformed json error");
+    }
+    message.error.code = CodeFromInt(static_cast<std::uint32_t>(code));
+    return message;
+  }
+  return BodyError("unknown json message type \"" + type + "\"");
+}
+
+}  // namespace net
+}  // namespace dphist

@@ -1,0 +1,140 @@
+#ifndef DPHIST_NET_WIRE_CODEC_H_
+#define DPHIST_NET_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/query/range_query.h"
+#include "dphist/serve/release_cache.h"
+#include "dphist/serve/release_server.h"
+
+namespace dphist {
+namespace net {
+
+/// \brief The compact binary wire format for query traffic and published
+/// histograms, plus a flat-JSON fallback sharing the same message shapes.
+///
+/// Binary framing mirrors the journal's (and reuses its `binio`
+/// primitives): a frame is
+///
+///   magic "DPHWIR1\n" (8 bytes)
+///   payload_len : u32 little-endian
+///   crc32       : u32 little-endian, IEEE CRC-32 of the payload bytes
+///   payload     : type tag (u8) + type-specific body
+///
+/// All integers little-endian regardless of host; doubles as raw IEEE-754
+/// bits; strings length-prefixed (u32). A frame decodes successfully only
+/// when the magic matches, the length fits exactly, and the CRC verifies —
+/// a truncated or bit-flipped frame is a typed kDataLoss, never a garbled
+/// message (wire_codec_test's truncation/bit-flip battery).
+///
+/// The JSON fallback is one flat object per message (the obs
+/// JsonObjectWriter/ParseFlatJson schema — no nesting), so any message is
+/// inspectable with curl. Repeated values (queries, answers, counts)
+/// travel as a single comma-separated string field; doubles are formatted
+/// with round-trip precision, so the JSON path is answer-for-answer
+/// byte-identical with the binary path.
+
+/// First bytes of every binary frame.
+inline constexpr char kWireMagic[] = "DPHWIR1\n";
+inline constexpr std::size_t kWireMagicLen = 8;
+
+/// Payload type tags.
+enum class WireType : std::uint8_t {
+  kQueryRequest = 1,
+  kBatchAnswer = 2,
+  kHistogram = 3,
+  kError = 4,
+};
+
+/// MIME types selecting the codec on the HTTP surface.
+inline constexpr char kContentTypeBinary[] = "application/x-dphist-wire";
+inline constexpr char kContentTypeJson[] = "application/json";
+
+/// \brief One query request: which namespace and release to answer from,
+/// and the batch of range queries.
+struct WireQueryRequest {
+  std::string tenant = "default";
+  std::string dataset = "default";
+  serve::ServeRequest request;
+  std::vector<RangeQuery> queries;
+
+  friend bool operator==(const WireQueryRequest& a,
+                         const WireQueryRequest& b) {
+    return a.tenant == b.tenant && a.dataset == b.dataset &&
+           a.request.publisher == b.request.publisher &&
+           a.request.epsilon == b.request.epsilon &&
+           a.request.seed == b.request.seed && a.queries == b.queries;
+  }
+};
+
+/// \brief One batch of answers, mirroring serve::BatchAnswer plus the key
+/// of the release that answered.
+struct WireBatchAnswer {
+  std::vector<double> answers;
+  bool stale = false;
+  bool cache_hit = false;
+  serve::ReleaseKey served;
+
+  friend bool operator==(const WireBatchAnswer&,
+                         const WireBatchAnswer&) = default;
+};
+
+/// \brief One published histogram (the full released counts).
+struct WireHistogram {
+  serve::ReleaseKey key;
+  std::vector<double> counts;
+
+  friend bool operator==(const WireHistogram&, const WireHistogram&) = default;
+};
+
+/// \brief A typed error travelling the wire.
+struct WireError {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  /// Reconstructs the Status this error encodes.
+  Status ToStatus() const;
+
+  friend bool operator==(const WireError&, const WireError&) = default;
+};
+
+/// \brief One decoded message: `type` says which member is meaningful.
+struct WireMessage {
+  WireType type = WireType::kError;
+  WireQueryRequest query_request;
+  WireBatchAnswer batch_answer;
+  WireHistogram histogram;
+  WireError error;
+};
+
+// --- binary codec ---
+
+std::string EncodeQueryRequest(const WireQueryRequest& request);
+std::string EncodeBatchAnswer(const WireBatchAnswer& answer);
+std::string EncodeHistogram(const WireHistogram& histogram);
+std::string EncodeError(const Status& status);
+
+/// Decodes one complete binary frame. kDataLoss on bad magic, a length
+/// that does not match the buffer, or a CRC mismatch; kParseError on a
+/// well-framed payload whose body does not decode.
+Result<WireMessage> DecodeFrame(std::string_view bytes);
+
+// --- JSON fallback (same message shapes, flat objects) ---
+
+std::string EncodeQueryRequestJson(const WireQueryRequest& request);
+std::string EncodeBatchAnswerJson(const WireBatchAnswer& answer);
+std::string EncodeHistogramJson(const WireHistogram& histogram);
+std::string EncodeErrorJson(const Status& status);
+
+/// Decodes one flat-JSON message; the `"type"` field selects the shape.
+Result<WireMessage> DecodeJson(std::string_view text);
+
+}  // namespace net
+}  // namespace dphist
+
+#endif  // DPHIST_NET_WIRE_CODEC_H_

@@ -1,12 +1,14 @@
 #include "dphist/obs/export.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <system_error>
 
 namespace dphist {
 namespace obs {
@@ -52,9 +54,18 @@ std::string JsonDouble(double value) {
   if (!std::isfinite(value)) {
     return "null";
   }
+  // std::to_chars, not snprintf("%.17g"): printf honors the process locale,
+  // so under a comma-decimal locale (de_DE) the emitted "0,5" is not JSON
+  // and the bench-regression gate would compare garbage. to_chars is
+  // specified to format as if in the C locale, and general/17 matches the
+  // historical %.17g output byte for byte.
   char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                                       std::chars_format::general, 17);
+  if (ec != std::errc{}) {
+    return "null";
+  }
+  return std::string(buffer, ptr);
 }
 
 void JsonObjectWriter::Key(std::string_view key) {
@@ -227,10 +238,14 @@ Result<JsonValue> ParseValue(std::string_view line, std::size_t& pos) {
   if (pos == start) {
     return ParseError("expected value", pos);
   }
-  const std::string token(line.substr(start, pos - start));
-  char* end = nullptr;
-  const double parsed = std::strtod(token.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
+  // std::from_chars, not strtod: strtod is locale-dependent, and under a
+  // comma-decimal locale it would stop at the '.' in "0.5" and mis-parse
+  // bench-JSON round-trips. from_chars always uses the C-locale grammar.
+  const std::string_view token = line.substr(start, pos - start);
+  double parsed = 0.0;
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), parsed);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
     return ParseError("bad number", start);
   }
   value.kind = JsonValue::Kind::kNumber;

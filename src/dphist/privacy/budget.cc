@@ -26,7 +26,7 @@ Status BudgetAccountant::ChargeSequential(double epsilon, std::string label) {
     return Status::ResourceExhausted("privacy budget exhausted: charge '" +
                                      label + "' exceeds remaining epsilon");
   }
-  sequential_sum_ += epsilon;
+  sequential_sum_.Add(epsilon);
   charges_.push_back(
       BudgetCharge{epsilon, std::move(label), /*parallel=*/false, ""});
   // Chaos hook: a charge failing *after* its commit point. The epsilon is
@@ -64,14 +64,17 @@ Status BudgetAccountant::ChargeParallel(double epsilon, std::string group,
 }
 
 double BudgetAccountant::spent_epsilon() const {
-  // group_max_ iterates in key order, the same order the historical
-  // from-scratch recomputation summed its per-group maxima in, so the
-  // additions (and therefore every accept/reject decision) are identical.
-  double spent = sequential_sum_;
+  // group_max_ iterates in key order, the same order the from-scratch
+  // recomputation folds its per-group maxima in, so the compensated
+  // operations (and therefore every accept/reject decision) are identical.
+  // Compensation matters here: repeated naive additions of ε/N drift, and
+  // the drift either refuses a final legitimate charge or leaves phantom
+  // remaining budget after an exact spend-down.
+  KahanSum spent = sequential_sum_;
   for (const auto& [group, eps] : group_max_) {
-    spent += eps;
+    spent.Add(eps);
   }
-  return spent;
+  return spent.Total();
 }
 
 double BudgetAccountant::remaining_epsilon() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "dphist/common/math_util.h"
 #include "dphist/common/status.h"
 
 namespace dphist {
@@ -41,9 +42,18 @@ struct BudgetCharge {
 /// `spent_epsilon()` call costs O(number of parallel groups), not O(number
 /// of charges) — a long-lived accountant (e.g. behind `serve::BudgetLedger`)
 /// stays O(n) over n charges instead of O(n^2). The incremental totals
-/// perform the identical floating-point additions, in the identical order,
+/// perform the identical floating-point operations, in the identical order,
 /// as a from-scratch recomputation over `charges()`, so accept/reject
 /// decisions are bit-for-bit unchanged (asserted by budget_test).
+///
+/// Numerics: the spend is accumulated with compensated (Kahan) summation
+/// — the shared `KahanSum` — not plain `+=`. Naive accumulation drifts: a
+/// budget funded for exactly N charges of ε/N could refuse the Nth
+/// legitimate charge, or `remaining_epsilon()` could report a sliver of
+/// phantom budget after the grant was exactly consumed (ten charges of 0.1
+/// against 1.0 naively sum to 0.9999999999999999). With compensation the
+/// running spend is the correctly-rounded sum, so "exactly spent" means
+/// remaining == 0.0 (budget_test's ExactFractionalChargesConsumeExactly).
 class BudgetAccountant {
  public:
   /// Creates an accountant with `total_epsilon` to spend.
@@ -79,11 +89,12 @@ class BudgetAccountant {
  private:
   double total_epsilon_;
   std::vector<BudgetCharge> charges_;
-  /// Running sum of sequential charges, in charge order (bit-identical to
-  /// re-summing `charges_`).
-  double sequential_sum_ = 0.0;
-  /// Max epsilon per parallel group; summed in key order by
-  /// `spent_epsilon()`, matching a from-scratch recomputation.
+  /// Compensated running sum of sequential charges, in charge order
+  /// (bit-identical to re-summing `charges_` the same way).
+  KahanSum sequential_sum_;
+  /// Max epsilon per parallel group; folded in key order into a copy of
+  /// the compensated sum by `spent_epsilon()`, matching a from-scratch
+  /// recomputation.
   std::map<std::string, double> group_max_;
 };
 

@@ -4,7 +4,6 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -12,6 +11,7 @@
 #include <sstream>
 #include <utility>
 
+#include "dphist/common/binary_io.h"
 #include "dphist/common/env.h"
 #include "dphist/obs/obs.h"
 #include "dphist/testing/failpoint.h"
@@ -22,6 +22,21 @@ namespace serve {
 namespace {
 
 constexpr std::string_view kMagic = "DPHJNL1\n";
+
+// The journal's frame primitives (little-endian integers, raw IEEE-754
+// double bits, u32-length-prefixed strings, IEEE CRC-32) are the shared
+// ones in common/binary_io.h — the net wire codec frames the same way, and
+// journal_test's golden-byte battery pins the format.
+using binio::Crc32;
+using binio::Cursor;
+using binio::GetF64;
+using binio::GetStr;
+using binio::GetU32;
+using binio::GetU64;
+using binio::PutF64;
+using binio::PutStr;
+using binio::PutU32;
+using binio::PutU64;
 
 obs::Counter& RecordCounter() {
   static obs::Counter& counter =
@@ -45,108 +60,6 @@ obs::Counter& TruncatedCounter() {
   static obs::Counter& counter =
       obs::Registry::Global().GetCounter("serve/journal/truncated_bytes");
   return counter;
-}
-
-// IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven. Vendored
-// in ~15 lines instead of taking a zlib dependency: the journal is the
-// only CRC user and the container may not ship zlib headers.
-const std::array<std::uint32_t, 256>& Crc32Table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t Crc32(std::string_view bytes) {
-  const auto& table = Crc32Table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : bytes) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-// --- encoding primitives (little-endian, append-to-string) ---
-
-void PutU32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutU64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutF64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-void PutStr(std::string& out, std::string_view s) {
-  PutU32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s.data(), s.size());
-}
-
-// --- decoding primitives: advance a cursor, false on underflow ---
-
-struct Cursor {
-  std::string_view bytes;
-  std::size_t pos = 0;
-
-  bool Remaining(std::size_t n) const { return bytes.size() - pos >= n; }
-};
-
-bool GetU32(Cursor& in, std::uint32_t* v) {
-  if (!in.Remaining(4)) return false;
-  std::uint32_t out = 0;
-  for (int i = 0; i < 4; ++i) {
-    out |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(in.bytes[in.pos + i]))
-           << (8 * i);
-  }
-  in.pos += 4;
-  *v = out;
-  return true;
-}
-
-bool GetU64(Cursor& in, std::uint64_t* v) {
-  if (!in.Remaining(8)) return false;
-  std::uint64_t out = 0;
-  for (int i = 0; i < 8; ++i) {
-    out |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(in.bytes[in.pos + i]))
-           << (8 * i);
-  }
-  in.pos += 8;
-  *v = out;
-  return true;
-}
-
-bool GetF64(Cursor& in, double* v) {
-  std::uint64_t bits = 0;
-  if (!GetU64(in, &bits)) return false;
-  std::memcpy(v, &bits, sizeof(*v));
-  return true;
-}
-
-bool GetStr(Cursor& in, std::string* s) {
-  std::uint32_t len = 0;
-  if (!GetU32(in, &len) || !in.Remaining(len)) return false;
-  s->assign(in.bytes.data() + in.pos, len);
-  in.pos += len;
-  return true;
 }
 
 std::string EncodePayload(const JournalRecord& record) {

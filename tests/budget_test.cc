@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dphist/common/math_util.h"
 #include "dphist/random/distributions.h"
 #include "dphist/random/rng.h"
 
@@ -101,24 +102,25 @@ TEST(BudgetTest, NonPositiveTotalMeansNothingFits) {
   EXPECT_FALSE(budget.ChargeSequential(0.1, "x").ok());
 }
 
-// From-scratch recomputation of the spend over the recorded charges — the
-// seed implementation of spent_epsilon(), kept here as the reference the
-// incremental running totals must match bit-for-bit.
+// From-scratch recomputation of the spend over the recorded charges,
+// kept here as the reference the incremental running totals must match
+// bit-for-bit: compensated sum of sequential charges in charge order,
+// then per-group maxima folded in group-key order.
 double RecomputeSpent(const BudgetAccountant& budget) {
-  double sequential = 0.0;
+  KahanSum sequential;
   std::map<std::string, double> group_max;
   for (const BudgetCharge& charge : budget.charges()) {
     if (charge.parallel) {
       double& current = group_max[charge.parallel_group];
       current = std::max(current, charge.epsilon);
     } else {
-      sequential += charge.epsilon;
+      sequential.Add(charge.epsilon);
     }
   }
   for (const auto& [group, eps] : group_max) {
-    sequential += eps;
+    sequential.Add(eps);
   }
-  return sequential;
+  return sequential.Total();
 }
 
 TEST(BudgetTest, IncrementalSpendMatchesRecomputationExactly) {
@@ -167,6 +169,27 @@ TEST(BudgetTest, IncrementalSpendMatchesRecomputationExactly) {
       }
     }
   }
+}
+
+TEST(BudgetTest, ExactFractionalChargesConsumeExactly) {
+  // Regression: with naive `+=` accumulation, ten charges of 0.1 against a
+  // total of 1.0 sum to 0.9999999999999999, leaving phantom remaining
+  // budget after the grant was exactly consumed (and, with the inequality
+  // flipped the other way, a drift upward could refuse the final
+  // legitimate charge). Compensated summation makes the running spend the
+  // correctly-rounded sum, so "exactly spent" is exact.
+  BudgetAccountant budget(1.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(budget.ChargeSequential(0.1, "slice " + std::to_string(i)).ok())
+        << "charge " << i;
+  }
+  EXPECT_EQ(budget.spent_epsilon(), 1.0);
+  EXPECT_EQ(budget.remaining_epsilon(), 0.0);
+  // An 11th charge beyond the slack must be refused.
+  const Status s = budget.ChargeSequential(0.1, "over");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.spent_epsilon(), 1.0);
 }
 
 TEST(BudgetTest, ToStringListsCharges) {

@@ -1,0 +1,155 @@
+#include "dphist/common/env.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+// Sets an environment variable for the lifetime of one test and restores
+// the previous state (set-or-unset) on destruction, so tests cannot leak
+// configuration into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+constexpr char kVar[] = "DPHIST_ENV_TEST_VAR";
+
+TEST(EnvTest, GetEnvUnsetIsNullopt) {
+  ScopedEnv env(kVar, nullptr);
+  EXPECT_FALSE(GetEnv(kVar).has_value());
+}
+
+TEST(EnvTest, GetEnvEmptyIsNullopt) {
+  ScopedEnv env(kVar, "");
+  EXPECT_FALSE(GetEnv(kVar).has_value());
+}
+
+TEST(EnvTest, GetEnvReturnsValue) {
+  ScopedEnv env(kVar, "hello");
+  ASSERT_TRUE(GetEnv(kVar).has_value());
+  EXPECT_EQ(*GetEnv(kVar), "hello");
+}
+
+TEST(EnvTest, PositiveIntParses) {
+  ScopedEnv env(kVar, "8");
+  ASSERT_TRUE(GetEnvPositiveInt(kVar).has_value());
+  EXPECT_EQ(*GetEnvPositiveInt(kVar), 8u);
+}
+
+TEST(EnvTest, PositiveIntRejectsZeroAndNegative) {
+  {
+    ScopedEnv env(kVar, "0");
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+  {
+    ScopedEnv env(kVar, "-4");
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+}
+
+TEST(EnvTest, PositiveIntRejectsTrailingGarbage) {
+  // strtol-style parsing would stop at the 'x' and accept 8; the strict
+  // parse must refuse the whole value so the caller falls back to its
+  // default instead of half-reading a typo.
+  ScopedEnv env(kVar, "8x");
+  EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  ScopedEnv env2(kVar, "8 ");
+  EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+}
+
+TEST(EnvTest, PositiveIntRejectsLeadingJunk) {
+  {
+    ScopedEnv env(kVar, " 8");
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+  {
+    ScopedEnv env(kVar, "+8");
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+  {
+    ScopedEnv env(kVar, "0x10");
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+}
+
+TEST(EnvTest, PositiveIntRejectsOutOfRange) {
+  // Regression for the ERANGE bug: strtol saturates
+  // 99999999999999999999 to LONG_MAX, and with errno unchecked the absurd
+  // value was *accepted* as a thread count. Out-of-range must mean
+  // "fall back to the default", i.e. nullopt.
+  ScopedEnv env(kVar, "99999999999999999999");
+  EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+}
+
+TEST(EnvTest, PositiveIntSizeMaxBoundary) {
+  // SIZE_MAX itself is representable and accepted; one past it overflows
+  // std::size_t and is rejected.
+  const std::uint64_t size_max = std::numeric_limits<std::size_t>::max();
+  {
+    ScopedEnv env(kVar, std::to_string(size_max).c_str());
+    ASSERT_TRUE(GetEnvPositiveInt(kVar).has_value());
+    EXPECT_EQ(*GetEnvPositiveInt(kVar), size_max);
+  }
+  {
+    // SIZE_MAX + 1 == 18446744073709551616 on 64-bit targets; build the
+    // string by incrementing the decimal digits so the test does not
+    // depend on 128-bit arithmetic.
+    std::string over = std::to_string(size_max);
+    int i = static_cast<int>(over.size()) - 1;
+    for (; i >= 0; --i) {
+      if (over[i] != '9') {
+        ++over[i];
+        break;
+      }
+      over[i] = '0';
+    }
+    if (i < 0) {
+      over.insert(over.begin(), '1');
+    }
+    ScopedEnv env(kVar, over.c_str());
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+}
+
+TEST(EnvTest, PositiveIntUnsetOrEmptyIsNullopt) {
+  {
+    ScopedEnv env(kVar, nullptr);
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+  {
+    ScopedEnv env(kVar, "");
+    EXPECT_FALSE(GetEnvPositiveInt(kVar).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace dphist

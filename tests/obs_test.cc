@@ -7,8 +7,10 @@
 
 #include "dphist/obs/obs.h"
 
+#include <clocale>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -325,6 +327,60 @@ TEST_F(ObsTest, ParserRejectsMalformedInput) {
   EXPECT_FALSE(ParseFlatJson("{\"a\":[1,2]}").ok());
   EXPECT_TRUE(ParseFlatJson("{}").ok());
   EXPECT_TRUE(ParseFlatJson("  {\"a\": -1.5e3, \"b\": null}  ").ok());
+}
+
+// Pins a comma-decimal C locale (if the host ships one) for the lifetime
+// of a test, restoring the prior locale on destruction.
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    saved_ = current != nullptr ? current : "C";
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8",
+          "fr_FR", "es_ES.UTF-8", "it_IT.UTF-8", "nl_NL.UTF-8"}) {
+      if (std::setlocale(LC_ALL, name) != nullptr) {
+        // Confirm the locale really uses ',' as the decimal point —
+        // some hosts alias unknown names to "C".
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "%.1f", 0.5);
+        if (buffer[1] == ',') {
+          active_ = true;
+          return;
+        }
+      }
+    }
+    std::setlocale(LC_ALL, saved_.c_str());
+  }
+  ~ScopedCommaLocale() { std::setlocale(LC_ALL, saved_.c_str()); }
+
+  bool active() const { return active_; }
+
+ private:
+  std::string saved_;
+  bool active_ = false;
+};
+
+TEST_F(ObsTest, JsonRoundTripIsLocaleIndependent) {
+  // Regression for the strtod/snprintf locale bug: under a comma-decimal
+  // locale the old writer emitted "0,5" (not JSON) and the old parser
+  // stopped at the '.' in "0.5", so bench-JSON round-trips — and the
+  // regression gate comparing them — silently processed garbage. The
+  // from_chars/to_chars paths must be byte-identical in any locale.
+  const std::string expected_line =
+      JsonObjectWriter().Num("v", 0.5).Num("w", -1.25e-3).Finish();
+  ScopedCommaLocale comma;
+  if (!comma.active()) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+  const std::string line =
+      JsonObjectWriter().Num("v", 0.5).Num("w", -1.25e-3).Finish();
+  EXPECT_EQ(line, expected_line);
+  EXPECT_NE(line.find("0.5"), std::string::npos) << line;
+  auto parsed = ParseFlatJson(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed.value().at("v").number_value, 0.5);
+  EXPECT_EQ(parsed.value().at("w").number_value, -1.25e-3);
 }
 
 TEST_F(ObsTest, ResetZeroesEverything) {

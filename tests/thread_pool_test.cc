@@ -230,10 +230,19 @@ TEST(ThreadPoolTest, DefaultThreadCountParsesEnv) {
 
 TEST(ThreadPoolTest, DefaultThreadCountRejectsInvalidEnv) {
   const std::size_t hardware = HardwareDefault();
-  for (const char* bad : {"0", "-4", "abc", "2x", "", "9999999999999999999"}) {
+  // "9999999999999999999" fits std::size_t (so the strict env parse
+  // accepts it) but is far past any real thread count; the pool's own
+  // sanity cap must send it to the hardware default, not try to honor it.
+  for (const char* bad :
+       {"0", "-4", "abc", "2x", "", "9999999999999999999", "65537"}) {
     ScopedEnv env("DPHIST_THREADS", bad);
     EXPECT_EQ(ThreadPool::DefaultThreadCount(), hardware)
         << "DPHIST_THREADS=\"" << bad << "\"";
+  }
+  {
+    // The cap itself is still a legal (if unwise) configuration.
+    ScopedEnv env("DPHIST_THREADS", "65536");
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), 65536u);
   }
 }
 

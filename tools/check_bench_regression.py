@@ -41,6 +41,8 @@ ID_FIELDS = {
     # bench_serve identity fields: which sweep, and which cell of it.
     "mode", "batches", "distinct_releases", "batch_size", "shards",
     "records",
+    # bench_serve_net identity fields: concurrency and wire codec.
+    "clients", "codec",
     # bench_micro noise-model sweep: which sampling construction the row
     # measured. A baseline captured without this field can never match a
     # fresh row that has it — the per-bench empty-intersection check below
@@ -51,8 +53,10 @@ ID_FIELDS = {
 # Measured wall-clock fields: machine-dependent, ratio-gated.
 TIMING_SUFFIX = "_ms"
 
-# Derived-from-timing fields that would double-count a slowdown.
-IGNORED_FIELDS = {"speedup"}
+# Derived-from-timing fields that would double-count a slowdown, plus
+# absolute throughput (qps): pure machine properties, not gateable —
+# the *_ms latencies on the same rows carry the regression signal.
+IGNORED_FIELDS = {"speedup", "qps"}
 
 
 def is_timing(field):
