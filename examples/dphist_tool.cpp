@@ -15,12 +15,14 @@
 //
 // Exit code 0 on success; errors go to stderr.
 
+#include <charconv>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -42,6 +44,9 @@
 #include "dphist/random/rng.h"
 #include "dphist/serve/journal.h"
 #include "dphist/serve/release_server.h"
+#include "dphist/sparse/sparse_csv.h"
+#include "dphist/sparse/sparse_pure.h"
+#include "dphist/sparse/unknown_domain.h"
 
 namespace {
 
@@ -69,7 +74,15 @@ struct Flags {
   std::uint16_t port = 0;
   bool binary_codec = true;
   std::string publisher = "noise_first";
+  bool publisher_set = false;
   double epsilon = 0.1;
+  // Sparse knobs: a nonzero --sparse-domain switches publish/serve to the
+  // sparse representation (`key,count` CSVs over a 64-bit domain).
+  std::uint64_t sparse_domain = 0;
+  double expected_spurious = 1.0;
+  bool expected_spurious_set = false;
+  double delta = 1e-9;
+  bool delta_set = false;
   std::uint64_t workload_seed = 1;
   std::string out_path;
   dphist::VOptStrategy vopt_strategy = dphist::VOptStrategy::kAuto;
@@ -160,6 +173,31 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       const char* value = need_value("--publisher");
       if (value == nullptr) return false;
       flags->publisher = value;
+      flags->publisher_set = true;
+    } else if (std::strcmp(argv[i], "--sparse-domain") == 0) {
+      const char* value = need_value("--sparse-domain");
+      if (value == nullptr) return false;
+      // Exact unsigned parse: domains run to 2^63, far past what a double
+      // round-trip preserves.
+      const char* end = value + std::strlen(value);
+      const auto [ptr, ec] = std::from_chars(value, end, flags->sparse_domain);
+      if (ec != std::errc() || ptr != end || flags->sparse_domain == 0) {
+        std::fprintf(stderr,
+                     "--sparse-domain must be a positive 64-bit integer "
+                     "(got: %s)\n",
+                     value);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--expected-spurious") == 0) {
+      const char* value = need_value("--expected-spurious");
+      if (value == nullptr) return false;
+      flags->expected_spurious = std::atof(value);
+      flags->expected_spurious_set = true;
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      const char* value = need_value("--delta");
+      if (value == nullptr) return false;
+      flags->delta = std::atof(value);
+      flags->delta_set = true;
     } else if (std::strcmp(argv[i], "--epsilon") == 0) {
       const char* value = need_value("--epsilon");
       if (value == nullptr) return false;
@@ -202,6 +240,36 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
   return true;
 }
 
+// Resolves an algorithm name the way the serving stack does: the literal
+// name "env" defers to DPHIST_PUBLISHER (falling back to noise_first), so
+// scripts can switch publishers without editing the command line.
+std::string ResolveAlgorithm(const std::string& algorithm) {
+  if (algorithm == "env") {
+    return dphist::PublisherRegistry::NameFromEnv("noise_first");
+  }
+  return algorithm;
+}
+
+// Builds a sparse publisher honoring explicit --expected-spurious /
+// --delta overrides (re-wrapped in the registry's obs decorator, matching
+// the dense flag-override path).
+dphist::Result<std::unique_ptr<dphist::sparse::SparseHistogramPublisher>>
+MakeSparsePublisher(const std::string& name, const Flags& flags) {
+  if (flags.expected_spurious_set && name == "sparse_pure") {
+    dphist::sparse::SparsePurePublisher::Options options;
+    options.expected_spurious = flags.expected_spurious;
+    return dphist::PublisherRegistry::InstrumentSparse(
+        std::make_unique<dphist::sparse::SparsePurePublisher>(options));
+  }
+  if (flags.delta_set && name == "unknown_domain") {
+    dphist::sparse::UnknownDomainPublisher::Options options;
+    options.delta = flags.delta;
+    return dphist::PublisherRegistry::InstrumentSparse(
+        std::make_unique<dphist::sparse::UnknownDomainPublisher>(options));
+  }
+  return dphist::PublisherRegistry::MakeSparse(name);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -211,12 +279,13 @@ int Usage() {
       "  dphist_tool publish <algorithm> <epsilon> <in.csv> <out.csv>"
       " [--seed S] [--vopt-strategy auto|naive|monotone]\n"
       "           [--noise-model auto|textbook|batched|snapped|discrete]\n"
+      "           [--sparse-domain D] [--expected-spurious S] [--delta D]\n"
       "  dphist_tool evaluate <truth.csv> <released.csv> [--queries Q]"
       " [--seed S]\n"
       "  dphist_tool serve <algorithm> <epsilon-per-release> <in.csv>"
       " [--budget E] [--batches B] [--queries Q] [--seed S]"
       " [--journal DIR] [--shards N] [--tenant NAME]"
-      " [--listen PORT] [--max-inflight N]\n"
+      " [--listen PORT] [--max-inflight N] [--sparse-domain D]\n"
       "  dphist_tool query [--host H] [--port P] [--codec binary|json]"
       " [--publisher A] [--epsilon E] [--seed S] [--queries Q]"
       " [--workload-seed S] [--tenant NAME] [--out FILE]\n"
@@ -244,6 +313,16 @@ int Usage() {
       "bit-identical histograms). The DPHIST_VOPT_STRATEGY environment\n"
       "variable applies the same override to every solve, including the\n"
       "serve subcommand's publishers.\n"
+      "\n"
+      "--sparse-domain D switches publish/serve to the sparse\n"
+      "representation: the input CSV holds `key,count` lines (keys\n"
+      "strictly increasing, < D, D up to 2^63) and <algorithm> names a\n"
+      "sparse publisher (`dphist_tool list`): sparse_pure (pure eps-DP\n"
+      "thresholded release; --expected-spurious tunes the spurious-key\n"
+      "budget) or unknown_domain ((eps, delta)-DP stability threshold;\n"
+      "--delta sets delta). The literal algorithm name `env` defers to\n"
+      "$DPHIST_PUBLISHER (default noise_first); query's --publisher\n"
+      "default resolves the same way.\n"
       "\n"
       "--noise-model picks the noise sampling construction for dwork /\n"
       "geometric / noise_first / structure_first (DESIGN §10): textbook\n"
@@ -297,7 +376,44 @@ int RunPublish(int argc, char** argv) {
     return 2;
   }
   const double epsilon = std::atof(argv[3]);
-  const std::string algorithm = argv[2];
+  const std::string algorithm = ResolveAlgorithm(argv[2]);
+  if (flags.sparse_domain > 0) {
+    auto publisher = MakeSparsePublisher(algorithm, flags);
+    if (!publisher.ok()) {
+      std::fprintf(stderr, "%s\n", publisher.status().ToString().c_str());
+      return 1;
+    }
+    auto truth =
+        dphist::sparse::LoadSparseHistogramCsv(argv[4], flags.sparse_domain);
+    if (!truth.ok()) {
+      std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+      return 1;
+    }
+    dphist::Rng rng(flags.seed);
+    dphist::sparse::SparsePublishStats stats;
+    auto released =
+        publisher.value()->Publish(truth.value(), epsilon, rng, &stats);
+    if (!released.ok()) {
+      std::fprintf(stderr, "%s\n", released.status().ToString().c_str());
+      return 1;
+    }
+    const dphist::Status status =
+        dphist::sparse::SaveSparseHistogramCsv(released.value(), argv[5]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "published %s with %s at epsilon=%g over domain %llu -> %s "
+        "(%llu released, %llu suppressed, %llu spurious, threshold=%.4f)\n",
+        argv[4], publisher.value()->name().c_str(), epsilon,
+        static_cast<unsigned long long>(flags.sparse_domain), argv[5],
+        static_cast<unsigned long long>(stats.released_keys),
+        static_cast<unsigned long long>(stats.suppressed_keys),
+        static_cast<unsigned long long>(stats.spurious_keys),
+        stats.threshold);
+    return 0;
+  }
   auto publisher = dphist::PublisherRegistry::Make(algorithm);
   if (!publisher.ok()) {
     std::fprintf(stderr, "%s\n", publisher.status().ToString().c_str());
@@ -411,14 +527,31 @@ int RunServe(int argc, char** argv) {
     return 2;
   }
   const double epsilon = std::atof(argv[3]);
-  auto truth = dphist::LoadHistogramCsv(argv[4]);
-  if (!truth.ok()) {
-    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
-    return 1;
+  const bool sparse = flags.sparse_domain > 0;
+  dphist::Histogram dense_truth;
+  std::optional<dphist::sparse::SparseHistogram> sparse_truth;
+  std::size_t domain = 0;
+  std::uint64_t fingerprint = 0;
+  if (sparse) {
+    auto loaded =
+        dphist::sparse::LoadSparseHistogramCsv(argv[4], flags.sparse_domain);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    domain = static_cast<std::size_t>(loaded.value().domain_size());
+    fingerprint = dphist::sparse::FingerprintSparseHistogram(loaded.value());
+    sparse_truth = std::move(loaded).value();
+  } else {
+    auto loaded = dphist::LoadHistogramCsv(argv[4]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    domain = loaded.value().size();
+    fingerprint = dphist::serve::FingerprintHistogram(loaded.value());
+    dense_truth = std::move(loaded).value();
   }
-  const std::size_t domain = truth.value().size();
-  const std::uint64_t fingerprint =
-      dphist::serve::FingerprintHistogram(truth.value());
 
   std::string journal_dir = flags.journal_dir;
   if (journal_dir.empty()) {
@@ -443,7 +576,9 @@ int RunServe(int argc, char** argv) {
   dphist::serve::ReleaseServer server(options);
   const dphist::serve::TenantKey ns{flags.tenant, "default"};
   const dphist::Status added =
-      server.AddDataset(ns, std::move(truth).value(), flags.budget);
+      sparse ? server.AddSparseDataset(ns, std::move(*sparse_truth),
+                                      flags.budget)
+             : server.AddDataset(ns, std::move(dense_truth), flags.budget);
   if (!added.ok()) {
     std::fprintf(stderr, "%s\n", added.ToString().c_str());
     return 1;
@@ -519,7 +654,7 @@ int RunServe(int argc, char** argv) {
   std::size_t stale = 0;
   for (std::size_t b = 0; b < flags.batches; ++b) {
     dphist::serve::ServeRequest request;
-    request.publisher = argv[2];
+    request.publisher = ResolveAlgorithm(argv[2]);
     request.epsilon = epsilon;
     request.seed = flags.seed + b;
     auto batch = server.AnswerBatch(ns, queries.value(), request);
@@ -619,7 +754,12 @@ int RunQuery(int argc, char** argv) {
 
   dphist::net::WireQueryRequest query;
   query.tenant = flags.tenant;
-  query.request.publisher = flags.publisher;
+  // An explicit --publisher wins; otherwise DPHIST_PUBLISHER may override
+  // the default, matching the registry's env resolution.
+  query.request.publisher =
+      flags.publisher_set
+          ? flags.publisher
+          : dphist::PublisherRegistry::NameFromEnv(flags.publisher);
   query.request.epsilon = flags.epsilon;
   query.request.seed = flags.seed;
   query.queries = std::move(queries).value();
@@ -659,6 +799,10 @@ int RunQuery(int argc, char** argv) {
 int RunList() {
   std::printf("available algorithms:\n");
   for (const std::string& name : dphist::PublisherRegistry::BuiltinNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("sparse algorithms (require --sparse-domain):\n");
+  for (const std::string& name : dphist::PublisherRegistry::SparseNames()) {
     std::printf("  %s\n", name.c_str());
   }
   return 0;

@@ -1,6 +1,8 @@
 #include "dphist/algorithms/registry.h"
 
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "dphist/algorithms/ahp.h"
@@ -14,7 +16,10 @@
 #include "dphist/algorithms/p_hp.h"
 #include "dphist/algorithms/privelet.h"
 #include "dphist/algorithms/structure_first.h"
+#include "dphist/common/env.h"
 #include "dphist/obs/obs.h"
+#include "dphist/sparse/sparse_pure.h"
+#include "dphist/sparse/unknown_domain.h"
 
 namespace dphist {
 
@@ -70,6 +75,80 @@ class InstrumentedPublisher : public HistogramPublisher {
   obs::Counter& geometric_draws_;
   obs::Distribution& wall_ms_;
   obs::Distribution& epsilon_;
+};
+
+/// Sparse counterpart of InstrumentedPublisher. Sparse mechanisms report
+/// release-shape observability (released / suppressed / spurious key
+/// counts, the threshold) through SparsePublishStats, which only exists
+/// once a run finishes — so the decorator, not the mechanism, owns the
+/// counters; the mechanism stays obs-free.
+class InstrumentedSparsePublisher : public sparse::SparseHistogramPublisher {
+ public:
+  explicit InstrumentedSparsePublisher(
+      std::unique_ptr<sparse::SparseHistogramPublisher> inner)
+      : inner_(std::move(inner)),
+        name_(inner_->name()),
+        runs_(obs::Registry::Global().GetCounter("publisher/" + name_ +
+                                                 "/runs")),
+        released_keys_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/released_keys")),
+        suppressed_keys_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/suppressed_keys")),
+        spurious_keys_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/spurious_keys")),
+        laplace_draws_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/laplace_draws")),
+        geometric_draws_(obs::Registry::Global().GetCounter(
+            "publisher/" + name_ + "/geometric_draws")),
+        wall_ms_(
+            obs::Registry::Global().GetDistribution("publisher/" + name_)),
+        epsilon_(obs::Registry::Global().GetDistribution("publisher/" + name_ +
+                                                         "/epsilon")),
+        threshold_(obs::Registry::Global().GetDistribution(
+            "publisher/" + name_ + "/threshold")) {}
+
+  std::string name() const override { return name_; }
+
+  Result<sparse::SparseHistogram> Publish(
+      const sparse::SparseHistogram& truth, double epsilon, Rng& rng,
+      sparse::SparsePublishStats* stats) const override {
+    if (!obs::Enabled()) {
+      return inner_->Publish(truth, epsilon, rng, stats);
+    }
+    runs_.Increment();
+    epsilon_.Record(epsilon);
+    obs::DrawAttributionScope attribution(&laplace_draws_, &geometric_draws_);
+    sparse::SparsePublishStats local;
+    const auto start = std::chrono::steady_clock::now();
+    auto released = inner_->Publish(truth, epsilon, rng, &local);
+    wall_ms_.Record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+    if (released.ok()) {
+      released_keys_.Add(local.released_keys);
+      suppressed_keys_.Add(local.suppressed_keys);
+      spurious_keys_.Add(local.spurious_keys);
+      threshold_.Record(local.threshold);
+    }
+    if (stats != nullptr) {
+      *stats = local;
+    }
+    return released;
+  }
+  using sparse::SparseHistogramPublisher::Publish;
+
+ private:
+  std::unique_ptr<sparse::SparseHistogramPublisher> inner_;
+  std::string name_;
+  obs::Counter& runs_;
+  obs::Counter& released_keys_;
+  obs::Counter& suppressed_keys_;
+  obs::Counter& spurious_keys_;
+  obs::Counter& laplace_draws_;
+  obs::Counter& geometric_draws_;
+  obs::Distribution& wall_ms_;
+  obs::Distribution& epsilon_;
+  obs::Distribution& threshold_;
 };
 
 }  // namespace
@@ -171,6 +250,45 @@ PublisherRegistry::MakePaperSuite() {
 
 std::vector<std::unique_ptr<HistogramPublisher>> PublisherRegistry::MakeAll() {
   return MakeSuite(BuiltinNames());
+}
+
+std::vector<std::string> PublisherRegistry::SparseNames() {
+  return {"sparse_pure", "unknown_domain"};
+}
+
+bool PublisherRegistry::IsSparse(std::string_view name) {
+  return name == "sparse_pure" || name == "unknown_domain";
+}
+
+Result<std::unique_ptr<sparse::SparseHistogramPublisher>>
+PublisherRegistry::MakeSparse(std::string_view name) {
+  std::unique_ptr<sparse::SparseHistogramPublisher> publisher;
+  if (name == "sparse_pure") {
+    publisher = std::make_unique<sparse::SparsePurePublisher>();
+  } else if (name == "unknown_domain") {
+    publisher = std::make_unique<sparse::UnknownDomainPublisher>();
+  } else {
+    return Status::NotFound("unknown sparse publisher: " + std::string(name));
+  }
+  return InstrumentSparse(std::move(publisher));
+}
+
+std::unique_ptr<sparse::SparseHistogramPublisher>
+PublisherRegistry::InstrumentSparse(
+    std::unique_ptr<sparse::SparseHistogramPublisher> publisher) {
+  if (publisher == nullptr) {
+    return publisher;
+  }
+  return std::unique_ptr<sparse::SparseHistogramPublisher>(
+      new InstrumentedSparsePublisher(std::move(publisher)));
+}
+
+std::string PublisherRegistry::NameFromEnv(std::string_view fallback) {
+  const std::optional<std::string> value = GetEnv("DPHIST_PUBLISHER");
+  if (value.has_value() && !value->empty()) {
+    return *value;
+  }
+  return std::string(fallback);
 }
 
 }  // namespace dphist

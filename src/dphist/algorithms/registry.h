@@ -8,6 +8,7 @@
 
 #include "dphist/algorithms/publisher.h"
 #include "dphist/common/result.h"
+#include "dphist/sparse/sparse_publisher.h"
 
 namespace dphist {
 
@@ -54,6 +55,34 @@ class PublisherRegistry {
   ///   `publisher/<name>/laplace_draws` / `geometric_draws` (counters).
   static std::unique_ptr<HistogramPublisher> Instrument(
       std::unique_ptr<HistogramPublisher> publisher);
+
+  /// Sparse publisher names (`src/dphist/sparse/`), registered alongside
+  /// the dense suite: "sparse_pure" (Kerschbaum-Lee-Wu pure-epsilon) and
+  /// "unknown_domain" (Rogers stability threshold, (eps, delta)-DP).
+  static std::vector<std::string> SparseNames();
+
+  /// True iff `name` names a sparse publisher (see SparseNames()).
+  static bool IsSparse(std::string_view name);
+
+  /// Creates a sparse publisher by name with library-default Options,
+  /// wrapped in the sparse observability decorator; NotFound for unknown
+  /// names (including dense ones — the two families have distinct
+  /// interfaces).
+  static Result<std::unique_ptr<sparse::SparseHistogramPublisher>> MakeSparse(
+      std::string_view name);
+
+  /// Sparse counterpart of `Instrument`: wraps `publisher` so each run
+  /// records `publisher/<name>/runs`, `/released_keys`, `/suppressed_keys`,
+  /// `/spurious_keys` (counters), `publisher/<name>` (wall-ms
+  /// distribution), `/epsilon` and `/threshold` (distributions).
+  static std::unique_ptr<sparse::SparseHistogramPublisher> InstrumentSparse(
+      std::unique_ptr<sparse::SparseHistogramPublisher> publisher);
+
+  /// Resolves a publisher name from the `DPHIST_PUBLISHER` environment
+  /// variable, falling back to `fallback` when unset or empty. The value
+  /// is returned verbatim — a typo surfaces later as the factory's
+  /// NotFound rather than being silently ignored.
+  static std::string NameFromEnv(std::string_view fallback);
 };
 
 }  // namespace dphist

@@ -1,9 +1,12 @@
 #include "dphist/data/csv.h"
 
+#include <charconv>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "dphist/testing/failpoint.h"
@@ -42,6 +45,29 @@ Result<double> ParseDouble(const std::string& token, std::size_t line_no) {
   }
 }
 
+// Parses a bin index as an exact unsigned 64-bit integer. The previous
+// implementation went through double, which silently rounds indices above
+// 2^53 — fatal once domains can reach 2^63. Malformed text is a parse
+// error; a numerically valid index too large for uint64 is a typed
+// kInvalidArgument so callers can distinguish corrupt files from
+// out-of-range ones.
+Result<std::uint64_t> ParseIndexU64(const std::string& token,
+                                    std::size_t line_no) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("index overflows uint64 on line " +
+                                   std::to_string(line_no));
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("index is not a non-negative integer on line " +
+                              std::to_string(line_no));
+  }
+  return value;
+}
+
 }  // namespace
 
 Result<Histogram> LoadHistogramCsv(const std::string& path) {
@@ -70,11 +96,11 @@ Result<Histogram> LoadHistogramCsv(const std::string& path) {
       }
       counts.push_back(value.value());
     } else {
-      auto index = ParseDouble(Trim(trimmed.substr(0, comma)), line_no);
+      auto index = ParseIndexU64(Trim(trimmed.substr(0, comma)), line_no);
       if (!index.ok()) {
         return index.status();
       }
-      if (index.value() != static_cast<double>(counts.size())) {
+      if (index.value() != counts.size()) {
         return Status::ParseError("indices must be dense and in order (line " +
                                   std::to_string(line_no) + ")");
       }

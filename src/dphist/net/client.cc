@@ -176,5 +176,21 @@ Result<WireHistogram> NetClient::Release(const WireQueryRequest& query,
   return std::move(decoded.value().histogram);
 }
 
+Result<WireSparseHistogram> NetClient::SparseRelease(
+    const WireQueryRequest& query, bool binary) {
+  auto response = RoundTrip(BuildPost("/v1/release", query, binary));
+  if (!response.ok()) {
+    return response.status();
+  }
+  auto decoded = DecodeResponse(response.value());
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  if (decoded.value().type != WireType::kSparseHistogram) {
+    return Status::Internal("unexpected response message type");
+  }
+  return std::move(decoded.value().sparse_histogram);
+}
+
 }  // namespace net
 }  // namespace dphist

@@ -44,6 +44,12 @@ class NetClient {
   /// Convenience: POSTs to /v1/release and decodes the full histogram.
   Result<WireHistogram> Release(const WireQueryRequest& query, bool binary);
 
+  /// Convenience: POSTs to /v1/release against a sparse dataset and
+  /// decodes the sparse frame (released keys + values over the 64-bit
+  /// domain). kInternal if the server answered with a dense histogram.
+  Result<WireSparseHistogram> SparseRelease(const WireQueryRequest& query,
+                                            bool binary);
+
  private:
   int fd_ = -1;
   std::string host_;

@@ -277,6 +277,22 @@ struct NetServer::Impl {
       errors.Increment();
       response =
           BuildErrorResponse(release.status(), pending.binary, pending.close);
+    } else if (release.value()->is_sparse()) {
+      WireSparseHistogram sparse;
+      sparse.key = release.value()->key();
+      const auto& histogram = release.value()->sparse_histogram();
+      sparse.domain_size = histogram.domain_size();
+      sparse.keys.reserve(histogram.entries().size());
+      sparse.counts.reserve(histogram.entries().size());
+      for (const auto& entry : histogram.entries()) {
+        sparse.keys.push_back(entry.key);
+        sparse.counts.push_back(entry.count);
+      }
+      response = BuildResponse(200, StatusCode::kOk, pending.binary,
+                               pending.binary
+                                   ? EncodeSparseHistogram(sparse)
+                                   : EncodeSparseHistogramJson(sparse),
+                               pending.close);
     } else {
       WireHistogram histogram;
       histogram.key = release.value()->key();

@@ -1,5 +1,6 @@
 #include "dphist/net/wire_codec.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
 #include <system_error>
@@ -119,6 +120,17 @@ bool SplitDoubles(std::string_view text, std::vector<double>* out) {
   return true;
 }
 
+std::string JoinU64s(const std::vector<std::uint64_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
 std::string JoinQueries(const std::vector<RangeQuery>& queries) {
   std::string out;
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -137,6 +149,42 @@ bool ParseU64(std::string_view token, std::uint64_t* out) {
       std::from_chars(token.data(), token.data() + token.size(), *out, 10);
   return ec == std::errc{} && end == token.data() + token.size() &&
          !token.empty();
+}
+
+bool SplitU64s(std::string_view text, std::vector<std::uint64_t>* out) {
+  out->clear();
+  if (text.empty()) {
+    return true;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view token = text.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    std::uint64_t value = 0;
+    if (!ParseU64(token, &value)) {
+      return false;
+    }
+    out->push_back(value);
+    if (comma == std::string_view::npos) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
+// Released keys must arrive strictly increasing: duplicates or disorder
+// would silently corrupt binary-searched range sums downstream, so both
+// codecs reject them at the boundary.
+bool KeysStrictlyIncreasing(const std::vector<std::uint64_t>& keys) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] <= keys[i - 1]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool SplitQueries(std::string_view text, std::vector<RangeQuery>* out) {
@@ -303,6 +351,21 @@ std::string EncodeHistogram(const WireHistogram& histogram) {
   return Frame(std::move(payload));
 }
 
+std::string EncodeSparseHistogram(const WireSparseHistogram& histogram) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WireType::kSparseHistogram));
+  PutKey(payload, histogram.key);
+  PutU64(payload, histogram.domain_size);
+  const std::size_t entries =
+      std::min(histogram.keys.size(), histogram.counts.size());
+  PutU32(payload, static_cast<std::uint32_t>(entries));
+  for (std::size_t i = 0; i < entries; ++i) {
+    PutU64(payload, histogram.keys[i]);
+    PutF64(payload, histogram.counts[i]);
+  }
+  return Frame(std::move(payload));
+}
+
 std::string EncodeError(const Status& status) {
   std::string payload;
   payload.push_back(static_cast<char>(WireType::kError));
@@ -407,6 +470,34 @@ Result<WireMessage> DecodeFrame(std::string_view bytes) {
       }
       break;
     }
+    case WireType::kSparseHistogram: {
+      message.type = WireType::kSparseHistogram;
+      WireSparseHistogram& histogram = message.sparse_histogram;
+      std::uint32_t count = 0;
+      if (!GetKey(in, &histogram.key) ||
+          !GetU64(in, &histogram.domain_size) || !GetU32(in, &count)) {
+        return BodyError("truncated sparse histogram");
+      }
+      // 16 payload bytes per (key, count) entry.
+      if (!in.Remaining(static_cast<std::size_t>(count) * 16)) {
+        return BodyError("sparse entry count exceeds payload");
+      }
+      histogram.keys.reserve(count);
+      histogram.counts.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t key = 0;
+        double value = 0.0;
+        if (!GetU64(in, &key) || !GetF64(in, &value)) {
+          return BodyError("truncated sparse entry");
+        }
+        histogram.keys.push_back(key);
+        histogram.counts.push_back(value);
+      }
+      if (!KeysStrictlyIncreasing(histogram.keys)) {
+        return BodyError("sparse keys not strictly increasing");
+      }
+      break;
+    }
     case WireType::kError: {
       message.type = WireType::kError;
       std::uint32_t code = 0;
@@ -454,6 +545,16 @@ std::string EncodeHistogramJson(const WireHistogram& histogram) {
   writer.Str("type", "histogram");
   PutKeyJson(writer, histogram.key);
   writer.Str("counts", JoinDoubles(histogram.counts));
+  return writer.Finish();
+}
+
+std::string EncodeSparseHistogramJson(const WireSparseHistogram& histogram) {
+  obs::JsonObjectWriter writer;
+  writer.Str("type", "sparse_histogram");
+  PutKeyJson(writer, histogram.key);
+  writer.Str("domain", std::to_string(histogram.domain_size))
+      .Str("keys", JoinU64s(histogram.keys))
+      .Str("counts", JoinDoubles(histogram.counts));
   return writer.Finish();
 }
 
@@ -513,6 +614,23 @@ Result<WireMessage> DecodeJson(std::string_view text) {
         !JsonStr(object, "counts", &counts) ||
         !SplitDoubles(counts, &histogram.counts)) {
       return BodyError("malformed json histogram");
+    }
+    return message;
+  }
+  if (type == "sparse_histogram") {
+    message.type = WireType::kSparseHistogram;
+    WireSparseHistogram& histogram = message.sparse_histogram;
+    std::string keys;
+    std::string counts;
+    if (!GetKeyJson(object, &histogram.key) ||
+        !JsonU64(object, "domain", &histogram.domain_size) ||
+        !JsonStr(object, "keys", &keys) ||
+        !SplitU64s(keys, &histogram.keys) ||
+        !JsonStr(object, "counts", &counts) ||
+        !SplitDoubles(counts, &histogram.counts) ||
+        histogram.keys.size() != histogram.counts.size() ||
+        !KeysStrictlyIncreasing(histogram.keys)) {
+      return BodyError("malformed json sparse histogram");
     }
     return message;
   }

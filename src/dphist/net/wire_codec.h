@@ -49,6 +49,7 @@ enum class WireType : std::uint8_t {
   kBatchAnswer = 2,
   kHistogram = 3,
   kError = 4,
+  kSparseHistogram = 5,
 };
 
 /// MIME types selecting the codec on the HTTP surface.
@@ -92,6 +93,30 @@ struct WireHistogram {
   friend bool operator==(const WireHistogram&, const WireHistogram&) = default;
 };
 
+/// \brief One published sparse histogram: only the released keys travel,
+/// with the domain size alongside so the receiver can validate queries.
+///
+/// Binary body: key, domain (u64), entry count (u32), then one
+/// (key u64, count f64) pair per entry. Keys must be strictly increasing;
+/// duplicates or disorder are a decode error on both codecs. The codec
+/// itself allows the full u64 key range (including 2^64 - 1) — the 2^63
+/// domain cap is a `sparse::SparseHistogram` invariant enforced where a
+/// frame is turned into one, not a framing rule.
+///
+/// JSON fallback: `"type": "sparse_histogram"`, the release-key fields,
+/// and `"domain"` / `"keys"` as decimal strings (u64s must not round-trip
+/// through JSON numbers — double loses precision past 2^53), with
+/// `"keys"` / `"counts"` comma-joined.
+struct WireSparseHistogram {
+  serve::ReleaseKey key;
+  std::uint64_t domain_size = 0;
+  std::vector<std::uint64_t> keys;
+  std::vector<double> counts;
+
+  friend bool operator==(const WireSparseHistogram&,
+                         const WireSparseHistogram&) = default;
+};
+
 /// \brief A typed error travelling the wire.
 struct WireError {
   StatusCode code = StatusCode::kInternal;
@@ -109,6 +134,7 @@ struct WireMessage {
   WireQueryRequest query_request;
   WireBatchAnswer batch_answer;
   WireHistogram histogram;
+  WireSparseHistogram sparse_histogram;
   WireError error;
 };
 
@@ -117,6 +143,7 @@ struct WireMessage {
 std::string EncodeQueryRequest(const WireQueryRequest& request);
 std::string EncodeBatchAnswer(const WireBatchAnswer& answer);
 std::string EncodeHistogram(const WireHistogram& histogram);
+std::string EncodeSparseHistogram(const WireSparseHistogram& histogram);
 std::string EncodeError(const Status& status);
 
 /// Decodes one complete binary frame. kDataLoss on bad magic, a length
@@ -129,6 +156,7 @@ Result<WireMessage> DecodeFrame(std::string_view bytes);
 std::string EncodeQueryRequestJson(const WireQueryRequest& request);
 std::string EncodeBatchAnswerJson(const WireBatchAnswer& answer);
 std::string EncodeHistogramJson(const WireHistogram& histogram);
+std::string EncodeSparseHistogramJson(const WireSparseHistogram& histogram);
 std::string EncodeErrorJson(const Status& status);
 
 /// Decodes one flat-JSON message; the `"type"` field selects the shape.

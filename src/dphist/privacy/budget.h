@@ -22,6 +22,10 @@ struct BudgetCharge {
   bool parallel = false;
   /// Group key for parallel charges; ignored for sequential charges.
   std::string parallel_group;
+  /// Delta consumed by the charge (approximate-DP mechanisms such as the
+  /// unknown-domain sparse publisher). Deltas add up under sequential
+  /// composition; pure-epsilon charges leave this at 0.
+  double delta = 0.0;
 };
 
 /// \brief Tracks epsilon consumption under sequential and parallel
@@ -56,16 +60,28 @@ struct BudgetCharge {
 /// remaining == 0.0 (budget_test's ExactFractionalChargesConsumeExactly).
 class BudgetAccountant {
  public:
-  /// Creates an accountant with `total_epsilon` to spend.
+  /// Creates an accountant with `total_epsilon` to spend and no delta
+  /// budget: every approximate-DP charge (delta > 0) is refused.
   /// `total_epsilon` must be positive; a non-positive value is pinned to 0
   /// so every charge fails loudly.
   explicit BudgetAccountant(double total_epsilon);
+
+  /// Creates an accountant granting `total_epsilon` and `total_delta` for
+  /// (epsilon, delta)-DP mechanisms. Non-positive grants are pinned to 0.
+  BudgetAccountant(double total_epsilon, double total_delta);
 
   /// Records a sequential charge of `epsilon` with `label`.
   /// Fails with InvalidArgument if epsilon <= 0, and with ResourceExhausted
   /// if the remaining budget is insufficient (up to a small floating-point
   /// tolerance).
   Status ChargeSequential(double epsilon, std::string label);
+
+  /// Records a sequential (epsilon, delta) charge. Deltas compose
+  /// additively alongside the epsilons. Fails with InvalidArgument if
+  /// `delta` is negative, and with ResourceExhausted when the delta grant
+  /// (see the two-argument constructor) cannot cover it — in particular,
+  /// any delta > 0 against an accountant constructed without a delta grant.
+  Status ChargeSequential(double epsilon, double delta, std::string label);
 
   /// Records a parallel charge of `epsilon` under `group`: all charges with
   /// the same group key count once at their maximum epsilon.
@@ -80,6 +96,15 @@ class BudgetAccountant {
   /// Remaining epsilon (never negative).
   double remaining_epsilon() const;
 
+  /// Total delta granted at construction (0 for pure-epsilon accountants).
+  double total_delta() const { return total_delta_; }
+
+  /// Delta consumed so far (compensated sum over all charges).
+  double spent_delta() const { return delta_sum_.Total(); }
+
+  /// Remaining delta (never negative).
+  double remaining_delta() const;
+
   /// All recorded charges, in order.
   const std::vector<BudgetCharge>& charges() const { return charges_; }
 
@@ -88,7 +113,11 @@ class BudgetAccountant {
 
  private:
   double total_epsilon_;
+  double total_delta_ = 0.0;
   std::vector<BudgetCharge> charges_;
+  /// Compensated running sum of per-charge deltas (sequential composition
+  /// of the deltas; parallel epsilon charges carry delta 0).
+  KahanSum delta_sum_;
   /// Compensated running sum of sequential charges, in charge order
   /// (bit-identical to re-summing `charges_` the same way).
   KahanSum sequential_sum_;

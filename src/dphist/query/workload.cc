@@ -1,10 +1,31 @@
 #include "dphist/query/workload.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "dphist/random/distributions.h"
 
 namespace dphist {
+
+namespace {
+
+// Largest domain any histogram representation supports (the sparse cap,
+// sparse::kMaxSparseDomain). Workload generators over a larger "domain"
+// would silently produce queries no histogram can answer, so the bound is
+// checked here with a typed error.
+constexpr std::uint64_t kMaxWorkloadDomain = 1ULL << 63;
+
+Status ValidateWorkloadDomain(std::size_t domain_size) {
+  if (static_cast<std::uint64_t>(domain_size) > kMaxWorkloadDomain) {
+    return Status::InvalidArgument(
+        "workload domain size " + std::to_string(domain_size) +
+        " exceeds the 2^63 maximum");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Result<std::vector<RangeQuery>> RandomRangeWorkload(std::size_t domain_size,
                                                     std::size_t count,
@@ -13,6 +34,7 @@ Result<std::vector<RangeQuery>> RandomRangeWorkload(std::size_t domain_size,
     return Status::InvalidArgument(
         "RandomRangeWorkload requires a non-empty domain and count");
   }
+  DPHIST_RETURN_IF_ERROR(ValidateWorkloadDomain(domain_size));
   std::vector<RangeQuery> queries;
   queries.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -34,6 +56,7 @@ Result<std::vector<RangeQuery>> FixedLengthWorkload(std::size_t domain_size,
     return Status::InvalidArgument(
         "FixedLengthWorkload requires 1 <= length <= domain_size");
   }
+  DPHIST_RETURN_IF_ERROR(ValidateWorkloadDomain(domain_size));
   std::vector<RangeQuery> queries;
   queries.reserve(count);
   const std::size_t max_start = domain_size - length;

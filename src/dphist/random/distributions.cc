@@ -36,8 +36,23 @@ std::int64_t SampleUniformInt(Rng& rng, std::int64_t lo, std::int64_t hi) {
 }
 
 std::size_t SampleIndex(Rng& rng, std::size_t n) {
-  return static_cast<std::size_t>(
-      SampleUniformInt(rng, 0, static_cast<std::int64_t>(n) - 1));
+  // Unsigned throughout: the old int64 round-trip was undefined for
+  // n > 2^63, which 64-bit sparse domains can now reach. n == 0 keeps the
+  // full-range convention of SampleUniformInt's span == 0 branch.
+  const std::uint64_t span = static_cast<std::uint64_t>(n);
+  if (span == 0) {
+    return static_cast<std::size_t>(rng.NextUint64());
+  }
+  // Same rejection construction as SampleUniformInt: accept only draws
+  // below the largest multiple of `span` so every residue is equally
+  // likely.
+  const std::uint64_t bucket = (~0ULL) / span;
+  const std::uint64_t limit = bucket * span;
+  std::uint64_t draw = rng.NextUint64();
+  while (draw >= limit) {
+    draw = rng.NextUint64();
+  }
+  return static_cast<std::size_t>(draw % span);
 }
 
 double SampleExponential(Rng& rng, double rate) {

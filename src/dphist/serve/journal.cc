@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -84,6 +85,21 @@ std::string EncodePayload(const JournalRecord& record) {
         PutF64(payload, count);
       }
       break;
+    case JournalRecord::Type::kPublishSparse: {
+      PutU64(payload, record.fingerprint);
+      PutStr(payload, record.publisher);
+      PutF64(payload, record.epsilon);
+      PutU64(payload, record.seed);
+      PutU64(payload, record.domain);
+      const std::size_t entries =
+          std::min(record.keys.size(), record.counts.size());
+      PutU64(payload, static_cast<std::uint64_t>(entries));
+      for (std::size_t i = 0; i < entries; ++i) {
+        PutU64(payload, record.keys[i]);
+        PutF64(payload, record.counts[i]);
+      }
+      break;
+    }
   }
   return payload;
 }
@@ -97,7 +113,9 @@ bool DecodePayload(std::string_view payload, JournalRecord* record) {
   if (!in.Remaining(1)) return false;
   const auto type = static_cast<std::uint8_t>(in.bytes[in.pos++]);
   if (type != static_cast<std::uint8_t>(JournalRecord::Type::kCharge) &&
-      type != static_cast<std::uint8_t>(JournalRecord::Type::kPublish)) {
+      type != static_cast<std::uint8_t>(JournalRecord::Type::kPublish) &&
+      type !=
+          static_cast<std::uint8_t>(JournalRecord::Type::kPublishSparse)) {
     return false;
   }
   record->type = static_cast<JournalRecord::Type>(type);
@@ -111,7 +129,7 @@ bool DecodePayload(std::string_view payload, JournalRecord* record) {
     if (!GetStr(in, &record->group) || !GetStr(in, &record->label)) {
       return false;
     }
-  } else {
+  } else if (record->type == JournalRecord::Type::kPublish) {
     std::uint64_t bins = 0;
     if (!GetU64(in, &record->fingerprint) ||
         !GetStr(in, &record->publisher) || !GetF64(in, &record->epsilon) ||
@@ -125,6 +143,23 @@ bool DecodePayload(std::string_view payload, JournalRecord* record) {
     record->counts.resize(static_cast<std::size_t>(bins));
     for (double& count : record->counts) {
       if (!GetF64(in, &count)) return false;
+    }
+  } else {
+    std::uint64_t entries = 0;
+    if (!GetU64(in, &record->fingerprint) ||
+        !GetStr(in, &record->publisher) || !GetF64(in, &record->epsilon) ||
+        !GetU64(in, &record->seed) || !GetU64(in, &record->domain) ||
+        !GetU64(in, &entries)) {
+      return false;
+    }
+    // Same overflow-safe fit check; sparse entries are 16 bytes each.
+    if (entries > (payload.size() - in.pos) / 16) return false;
+    record->keys.resize(static_cast<std::size_t>(entries));
+    record->counts.resize(static_cast<std::size_t>(entries));
+    for (std::size_t i = 0; i < record->keys.size(); ++i) {
+      if (!GetU64(in, &record->keys[i]) || !GetF64(in, &record->counts[i])) {
+        return false;
+      }
     }
   }
   return in.pos == payload.size();

@@ -43,9 +43,12 @@ namespace serve {
 /// kDataLoss instead (nothing can be salvaged without the header).
 ///
 /// Bodies (strings are len:u32 + bytes, doubles are raw IEEE-754 bits):
-///   kCharge  := tenant dataset epsilon:f64 parallel:u8 group label
-///   kPublish := tenant dataset fingerprint:u64 publisher epsilon:f64
-///               seed:u64 bins:u64 counts:f64*bins
+///   kCharge        := tenant dataset epsilon:f64 parallel:u8 group label
+///   kPublish       := tenant dataset fingerprint:u64 publisher epsilon:f64
+///                     seed:u64 bins:u64 counts:f64*bins
+///   kPublishSparse := tenant dataset fingerprint:u64 publisher epsilon:f64
+///                     seed:u64 domain:u64 entries:u64
+///                     (key:u64 count:f64)*entries
 ///
 /// Failpoints (chaos suite): `serve/journal/append` before a frame is
 /// handed to the sink, `serve/journal/sync` before fsync, and
@@ -63,6 +66,9 @@ struct JournalRecord {
     kCharge = 1,
     /// A successful publication, carrying the released counts.
     kPublish = 2,
+    /// A successful sparse publication: released keys + counts over a
+    /// 64-bit domain.
+    kPublishSparse = 3,
   };
 
   Type type = Type::kCharge;
@@ -80,6 +86,11 @@ struct JournalRecord {
   std::string publisher;
   std::uint64_t seed = 0;
   std::vector<double> counts;
+
+  // kPublishSparse fields (fingerprint/publisher/seed above are shared;
+  // `counts` holds the released values, parallel to `keys`).
+  std::uint64_t domain = 0;
+  std::vector<std::uint64_t> keys;
 
   friend bool operator==(const JournalRecord&, const JournalRecord&) = default;
 };

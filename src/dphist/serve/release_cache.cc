@@ -75,6 +75,9 @@ CachedRelease::CachedRelease(ReleaseKey key, Histogram histogram)
       histogram_(std::move(histogram)),
       prefix_(PrefixSums(histogram_.counts())) {}
 
+CachedRelease::CachedRelease(ReleaseKey key, sparse::SparseHistogram sparse)
+    : key_(std::move(key)), sparse_(std::move(sparse)) {}
+
 ReleaseCache::ReleaseCache(ReleaseCacheOptions options)
     : shard_map_(options.shards) {
   shards_.reserve(shard_map_.count());
@@ -85,6 +88,32 @@ ReleaseCache::ReleaseCache(ReleaseCacheOptions options)
 
 Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
     const ReleaseKey& key, const PublishFn& publish) {
+  return DoGetOrPublish(
+      key, [&key, &publish]() -> Result<std::shared_ptr<CachedRelease>> {
+        Result<Histogram> published = publish();
+        if (!published.ok()) {
+          return published.status();
+        }
+        return std::make_shared<CachedRelease>(key,
+                                               std::move(published).value());
+      });
+}
+
+Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublishSparse(
+    const ReleaseKey& key, const SparsePublishFn& publish) {
+  return DoGetOrPublish(
+      key, [&key, &publish]() -> Result<std::shared_ptr<CachedRelease>> {
+        Result<sparse::SparseHistogram> published = publish();
+        if (!published.ok()) {
+          return published.status();
+        }
+        return std::make_shared<CachedRelease>(key,
+                                               std::move(published).value());
+      });
+}
+
+Result<std::shared_ptr<const CachedRelease>> ReleaseCache::DoGetOrPublish(
+    const ReleaseKey& key, const MakeReleaseFn& make) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<Entry> entry;
   {
@@ -114,15 +143,14 @@ Result<std::shared_ptr<const CachedRelease>> ReleaseCache::GetOrPublish(
   // The error propagates uncached, so a later call may retry — the
   // exactly-once contract is on *successful* publication.
   DPHIST_FAILPOINT_RETURN_IF_SET("serve/cache/publish");
-  Result<Histogram> published = publish();
-  if (!published.ok()) {
-    return published.status();
+  Result<std::shared_ptr<CachedRelease>> made = make();
+  if (!made.ok()) {
+    return made.status();
   }
   // Chaos hook: latency between publish success and cache insert, to
   // widen the window where racing waiters block on the publish mutex.
   DPHIST_FAILPOINT("serve/cache/insert");
-  auto release = std::make_shared<CachedRelease>(
-      key, std::move(published).value());
+  std::shared_ptr<CachedRelease> release = std::move(made).value();
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     // An eviction may have removed the entry while this publish ran (a
@@ -163,7 +191,18 @@ bool ReleaseCache::Evict(const ReleaseKey& key) {
 
 std::shared_ptr<const CachedRelease> ReleaseCache::RestorePublished(
     const ReleaseKey& key, Histogram histogram) {
-  auto release = std::make_shared<CachedRelease>(key, std::move(histogram));
+  return InsertRestored(
+      key, std::make_shared<CachedRelease>(key, std::move(histogram)));
+}
+
+std::shared_ptr<const CachedRelease> ReleaseCache::RestorePublishedSparse(
+    const ReleaseKey& key, sparse::SparseHistogram sparse) {
+  return InsertRestored(
+      key, std::make_shared<CachedRelease>(key, std::move(sparse)));
+}
+
+std::shared_ptr<const CachedRelease> ReleaseCache::InsertRestored(
+    const ReleaseKey& key, std::shared_ptr<CachedRelease> release) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto [it, inserted] = shard.entries.try_emplace(key);

@@ -17,6 +17,7 @@
 #include "dphist/hist/histogram.h"
 #include "dphist/serve/shard.h"
 #include "dphist/serve/tenant.h"
+#include "dphist/sparse/sparse_histogram.h"
 
 namespace dphist {
 namespace serve {
@@ -70,15 +71,36 @@ class CachedRelease {
   /// Histogram-internal one).
   CachedRelease(ReleaseKey key, Histogram histogram);
 
+  /// A sparse release: the SparseHistogram carries its own prefix table,
+  /// so range sums are O(log released-keys) instead of O(1).
+  CachedRelease(ReleaseKey key, sparse::SparseHistogram sparse);
+
   const ReleaseKey& key() const { return key_; }
+
+  /// The dense released histogram; empty for a sparse release (check
+  /// `is_sparse()` first).
   const Histogram& histogram() const { return histogram_; }
 
-  /// Domain size in unit bins.
-  std::size_t size() const { return histogram_.size(); }
+  /// True when this release is sparse (constructed from a
+  /// SparseHistogram).
+  bool is_sparse() const { return sparse_.domain_size() != 0; }
 
-  /// Sum of released counts in [begin, end); O(1). Requires
-  /// begin <= end <= size() (validated by the serving front-end).
+  /// The sparse released histogram; a zero-domain placeholder for dense
+  /// releases.
+  const sparse::SparseHistogram& sparse_histogram() const { return sparse_; }
+
+  /// Domain size in unit bins (the sparse domain for sparse releases).
+  std::size_t size() const {
+    return is_sparse() ? static_cast<std::size_t>(sparse_.domain_size())
+                       : histogram_.size();
+  }
+
+  /// Sum of released counts in [begin, end); O(1) dense, O(log k) sparse.
+  /// Requires begin <= end <= size() (validated by the serving front-end).
   double RangeSum(std::size_t begin, std::size_t end) const {
+    if (is_sparse()) {
+      return sparse_.RangeSumUnchecked(begin, end);
+    }
     return prefix_[end] - prefix_[begin];
   }
 
@@ -92,6 +114,7 @@ class CachedRelease {
 
   ReleaseKey key_;
   Histogram histogram_;
+  sparse::SparseHistogram sparse_;
   std::vector<double> prefix_;  // prefix_[i] = sum of counts [0, i)
   std::uint64_t sequence_ = 0;
 };
@@ -128,6 +151,7 @@ struct ReleaseCacheOptions {
 class ReleaseCache {
  public:
   using PublishFn = std::function<Result<Histogram>()>;
+  using SparsePublishFn = std::function<Result<sparse::SparseHistogram>()>;
 
   explicit ReleaseCache(ReleaseCacheOptions options = {});
   ReleaseCache(const ReleaseCache&) = delete;
@@ -138,6 +162,13 @@ class ReleaseCache {
   /// ResourceExhausted budget refusal) without caching anything.
   Result<std::shared_ptr<const CachedRelease>> GetOrPublish(
       const ReleaseKey& key, const PublishFn& publish);
+
+  /// Sparse counterpart of `GetOrPublish`, with the identical coalescing
+  /// and exactly-once contract; dense and sparse releases share one
+  /// keyspace (a key is one or the other, decided by which publish path
+  /// first succeeded).
+  Result<std::shared_ptr<const CachedRelease>> GetOrPublishSparse(
+      const ReleaseKey& key, const SparsePublishFn& publish);
 
   /// The cached release for `key`, or null when absent. Never publishes.
   std::shared_ptr<const CachedRelease> Lookup(const ReleaseKey& key) const;
@@ -153,6 +184,11 @@ class ReleaseCache {
   /// state.
   std::shared_ptr<const CachedRelease> RestorePublished(
       const ReleaseKey& key, Histogram histogram);
+
+  /// Sparse counterpart of `RestorePublished` (journal replay of
+  /// kPublishSparse records); same idempotence contract.
+  std::shared_ptr<const CachedRelease> RestorePublishedSparse(
+      const ReleaseKey& key, sparse::SparseHistogram sparse);
 
   /// The most recently published release in `tenant_key`'s namespace, or
   /// null when none exists — the degraded-serving fallback after a budget
@@ -177,6 +213,18 @@ class ReleaseCache {
     /// a publish succeeded.
     std::shared_ptr<const CachedRelease> release;
   };
+
+  /// Shared coalescing core of GetOrPublish/GetOrPublishSparse: `make`
+  /// runs inside the per-key publish slot and produces the finished
+  /// CachedRelease (without a sequence number, which the insert assigns).
+  using MakeReleaseFn =
+      std::function<Result<std::shared_ptr<CachedRelease>>()>;
+  Result<std::shared_ptr<const CachedRelease>> DoGetOrPublish(
+      const ReleaseKey& key, const MakeReleaseFn& make);
+
+  /// Shared idempotent-insert core of RestorePublished*.
+  std::shared_ptr<const CachedRelease> InsertRestored(
+      const ReleaseKey& key, std::shared_ptr<CachedRelease> release);
 
   struct Shard {
     mutable std::mutex mutex;

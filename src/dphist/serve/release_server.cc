@@ -7,6 +7,7 @@
 
 #include "dphist/algorithms/registry.h"
 #include "dphist/obs/obs.h"
+#include "dphist/query/sparse_query.h"
 #include "dphist/random/rng.h"
 #include "dphist/testing/failpoint.h"
 
@@ -76,6 +77,13 @@ ReleaseServer::Dataset::Dataset(TenantKey key, Histogram truth_in,
       fingerprint(FingerprintHistogram(truth)),
       ledger(std::move(key), total_epsilon, journal) {}
 
+ReleaseServer::Dataset::Dataset(TenantKey key,
+                                sparse::SparseHistogram sparse_in,
+                                double total_epsilon, Journal* journal)
+    : sparse_truth(std::move(sparse_in)),
+      fingerprint(sparse::FingerprintSparseHistogram(*sparse_truth)),
+      ledger(std::move(key), total_epsilon, journal) {}
+
 ReleaseServer::ReleaseServer(ReleaseServerOptions options)
     : options_(options), cache_(ReleaseCacheOptions{options.cache_shards}) {}
 
@@ -89,6 +97,21 @@ ReleaseServer::ReleaseServer(Histogram truth, double total_epsilon,
 
 Status ReleaseServer::AddDataset(const TenantKey& key, Histogram truth,
                                  double total_epsilon) {
+  auto dataset = std::make_unique<Dataset>(key, std::move(truth),
+                                           total_epsilon, options_.journal);
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  auto [it, inserted] = datasets_.try_emplace(key, std::move(dataset));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("namespace '" + FormatTenantKey(key) +
+                                   "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Status ReleaseServer::AddSparseDataset(const TenantKey& key,
+                                       sparse::SparseHistogram truth,
+                                       double total_epsilon) {
   auto dataset = std::make_unique<Dataset>(key, std::move(truth),
                                            total_epsilon, options_.journal);
   std::lock_guard<std::mutex> lock(datasets_mutex_);
@@ -139,6 +162,46 @@ Result<std::shared_ptr<const CachedRelease>> ReleaseServer::GetRelease(
   // racing cache misses for the same key coalesce onto a single ledger
   // charge and a single publication, so a popular release is paid for
   // exactly once no matter how many threads request it.
+  if (dataset->is_sparse()) {
+    return cache_.GetOrPublishSparse(
+        key, [&]() -> Result<sparse::SparseHistogram> {
+          auto publisher = PublisherRegistry::MakeSparse(request.publisher);
+          if (!publisher.ok()) {
+            return publisher.status();
+          }
+          DPHIST_RETURN_IF_ERROR(dataset->ledger.Charge(
+              request.epsilon, request.publisher + ":seed=" +
+                                   std::to_string(request.seed)));
+          Rng rng(request.seed);
+          Result<sparse::SparseHistogram> published =
+              publisher.value()->Publish(*dataset->sparse_truth,
+                                         request.epsilon, rng);
+          if (!published.ok() || options_.journal == nullptr) {
+            return published;
+          }
+          // Same durability-before-ack contract as the dense slot: the
+          // released keys and values must be on disk before the cache
+          // insert that acknowledges them.
+          JournalRecord record;
+          record.type = JournalRecord::Type::kPublishSparse;
+          record.key = tenant_key;
+          record.fingerprint = dataset->fingerprint;
+          record.publisher = request.publisher;
+          record.epsilon = request.epsilon;
+          record.seed = request.seed;
+          record.domain = published.value().domain_size();
+          const auto& entries = published.value().entries();
+          record.keys.reserve(entries.size());
+          record.counts.reserve(entries.size());
+          for (const sparse::SparseEntry& entry : entries) {
+            record.keys.push_back(entry.key);
+            record.counts.push_back(entry.count);
+          }
+          DPHIST_RETURN_IF_ERROR(options_.journal->Append(record));
+          DPHIST_RETURN_IF_ERROR(options_.journal->Sync());
+          return published;
+        });
+  }
   return cache_.GetOrPublish(key, [&]() -> Result<Histogram> {
     auto publisher = PublisherRegistry::Make(request.publisher);
     if (!publisher.ok()) {
@@ -185,7 +248,12 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
     const TenantKey& tenant_key, const std::vector<RangeQuery>& queries,
     const ServeRequest& request) {
   DPHIST_ASSIGN_OR_RETURN(Dataset* dataset, FindDataset(tenant_key));
-  DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, dataset->truth.size()));
+  if (dataset->is_sparse()) {
+    DPHIST_RETURN_IF_ERROR(
+        ValidateSparseQueries(queries, dataset->domain()));
+  } else {
+    DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, dataset->truth.size()));
+  }
   obs::ScopedTimer batch_timer("serve/batch");
   BatchCounter().Increment();
   BatchQueryCounter().Add(queries.size());
@@ -323,6 +391,34 @@ Result<RecoveryStats> ReleaseServer::Recover(const ReplayResult& replay) {
         ++stats.releases_replayed;
         break;
       }
+      case JournalRecord::Type::kPublishSparse: {
+        if (record.fingerprint != dataset.value()->fingerprint) {
+          ++stats.skipped;
+          break;
+        }
+        std::vector<sparse::SparseEntry> entries;
+        const std::size_t count =
+            std::min(record.keys.size(), record.counts.size());
+        entries.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          entries.push_back({record.keys[i], record.counts[i]});
+        }
+        auto restored =
+            sparse::SparseHistogram::Create(record.domain, std::move(entries));
+        if (!restored.ok()) {
+          // A CRC-valid frame whose body violates the sparse invariants
+          // (out-of-domain or unsorted keys) cannot be replayed; skip it
+          // rather than fail the whole recovery.
+          ++stats.skipped;
+          break;
+        }
+        ReleaseKey key{record.key.tenant, record.key.dataset,
+                       record.fingerprint, record.publisher,
+                       record.epsilon,     record.seed};
+        cache_.RestorePublishedSparse(key, std::move(restored).value());
+        ++stats.releases_replayed;
+        break;
+      }
     }
   }
   return stats;
@@ -346,7 +442,8 @@ std::uint64_t ReleaseServer::fingerprint() const {
 
 std::size_t ReleaseServer::domain_size() const {
   const Dataset* dataset = DefaultDataset();
-  return dataset == nullptr ? 0 : dataset->truth.size();
+  return dataset == nullptr ? 0
+                            : static_cast<std::size_t>(dataset->domain());
 }
 
 const BudgetLedger& ReleaseServer::ledger() const {

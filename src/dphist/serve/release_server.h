@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "dphist/serve/journal.h"
 #include "dphist/serve/release_cache.h"
 #include "dphist/serve/tenant.h"
+#include "dphist/sparse/sparse_histogram.h"
 
 namespace dphist {
 namespace serve {
@@ -197,6 +199,15 @@ class ReleaseServer {
   Status AddDataset(const TenantKey& key, Histogram truth,
                     double total_epsilon);
 
+  /// Registers a sparse dataset under `key`: its requests must name a
+  /// sparse publisher (see `PublisherRegistry::SparseNames`), queries are
+  /// validated against the 64-bit sparse domain, and publications are
+  /// journaled as `kPublishSparse` records. Fails `kInvalidArgument` when
+  /// the namespace is taken.
+  Status AddSparseDataset(const TenantKey& key,
+                          sparse::SparseHistogram truth,
+                          double total_epsilon);
+
   /// Returns the (cached or newly published) release for `request` in
   /// `key`'s namespace. Errors: kPermissionDenied when `key.dataset`
   /// exists only under other tenants, kNotFound for an unknown dataset or
@@ -252,12 +263,23 @@ class ReleaseServer {
   const ReleaseCache& cache() const { return cache_; }
 
  private:
-  /// One registered namespace: the truth, its fingerprint, its ledger.
+  /// One registered namespace: the truth (dense or sparse), its
+  /// fingerprint, its ledger.
   struct Dataset {
     Dataset(TenantKey key, Histogram truth_in, double total_epsilon,
             Journal* journal);
+    Dataset(TenantKey key, sparse::SparseHistogram sparse_in,
+            double total_epsilon, Journal* journal);
 
-    Histogram truth;
+    bool is_sparse() const { return sparse_truth.has_value(); }
+
+    /// Domain size in unit bins (the sparse domain for sparse datasets).
+    std::uint64_t domain() const {
+      return is_sparse() ? sparse_truth->domain_size() : truth.size();
+    }
+
+    Histogram truth;  // empty for sparse datasets
+    std::optional<sparse::SparseHistogram> sparse_truth;
     std::uint64_t fingerprint;
     BudgetLedger ledger;
   };

@@ -1,0 +1,125 @@
+#include "dphist/sparse/sparse_histogram.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "dphist/common/math_util.h"
+
+namespace dphist {
+namespace sparse {
+namespace {
+
+// Index of the first entry with key >= `key` (lower bound over the sorted
+// entry list).
+std::size_t LowerBound(const std::vector<SparseEntry>& entries,
+                       std::uint64_t key) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const SparseEntry& entry, std::uint64_t k) { return entry.key < k; });
+  return static_cast<std::size_t>(it - entries.begin());
+}
+
+}  // namespace
+
+SparseHistogram::SparseHistogram(std::uint64_t domain_size,
+                                 std::vector<SparseEntry> entries)
+    : domain_size_(domain_size), entries_(std::move(entries)) {
+  std::vector<double> counts;
+  counts.reserve(entries_.size());
+  for (const SparseEntry& entry : entries_) counts.push_back(entry.count);
+  prefix_ = PrefixSums(counts);
+}
+
+Result<SparseHistogram> SparseHistogram::Create(
+    std::uint64_t domain_size, std::vector<SparseEntry> entries) {
+  if (domain_size == 0) {
+    return Status::InvalidArgument("sparse histogram: domain size must be >= 1");
+  }
+  if (domain_size > kMaxSparseDomain) {
+    return Status::InvalidArgument(
+        "sparse histogram: domain size " + std::to_string(domain_size) +
+        " exceeds the 2^63 maximum");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].key >= domain_size) {
+      return Status::InvalidArgument(
+          "sparse histogram: key " + std::to_string(entries[i].key) +
+          " at entry " + std::to_string(i) + " is outside the domain of size " +
+          std::to_string(domain_size));
+    }
+    if (i > 0 && entries[i].key <= entries[i - 1].key) {
+      return Status::InvalidArgument(
+          "sparse histogram: keys must be strictly increasing, but entry " +
+          std::to_string(i) + " has key " + std::to_string(entries[i].key) +
+          " after " + std::to_string(entries[i - 1].key));
+    }
+  }
+  return SparseHistogram(domain_size, std::move(entries));
+}
+
+Result<SparseHistogram> SparseHistogram::FromRecords(
+    std::uint64_t domain_size, std::vector<std::uint64_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  std::vector<SparseEntry> entries;
+  for (std::size_t i = 0; i < keys.size();) {
+    std::size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    entries.push_back(SparseEntry{keys[i], static_cast<double>(j - i)});
+    i = j;
+  }
+  return Create(domain_size, std::move(entries));
+}
+
+double SparseHistogram::CountFor(std::uint64_t key) const {
+  const std::size_t i = LowerBound(entries_, key);
+  if (i < entries_.size() && entries_[i].key == key) return entries_[i].count;
+  return 0.0;
+}
+
+double SparseHistogram::Total() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
+
+Result<double> SparseHistogram::RangeSum(std::uint64_t begin,
+                                         std::uint64_t end) const {
+  if (begin > end || end > domain_size_) {
+    return Status::InvalidArgument(
+        "sparse histogram: range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") is invalid for domain size " +
+        std::to_string(domain_size_));
+  }
+  return RangeSumUnchecked(begin, end);
+}
+
+double SparseHistogram::RangeSumUnchecked(std::uint64_t begin,
+                                          std::uint64_t end) const {
+  const std::size_t lo = LowerBound(entries_, begin);
+  const std::size_t hi = LowerBound(entries_, end);
+  return prefix_[hi] - prefix_[lo];
+}
+
+std::uint64_t FingerprintSparseHistogram(const SparseHistogram& histogram) {
+  // FNV-1a over the domain size, then each (key, count-bit-pattern) pair —
+  // the same construction as serve::FingerprintHistogram, extended with the
+  // key stream so permuting counts across keys changes the fingerprint.
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ULL;
+    }
+  };
+  const std::uint64_t domain = histogram.domain_size();
+  mix(&domain, sizeof(domain));
+  for (const SparseEntry& entry : histogram.entries()) {
+    mix(&entry.key, sizeof(entry.key));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(entry.count), "double must be 64-bit");
+    std::memcpy(&bits, &entry.count, sizeof(bits));
+    mix(&bits, sizeof(bits));
+  }
+  return hash;
+}
+
+}  // namespace sparse
+}  // namespace dphist

@@ -1,0 +1,110 @@
+#ifndef DPHIST_SPARSE_SPARSE_HISTOGRAM_H_
+#define DPHIST_SPARSE_SPARSE_HISTOGRAM_H_
+
+/// \file
+/// \brief Sparse histogram: sorted key -> count pairs over a domain whose
+/// size d may vastly exceed the number of stored keys (d up to 2^63).
+///
+/// The dense `Histogram` materializes every bin, which is unusable for
+/// high-cardinality domains (URLs, user IDs). `SparseHistogram` stores only
+/// the keys with an explicit count; every other key implicitly holds 0.
+/// Range sums share the half-open `[begin, end)` semantics of the dense
+/// `Histogram::RangeSum`, answered in O(log k) by binary search over a
+/// Kahan-compensated prefix-sum table of the stored entries.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+
+namespace dphist {
+namespace sparse {
+
+/// Largest domain size a SparseHistogram may span. Capped at 2^63 so that
+/// any valid key or domain also fits in a signed 64-bit integer, keeping
+/// arithmetic like `end - begin` free of unsigned wrap surprises in
+/// downstream consumers.
+inline constexpr std::uint64_t kMaxSparseDomain = 1ULL << 63;
+
+/// One stored key with its count. Counts are doubles so that released
+/// (noisy, possibly negative) histograms reuse the same representation as
+/// true-count inputs.
+struct SparseEntry {
+  std::uint64_t key = 0;
+  double count = 0.0;
+
+  friend bool operator==(const SparseEntry& a, const SparseEntry& b) {
+    return a.key == b.key && a.count == b.count;
+  }
+};
+
+class SparseHistogram {
+ public:
+  /// An empty histogram over a zero-sized domain. Invalid for publishing;
+  /// exists so the type is default-constructible for containers.
+  SparseHistogram() = default;
+
+  /// Validates and adopts `entries` over a domain of `domain_size` keys
+  /// `[0, domain_size)`. Entries must be strictly increasing by key (sorted,
+  /// no duplicates) and every key must be `< domain_size`. Returns a typed
+  /// `kInvalidArgument` otherwise, or when `domain_size` is 0 or exceeds
+  /// 2^63.
+  static Result<SparseHistogram> Create(std::uint64_t domain_size,
+                                        std::vector<SparseEntry> entries);
+
+  /// Builds a sparse histogram from a multiset of raw record keys: each
+  /// occurrence of a key contributes 1.0 to its count. Keys may arrive in
+  /// any order with repeats. Rejects keys `>= domain_size`.
+  static Result<SparseHistogram> FromRecords(std::uint64_t domain_size,
+                                             std::vector<std::uint64_t> keys);
+
+  std::uint64_t domain_size() const { return domain_size_; }
+
+  /// The explicitly stored entries, strictly increasing by key.
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+
+  /// Number of explicitly stored keys (k), not the domain size.
+  std::size_t stored_keys() const { return entries_.size(); }
+
+  /// The count at `key`: the stored value, or 0.0 when absent. Keys at or
+  /// beyond the domain also read as 0.0 (matching a dense histogram padded
+  /// with nothing).
+  double CountFor(std::uint64_t key) const;
+
+  /// Sum of all stored counts.
+  double Total() const;
+
+  /// Sum over the half-open key range `[begin, end)`. Requires
+  /// `begin <= end <= domain_size()`; typed `kInvalidArgument` otherwise.
+  Result<double> RangeSum(std::uint64_t begin, std::uint64_t end) const;
+
+  /// `RangeSum` without bounds checking; caller guarantees
+  /// `begin <= end <= domain_size()`.
+  double RangeSumUnchecked(std::uint64_t begin, std::uint64_t end) const;
+
+  friend bool operator==(const SparseHistogram& a, const SparseHistogram& b) {
+    return a.domain_size_ == b.domain_size_ && a.entries_ == b.entries_;
+  }
+
+ private:
+  SparseHistogram(std::uint64_t domain_size, std::vector<SparseEntry> entries);
+
+  std::uint64_t domain_size_ = 0;
+  std::vector<SparseEntry> entries_;
+  // prefix_[i] = Kahan-compensated sum of entries_[0..i), size k + 1.
+  std::vector<double> prefix_;
+};
+
+/// 64-bit FNV-1a fingerprint over the domain size, keys, and count bit
+/// patterns. Fills the same role for sparse datasets as
+/// `serve::FingerprintHistogram` does for dense ones: journal records carry
+/// it so `ReleaseServer::Recover` can refuse replays against a different
+/// dataset.
+std::uint64_t FingerprintSparseHistogram(const SparseHistogram& histogram);
+
+}  // namespace sparse
+}  // namespace dphist
+
+#endif  // DPHIST_SPARSE_SPARSE_HISTOGRAM_H_

@@ -1,0 +1,19 @@
+#include "dphist/sparse/sparse_publisher.h"
+
+namespace dphist {
+namespace sparse {
+
+Status SparseHistogramPublisher::ValidatePublishArgs(
+    const SparseHistogram& truth, double epsilon) {
+  if (truth.domain_size() == 0) {
+    return Status::InvalidArgument(
+        "sparse publish: histogram has an empty domain");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("sparse publish: epsilon must be > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sparse
+}  // namespace dphist

@@ -1,0 +1,116 @@
+#include "dphist/sparse/sparse_pure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "dphist/random/distributions.h"
+
+namespace dphist {
+namespace sparse {
+namespace {
+
+// The key of the j-th absent (count-zero) slot, in increasing key order,
+// given the sorted observed keys. The number of absent keys strictly below
+// observed key entries[i].key is entries[i].key - i, which is non-decreasing
+// in i, so binary search finds the smallest i with entries[i].key - i > j;
+// the answer is then j + i (i observed keys precede it).
+std::uint64_t AbsentKeyAt(const std::vector<SparseEntry>& entries,
+                          std::uint64_t j) {
+  std::size_t lo = 0;
+  std::size_t hi = entries.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (entries[mid].key - mid > j) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return j + lo;
+}
+
+}  // namespace
+
+SparsePurePublisher::SparsePurePublisher(Options options)
+    : options_(options) {}
+
+double SparsePurePublisher::Threshold(std::uint64_t domain_size,
+                                      std::uint64_t observed_keys,
+                                      double epsilon) const {
+  if (domain_size <= observed_keys) return 0.0;
+  const double absent = static_cast<double>(domain_size - observed_keys);
+  const double tau =
+      std::log(absent / (2.0 * options_.expected_spurious)) / epsilon;
+  return std::max(0.0, tau);
+}
+
+Result<SparseHistogram> SparsePurePublisher::Publish(
+    const SparseHistogram& truth, double epsilon, Rng& rng,
+    SparsePublishStats* stats) const {
+  DPHIST_RETURN_IF_ERROR(ValidatePublishArgs(truth, epsilon));
+  if (!(options_.expected_spurious > 0.0)) {
+    return Status::InvalidArgument(
+        "sparse_pure: expected_spurious must be > 0");
+  }
+  const std::vector<SparseEntry>& entries = truth.entries();
+  const std::uint64_t d = truth.domain_size();
+  const std::uint64_t k = entries.size();
+  const double scale = 1.0 / epsilon;
+  const double tau = Threshold(d, k, epsilon);
+
+  // Observed keys: explicit Laplace noise, then the threshold test.
+  std::vector<SparseEntry> kept;
+  kept.reserve(entries.size());
+  std::uint64_t suppressed = 0;
+  for (const SparseEntry& entry : entries) {
+    const double noisy = entry.count + SampleLaplace(rng, scale);
+    if (noisy > tau) {
+      kept.push_back(SparseEntry{entry.key, noisy});
+    } else {
+      ++suppressed;
+    }
+  }
+
+  // Unobserved keys: each clears tau independently with probability
+  // q = P[Lap(1/eps) > tau] = exp(-eps * tau) / 2 (tau >= 0), so walk the
+  // d - k absent slots with Geometric(q) gaps instead of touching each one.
+  // A surviving key's value is tau plus the memoryless Laplace tail,
+  // tau + Exp(eps) — distributed exactly as Lap(1/eps) given > tau.
+  std::vector<SparseEntry> spurious;
+  const std::uint64_t absent = d - k;
+  const double q = 0.5 * std::exp(-epsilon * tau);
+  if (absent > 0 && q > 0.0) {
+    std::uint64_t next = 0;  // next candidate absent slot
+    while (next < absent) {
+      const std::int64_t gap = SampleGeometric(rng, q);
+      const std::uint64_t remaining = absent - next;
+      if (gap < 0 || static_cast<std::uint64_t>(gap) >= remaining) break;
+      const std::uint64_t slot = next + static_cast<std::uint64_t>(gap);
+      const double value = tau + SampleExponential(rng, epsilon);
+      spurious.push_back(SparseEntry{AbsentKeyAt(entries, slot), value});
+      next = slot + 1;
+    }
+  }
+
+  // Merge the two sorted-by-key streams.
+  std::vector<SparseEntry> released;
+  released.reserve(kept.size() + spurious.size());
+  std::merge(kept.begin(), kept.end(), spurious.begin(), spurious.end(),
+             std::back_inserter(released),
+             [](const SparseEntry& a, const SparseEntry& b) {
+               return a.key < b.key;
+             });
+
+  if (stats != nullptr) {
+    stats->released_keys = released.size();
+    stats->suppressed_keys = suppressed;
+    stats->spurious_keys = spurious.size();
+    stats->threshold = tau;
+  }
+  return SparseHistogram::Create(d, std::move(released));
+}
+
+}  // namespace sparse
+}  // namespace dphist

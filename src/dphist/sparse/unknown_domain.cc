@@ -1,0 +1,63 @@
+#include "dphist/sparse/unknown_domain.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "dphist/random/distributions.h"
+
+namespace dphist {
+namespace sparse {
+
+UnknownDomainPublisher::UnknownDomainPublisher(Options options)
+    : options_(options) {}
+
+double UnknownDomainPublisher::Threshold(double epsilon) const {
+  return 1.0 + std::log(1.0 / (2.0 * options_.delta)) / epsilon;
+}
+
+Status UnknownDomainPublisher::AccountCharge(BudgetAccountant& accountant,
+                                             double epsilon,
+                                             std::string label) const {
+  return accountant.ChargeSequential(epsilon, options_.delta,
+                                     std::move(label));
+}
+
+Result<SparseHistogram> UnknownDomainPublisher::Publish(
+    const SparseHistogram& truth, double epsilon, Rng& rng,
+    SparsePublishStats* stats) const {
+  DPHIST_RETURN_IF_ERROR(ValidatePublishArgs(truth, epsilon));
+  if (!(options_.delta > 0.0) || options_.delta > 0.5) {
+    return Status::InvalidArgument(
+        "unknown_domain: delta must lie in (0, 0.5]");
+  }
+  const double scale = 1.0 / epsilon;
+  const double tau = Threshold(epsilon);
+
+  // Only observed keys exist as far as this mechanism is concerned; a key
+  // with a non-positive count is indistinguishable from an absent one and
+  // must never be released (releasing it would leak that the key was in
+  // the input at all).
+  std::vector<SparseEntry> released;
+  std::uint64_t suppressed = 0;
+  for (const SparseEntry& entry : truth.entries()) {
+    if (!(entry.count > 0.0)) continue;
+    const double noisy = entry.count + SampleLaplace(rng, scale);
+    if (noisy > tau) {
+      released.push_back(SparseEntry{entry.key, noisy});
+    } else {
+      ++suppressed;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->released_keys = released.size();
+    stats->suppressed_keys = suppressed;
+    stats->spurious_keys = 0;
+    stats->threshold = tau;
+  }
+  return SparseHistogram::Create(truth.domain_size(), std::move(released));
+}
+
+}  // namespace sparse
+}  // namespace dphist

@@ -1,0 +1,68 @@
+#ifndef DPHIST_SPARSE_UNKNOWN_DOMAIN_H_
+#define DPHIST_SPARSE_UNKNOWN_DOMAIN_H_
+
+/// \file
+/// \brief Stability-based unknown-domain release after Rogers, "A Unifying
+/// Privacy Analysis Framework for Unknown Domain Algorithms".
+///
+/// When even the key set is private (the domain is unknown or unbounded),
+/// spuriously releasing an unobserved key is impossible — the mechanism
+/// never learns such keys exist. Only observed keys (true count >= 1) get
+/// Laplace noise, and a key is released iff its noisy count clears
+///
+///   tau = 1 + ln(1 / (2 delta)) / eps.
+///
+/// A key backed by a single record (the differing record between
+/// neighboring datasets) then survives with probability
+/// P[1 + Lap(1/eps) > tau] = delta exactly, which is the only way the
+/// released KEY SET can differ between neighbors; released values are
+/// eps-DP by the usual Laplace argument. Net: (eps, delta)-DP, with the
+/// delta tracked through `BudgetAccountant`'s delta ledger.
+
+#include "dphist/common/result.h"
+#include "dphist/common/status.h"
+#include "dphist/privacy/budget.h"
+#include "dphist/sparse/sparse_publisher.h"
+
+namespace dphist {
+namespace sparse {
+
+class UnknownDomainPublisher : public SparseHistogramPublisher {
+ public:
+  struct Options {
+    /// The delta of the (eps, delta) guarantee: the probability that the
+    /// presence of a single-record key leaks into the released key set.
+    /// Must lie in (0, 0.5].
+    double delta = 1e-9;
+  };
+
+  UnknownDomainPublisher() = default;
+  explicit UnknownDomainPublisher(Options options);
+
+  std::string name() const override { return "unknown_domain"; }
+
+  double delta() const { return options_.delta; }
+
+  /// The release threshold tau = 1 + ln(1 / (2 delta)) / eps.
+  double Threshold(double epsilon) const;
+
+  /// Charges this mechanism's full (epsilon, delta) cost to `accountant`
+  /// as one sequential composition step. Callers that publish through the
+  /// serve path get this threaded automatically; standalone callers use it
+  /// to keep their ledgers honest about the delta.
+  Status AccountCharge(BudgetAccountant& accountant, double epsilon,
+                       std::string label) const;
+
+  Result<SparseHistogram> Publish(const SparseHistogram& truth, double epsilon,
+                                  Rng& rng,
+                                  SparsePublishStats* stats) const override;
+  using SparseHistogramPublisher::Publish;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sparse
+}  // namespace dphist
+
+#endif  // DPHIST_SPARSE_UNKNOWN_DOMAIN_H_

@@ -35,6 +35,7 @@
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
 #include "dphist/serve/release_server.h"
+#include "dphist/sparse/sparse_histogram.h"
 #include "dphist/testing/failpoint.h"
 
 namespace dphist {
@@ -130,6 +131,67 @@ TEST_F(ChaosTest, ExactlyOncePublicationSurvivesInducedPublisherFailure) {
   EXPECT_EQ(server.ledger().charge_count(), 1u);
   EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.5);
   EXPECT_EQ(server.cache().size(), 1u);
+}
+
+TEST_F(ChaosTest, SparseExactlyOncePublicationSurvivesInducedFailure) {
+  // The sparse twin of the exactly-once invariant: racing callers against a
+  // sparse dataset, one injected failure in the shared publish slot. The
+  // sparse path reuses the same cache slot machinery, so the contract is
+  // identical — one publisher run, one charge, identical released bytes.
+  auto truth = sparse::SparseHistogram::Create(
+      1ULL << 40, {{7, 40.0}, {1000, 35.0}, {1ULL << 39, 50.0}});
+  ASSERT_TRUE(truth.ok());
+  FakeClock clock;
+  ReleaseServerOptions options;
+  options.clock = &clock;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = milliseconds(1);
+  ReleaseServer server(options);
+  ASSERT_TRUE(
+      server.AddSparseDataset({"default", "default"}, truth.value(), 10.0)
+          .ok());
+  const ServeRequest request{"sparse_pure", 0.5, 21};
+  const std::vector<RangeQuery> queries = {
+      {0, 1ULL << 40}, {0, 1001}, {1ULL << 39, (1ULL << 39) + 1}};
+
+  FailpointConfig fail_once;
+  fail_once.status = Status::Internal("injected publisher failure");
+  fail_once.trigger = FailpointTrigger::kOnce;
+  FailpointRegistry::Global().Arm("serve/cache/publish", fail_once);
+
+  constexpr int kCallers = 4;
+  std::vector<Result<BatchAnswer>> results(
+      kCallers, Result<BatchAnswer>(Status::Internal("unset")));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      results[t] = server.AnswerBatch({"default", "default"}, queries,
+                                      request);
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+
+  EXPECT_EQ(FailpointRegistry::Global().Stats("serve/cache/publish").fires,
+            1u);
+  for (int t = 0; t < kCallers; ++t) {
+    ASSERT_TRUE(results[t].ok()) << "caller " << t << ": "
+                                 << results[t].status().ToString();
+    EXPECT_FALSE(results[t].value().stale);
+    EXPECT_EQ(results[t].value().answers, results[0].value().answers);
+  }
+  EXPECT_EQ(CounterValue("publisher/sparse_pure/runs"), 1u);
+  EXPECT_EQ(server.ledger().charge_count(), 1u);
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.5);
+  EXPECT_EQ(server.cache().size(), 1u);
+  // All callers saw the SAME release: publish again at the same key and
+  // confirm the cached sparse release is reused bit-for-bit.
+  auto release = server.GetRelease(request);
+  ASSERT_TRUE(release.ok());
+  ASSERT_TRUE(release.value()->is_sparse());
+  EXPECT_DOUBLE_EQ(server.ledger().spent_epsilon(), 0.5);
 }
 
 TEST_F(ChaosTest, LedgerNeverOverspendsWhenChargesFailAfterCommit) {

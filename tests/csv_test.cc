@@ -105,6 +105,47 @@ TEST_F(CsvTest, NegativeAndFractionalCountsRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST_F(CsvTest, IndexOverflowingUint64IsInvalidArgument) {
+  // Regression: indices used to be parsed through double, which silently
+  // rounds above 2^53 and wraps on overflow. A numerically valid index too
+  // large for uint64 is now a typed kInvalidArgument, distinct from the
+  // kParseError used for corrupt text.
+  const std::string path = TempPath("overflow.csv");
+  WriteFile(path, "18446744073709551616,1\n");  // 2^64: one past uint64 max
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("overflows uint64"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MalformedIndexIsParseErrorNotOverflow) {
+  const std::string path = TempPath("badindex.csv");
+  for (const char* bad : {"abc,1\n", "-1,1\n", "1.5,1\n", "0x7,1\n"}) {
+    WriteFile(path, bad);
+    auto loaded = LoadHistogramCsv(path);
+    ASSERT_FALSE(loaded.ok()) << bad;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError) << bad;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, IndicesAboveTheDoubleMantissaParseExactly) {
+  // 2^53 + 1 is not representable as a double; an exact uint64 parse must
+  // still distinguish it from its neighbors. The index is out of order for
+  // a one-line file, so the loader reports the dense-order error rather
+  // than an overflow or rounding artifact.
+  const std::string path = TempPath("mantissa.csv");
+  WriteFile(path, "9007199254740993,1\n");  // 2^53 + 1
+  auto loaded = LoadHistogramCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("dense and in order"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST_F(CsvTest, TrailingCharactersRejected) {
   const std::string path = TempPath("trailing.csv");
   WriteFile(path, "12abc\n");

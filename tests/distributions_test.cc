@@ -79,6 +79,64 @@ TEST(SampleIndexTest, CoversAllIndices) {
   }
 }
 
+TEST(SampleIndexTest, HugeDomainsNeverProduceOutOfRangeIndices) {
+  // Regression: the old implementation round-tripped n through int64, which
+  // is undefined for n > 2^63 and could yield indices >= n. The rewrite
+  // rejection-samples in unsigned space.
+  Rng rng(12);
+  const std::size_t huge = (std::size_t{1} << 63) + 1;
+  bool saw_upper_half = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t v = SampleIndex(rng, huge);
+    ASSERT_LT(v, huge);
+    saw_upper_half = saw_upper_half || v >= huge / 2;
+  }
+  // A sign-confused implementation would be pinned to one half of the range.
+  EXPECT_TRUE(saw_upper_half);
+}
+
+TEST(SampleIndexTest, NonPowerOfTwoHugeSpanCoversBothHalves) {
+  Rng rng(13);
+  const std::size_t n = (std::size_t{1} << 63) + (std::size_t{1} << 62);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t v = SampleIndex(rng, n);
+    ASSERT_LT(v, n);
+    (v < n / 2 ? low : high) += 1;
+  }
+  EXPECT_GT(low, 0);
+  EXPECT_GT(high, 0);
+}
+
+TEST(SampleIndexTest, ZeroMeansFullUnsignedRange) {
+  // n == 0 is the documented "whole uint64 range" convention.
+  Rng a(14);
+  Rng b(14);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(SampleIndex(a, 0), static_cast<std::size_t>(b.NextUint64()));
+  }
+}
+
+TEST(SampleIndexTest, SmallDomainsRemainUnbiased) {
+  // The rejection-sampling rewrite must not skew small domains: chi-square
+  // against uniform over 7 buckets (non-power-of-two to exercise the
+  // rejection path); 6 dof, alpha 1e-3 critical value 22.46.
+  Rng rng(15);
+  const int draws = 70000;
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++hits[SampleIndex(rng, 7)];
+  }
+  const double expected = draws / 7.0;
+  double chi_sq = 0.0;
+  for (int h : hits) {
+    const double d = h - expected;
+    chi_sq += d * d / expected;
+  }
+  EXPECT_LT(chi_sq, 22.46);
+}
+
 TEST(ExponentialTest, MeanMatchesRate) {
   Rng rng(8);
   const double rate = 2.5;

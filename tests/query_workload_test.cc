@@ -108,6 +108,41 @@ TEST(RandomRangeWorkloadTest, RejectsDegenerateArguments) {
   EXPECT_FALSE(RandomRangeWorkload(10, 0, rng).ok());
 }
 
+TEST(RandomRangeWorkloadTest, RejectsDomainsBeyondTheSparseCap) {
+  // Regression: generators over a domain no histogram representation can
+  // hold (above the sparse 2^63 cap) used to emit unanswerable queries via
+  // a narrowing index sample. Now a typed error names the bound.
+  Rng rng(7);
+  const std::size_t too_big = (std::size_t{1} << 63) + 1;
+  auto random = RandomRangeWorkload(too_big, 4, rng);
+  ASSERT_FALSE(random.ok());
+  EXPECT_EQ(random.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(random.status().message().find("exceeds the 2^63 maximum"),
+            std::string::npos);
+  auto fixed = FixedLengthWorkload(too_big, 5, 4, rng);
+  ASSERT_FALSE(fixed.ok());
+  EXPECT_EQ(fixed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(fixed.status().message().find("exceeds the 2^63 maximum"),
+            std::string::npos);
+}
+
+TEST(RandomRangeWorkloadTest, DomainAtTheCapGeneratesValidQueries) {
+  // Exactly 2^63 is the largest legal domain; every sampled endpoint must
+  // stay inside it (the old int64 round-trip went undefined right here).
+  Rng rng(8);
+  const std::size_t cap = std::size_t{1} << 63;
+  auto queries = RandomRangeWorkload(cap, 64, rng);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_TRUE(ValidateQueries(queries.value(), cap).ok());
+  bool saw_upper_half = false;
+  for (const RangeQuery& q : queries.value()) {
+    ASSERT_LT(q.begin, q.end);
+    ASSERT_LE(q.end, cap);
+    saw_upper_half = saw_upper_half || q.end > cap / 2;
+  }
+  EXPECT_TRUE(saw_upper_half);
+}
+
 TEST(RandomRangeWorkloadTest, ProducesVariedLengths) {
   Rng rng(3);
   auto queries = RandomRangeWorkload(64, 1000, rng);

@@ -33,6 +33,7 @@
 #include "dphist/random/rng.h"
 #include "dphist/serve/journal.h"
 #include "dphist/serve/release_server.h"
+#include "dphist/sparse/sparse_histogram.h"
 #include "dphist/testing/failpoint.h"
 
 namespace dphist {
@@ -276,6 +277,139 @@ TEST(RecoveryTest, ShrunkGrantRefusesExcessWithoutOverspend) {
   EXPECT_LE(ledger->spent_epsilon(), ledger->total_epsilon());
 }
 
+// --- sparse datasets through the same crash machinery ---
+
+sparse::SparseHistogram SparseChaosTruth(std::uint64_t salt = 0) {
+  std::vector<sparse::SparseEntry> entries;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    entries.push_back({i * (1ULL << 35) + salt,
+                       40.0 + static_cast<double>((i * 7 + salt) % 11)});
+  }
+  auto truth =
+      sparse::SparseHistogram::Create(1ULL << 40, std::move(entries));
+  EXPECT_TRUE(truth.ok()) << truth.status().ToString();
+  return std::move(truth).value();
+}
+
+JournaledServer MakeSparseJournaledServer(double total_epsilon,
+                                          ThreadPool* pool = nullptr) {
+  JournaledServer js;
+  auto sink = std::make_unique<CaptureSink>();
+  js.sink = sink.get();
+  auto journal = Journal::WithSink(std::move(sink));
+  EXPECT_TRUE(journal.ok());
+  js.journal = std::move(journal).value();
+  ReleaseServerOptions options;
+  options.journal = js.journal.get();
+  options.pool = pool;
+  js.server = std::make_unique<ReleaseServer>(options);
+  EXPECT_TRUE(js.server
+                  ->AddSparseDataset({"acme", "urls"}, SparseChaosTruth(),
+                                     total_epsilon)
+                  .ok());
+  return js;
+}
+
+RecoveredServer RecoverSparseFromBytes(const std::string& bytes,
+                                       double total_epsilon) {
+  RecoveredServer rs;
+  rs.server = std::make_unique<ReleaseServer>(ReleaseServerOptions{});
+  EXPECT_TRUE(rs.server
+                  ->AddSparseDataset({"acme", "urls"}, SparseChaosTruth(),
+                                     total_epsilon)
+                  .ok());
+  auto replay = ReplayJournalBytes(bytes);
+  EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+  auto stats = rs.server->Recover(replay.value());
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  rs.stats = stats.value();
+  return rs;
+}
+
+TEST(SparseRecoveryTest, RecoverRebuildsSparseReleasesExactlyOnce) {
+  auto live = MakeSparseJournaledServer(/*total_epsilon=*/2.0);
+  const TenantKey acme{"acme", "urls"};
+  std::vector<sparse::SparseHistogram> acked;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto release = live.server->GetRelease(acme, {"sparse_pure", 0.5, seed});
+    ASSERT_TRUE(release.ok()) << release.status().ToString();
+    ASSERT_TRUE(release.value()->is_sparse());
+    acked.push_back(release.value()->sparse_histogram());
+  }
+  const double committed =
+      live.server->LedgerFor(acme).value()->spent_epsilon();
+
+  auto recovered = RecoverSparseFromBytes(live.sink->bytes, 2.0);
+  EXPECT_EQ(recovered.stats.charges_replayed, 3u);
+  EXPECT_EQ(recovered.stats.releases_replayed, 3u);
+  EXPECT_EQ(recovered.stats.skipped, 0u);
+  EXPECT_EQ(recovered.server->cache().size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      recovered.server->LedgerFor(acme).value()->spent_epsilon(), committed);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto release =
+        recovered.server->GetRelease(acme, {"sparse_pure", 0.5, seed});
+    ASSERT_TRUE(release.ok());
+    EXPECT_TRUE(release.value()->sparse_histogram() == acked[seed - 1])
+        << "seed " << seed;
+  }
+  // The re-serves above were cache hits: spend did not move.
+  EXPECT_DOUBLE_EQ(
+      recovered.server->LedgerFor(acme).value()->spent_epsilon(), committed);
+}
+
+TEST(SparseRecoveryTest, EveryBytePrefixRecoversSparseWithoutOverspend) {
+  constexpr double kGrant = 2.0;
+  auto live = MakeSparseJournaledServer(kGrant);
+  const TenantKey acme{"acme", "urls"};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ASSERT_TRUE(
+        live.server->GetRelease(acme, {"sparse_pure", 0.4, seed}).ok());
+    ASSERT_TRUE(
+        live.server->GetRelease(acme, {"unknown_domain", 0.2, seed}).ok());
+  }
+  const std::string& bytes = live.sink->bytes;
+  const double committed =
+      live.server->LedgerFor(acme).value()->spent_epsilon();
+
+  double prev_spent = 0.0;
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    auto recovered = RecoverSparseFromBytes(bytes.substr(0, len), kGrant);
+    const double spent =
+        recovered.server->LedgerFor(acme).value()->spent_epsilon();
+    EXPECT_LE(spent, committed) << "prefix " << len;
+    EXPECT_LE(spent, kGrant) << "prefix " << len;
+    EXPECT_GE(spent, prev_spent) << "prefix " << len;
+    prev_spent = spent;
+    EXPECT_LE(recovered.stats.releases_replayed,
+              recovered.stats.charges_replayed)
+        << "prefix " << len;
+  }
+}
+
+TEST(SparseRecoveryTest, SparseFingerprintMismatchSkipsStaleRelease) {
+  auto live = MakeSparseJournaledServer(/*total_epsilon=*/2.0);
+  const TenantKey acme{"acme", "urls"};
+  ASSERT_TRUE(live.server->GetRelease(acme, {"sparse_pure", 0.5, 1}).ok());
+
+  RecoveredServer rs;
+  rs.server = std::make_unique<ReleaseServer>(ReleaseServerOptions{});
+  // Same namespace, different sparse truth: the journaled release is about
+  // data this server no longer holds.
+  ASSERT_TRUE(rs.server
+                  ->AddSparseDataset({"acme", "urls"}, SparseChaosTruth(3),
+                                     2.0)
+                  .ok());
+  auto replay = ReplayJournalBytes(live.sink->bytes);
+  ASSERT_TRUE(replay.ok());
+  auto stats = rs.server->Recover(replay.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().charges_replayed, 1u);
+  EXPECT_EQ(stats.value().releases_replayed, 0u);
+  EXPECT_EQ(stats.value().skipped, 1u);
+  EXPECT_EQ(rs.server->cache().size(), 0u);
+}
+
 #if defined(DPHIST_FAILPOINTS)
 
 using ::dphist::testing::FailpointConfig;
@@ -357,6 +491,106 @@ TEST_F(RecoveryChaosTest, SyncFailureAtPublishBoundaryNeverAcksALostRelease) {
   ASSERT_TRUE(release.ok());
   EXPECT_EQ(release.value()->histogram().counts(),
             retried.value()->histogram().counts());
+}
+
+TEST_F(RecoveryChaosTest, SparseAppendFailureAcksNothingAndReplaysClean) {
+  auto live = MakeSparseJournaledServer(/*total_epsilon=*/2.0);
+  const TenantKey acme{"acme", "urls"};
+
+  FailpointConfig fail_once;
+  fail_once.status = Status::Internal("injected journal append failure");
+  fail_once.trigger = FailpointTrigger::kOnce;
+  FailpointRegistry::Global().Arm("serve/journal/append", fail_once);
+
+  // The charge commits, the sparse publish record fails to journal: the
+  // caller must NOT be acked, nothing cached, epsilon conservatively spent.
+  auto failed = live.server->GetRelease(acme, {"sparse_pure", 0.4, 1});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_DOUBLE_EQ(
+      live.server->LedgerFor(acme).value()->spent_epsilon(), 0.4);
+  EXPECT_EQ(live.server->cache().size(), 0u);
+
+  FailpointRegistry::Global().DisarmAll();
+  auto retried = live.server->GetRelease(acme, {"sparse_pure", 0.4, 1});
+  ASSERT_TRUE(retried.ok());
+
+  // Replay: at most the committed spend, and exactly the acked release.
+  auto recovered = RecoverSparseFromBytes(live.sink->bytes, 2.0);
+  EXPECT_LE(recovered.server->LedgerFor(acme).value()->spent_epsilon(),
+            live.server->LedgerFor(acme).value()->spent_epsilon());
+  EXPECT_EQ(recovered.server->cache().size(), 1u);
+  auto release = recovered.server->GetRelease(acme, {"sparse_pure", 0.4, 1});
+  ASSERT_TRUE(release.ok());
+  EXPECT_TRUE(release.value()->sparse_histogram() ==
+              retried.value()->sparse_histogram());
+}
+
+TEST_F(RecoveryChaosTest, SparseSyncFailureNeverAcksALostRelease) {
+  auto live = MakeSparseJournaledServer(/*total_epsilon=*/2.0);
+  const TenantKey acme{"acme", "urls"};
+
+  FailpointConfig fail_once;
+  fail_once.status = Status::Internal("injected fsync failure");
+  fail_once.trigger = FailpointTrigger::kOnce;
+  FailpointRegistry::Global().Arm("serve/journal/sync", fail_once);
+
+  auto failed = live.server->GetRelease(acme, {"sparse_pure", 0.4, 1});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(live.server->cache().size(), 0u);  // never acked
+
+  FailpointRegistry::Global().DisarmAll();
+  auto retried = live.server->GetRelease(acme, {"sparse_pure", 0.4, 2});
+  ASSERT_TRUE(retried.ok());
+
+  auto recovered = RecoverSparseFromBytes(live.sink->bytes, 2.0);
+  EXPECT_LE(recovered.server->LedgerFor(acme).value()->spent_epsilon(),
+            live.server->LedgerFor(acme).value()->spent_epsilon());
+  auto release = recovered.server->GetRelease(acme, {"sparse_pure", 0.4, 2});
+  ASSERT_TRUE(release.ok());
+  EXPECT_TRUE(release.value()->sparse_histogram() ==
+              retried.value()->sparse_histogram());
+}
+
+TEST_F(RecoveryChaosTest, SparseSeededScheduleJournalIsBitIdenticalAtPoolWidths1And4) {
+  // Sparse publications journal through the same append path; the journal
+  // bytes (64-bit keys, f64 counts and all) must be a pure function of the
+  // schedule seed at any pool width.
+  auto run = [&](std::size_t pool_width) -> std::string {
+    ThreadPool pool(pool_width);
+    FailpointRegistry::Global().DisarmAll();
+    FailpointRegistry::Global().SeedSchedule(kChaosSeed);
+    FailpointConfig flaky;
+    flaky.status = Status::Internal("induced transient failure");
+    flaky.trigger = FailpointTrigger::kProbability;
+    flaky.probability = 0.3;
+    FailpointRegistry::Global().Arm("serve/cache/publish", flaky);
+
+    auto live = MakeSparseJournaledServer(/*total_epsilon=*/4.0, &pool);
+    const TenantKey acme{"acme", "urls"};
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        if (live.server
+                ->GetRelease(acme, {seed % 2 == 0 ? "sparse_pure"
+                                                  : "unknown_domain",
+                                    0.25, seed})
+                .ok()) {
+          break;
+        }
+      }
+    }
+    FailpointRegistry::Global().DisarmAll();
+    return live.sink->bytes;
+  };
+
+  const std::string journal_1 = run(1);
+  const std::string journal_4 = run(4);
+  ASSERT_EQ(journal_1, journal_4);
+
+  auto a = RecoverSparseFromBytes(journal_1, 4.0);
+  auto b = RecoverSparseFromBytes(journal_4, 4.0);
+  EXPECT_EQ(a.stats.charges_replayed, b.stats.charges_replayed);
+  EXPECT_EQ(a.stats.releases_replayed, b.stats.releases_replayed);
+  EXPECT_EQ(a.server->cache().size(), b.server->cache().size());
 }
 
 TEST_F(RecoveryChaosTest, InducedReplayFaultSurfacesTyped) {

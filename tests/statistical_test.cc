@@ -50,6 +50,74 @@ TEST(KsPValueTest, MonotoneInDistance) {
   }
 }
 
+TEST(KsExactPValueTest, SingleObservationsAlwaysReachFullDistance) {
+  // With one draw per sample, D = 1 with certainty (no ties), so
+  // P(D >= 1) is exactly 1.
+  EXPECT_DOUBLE_EQ(testing::KsExactPValue(1.0, 1, 1), 1.0);
+}
+
+TEST(KsExactPValueTest, ZeroDistanceIsCertain) {
+  EXPECT_DOUBLE_EQ(testing::KsExactPValue(0.0, 10, 10), 1.0);
+}
+
+TEST(KsExactPValueTest, HandComputedTwoByOne) {
+  // Samples of sizes 2 and 1, D >= 1 iff the lone b draw falls outside
+  // the two a draws: orderings baa, aab out of the 3 interleavings, so
+  // P(D >= 1) = 2/3.
+  EXPECT_NEAR(testing::KsExactPValue(1.0, 2, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KsExactPValueTest, MonotoneInDistance) {
+  double previous = 1.1;
+  for (double d : {0.1, 0.2, 0.4, 0.6, 0.9}) {
+    const double p = testing::KsExactPValue(d, 20, 20);
+    EXPECT_LE(p, previous) << "d=" << d;
+    previous = p;
+  }
+}
+
+TEST(KsExactPValueTest, AgreesWithAsymptoticAtModerateSize) {
+  // At n1 = n2 = 150 the Stephens-corrected asymptotic Q is accurate to a
+  // few percent; the exact DP must land beside it across the interesting
+  // range of the statistic.
+  for (double d : {0.08, 0.12, 0.16, 0.2}) {
+    const double exact = testing::KsExactPValue(d, 150, 150);
+    const double asymptotic = testing::KsPValue(d, 150, 150);
+    EXPECT_NEAR(exact, asymptotic, 0.02) << "d=" << d;
+  }
+}
+
+TEST(KsSameDistributionTest, SmallSampleExactPathAcceptsSameScale) {
+  Rng rng(2468);
+  std::vector<double> a(150);
+  std::vector<double> b(150);
+  for (double& x : a) {
+    x = SampleLaplace(rng, 1.0);
+  }
+  for (double& x : b) {
+    x = SampleLaplace(rng, 1.0);
+  }
+  // 150*150 <= kKsExactMaxProduct, so this exercises the exact DP.
+  ASSERT_LE(a.size() * b.size(), testing::kKsExactMaxProduct);
+  EXPECT_TRUE(testing::KsSameDistribution(a, b));
+}
+
+TEST(KsSameDistributionTest, SmallSampleExactPathRejectsWrongScale) {
+  // The injected bug the battery must catch: Laplace noise at the wrong
+  // scale (1.6 instead of 1.0 — e.g. an epsilon mis-plumbed by a factor).
+  Rng rng(9753);
+  std::vector<double> correct(150);
+  std::vector<double> wrong(150);
+  for (double& x : correct) {
+    x = SampleLaplace(rng, 1.0);
+  }
+  for (double& x : wrong) {
+    x = SampleLaplace(rng, 1.6);
+  }
+  ASSERT_LE(correct.size() * wrong.size(), testing::kKsExactMaxProduct);
+  EXPECT_FALSE(testing::KsSameDistribution(correct, wrong));
+}
+
 TEST(KsSameDistributionTest, AcceptsTwoLaplaceSamplesSameScale) {
   Rng rng(12345);
   std::vector<double> a(400);

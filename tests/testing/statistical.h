@@ -73,13 +73,86 @@ inline double KsPValue(double d, std::size_t n1, std::size_t n2) {
   return std::min(1.0, std::max(0.0, p));
 }
 
+/// Exact two-sided p-value P(D >= d) of the two-sample KS statistic for
+/// sample sizes `n1`, `n2`, assuming no ties (continuous distributions).
+///
+/// Counts lattice paths: a random interleaving of the two sorted samples
+/// is a monotone path from (0,0) to (n1,n2), and the KS distance is
+/// max |i/n1 - j/n2| over the visited cells. The DP propagates the
+/// probability of reaching (i,j) while staying strictly below d, with the
+/// hypergeometric step weights (n1-i)/(n1+n2-i-j) for an a-step — never
+/// forming the astronomically large path counts, only their normalized
+/// probabilities. p = 1 - P(every cell stayed below d). O(n1*n2) time.
+///
+/// i*n2 - j*n1 is integral, and d from KsStatistic of the same samples
+/// makes d*n1*n2 integral too, so the boundary test uses a half-unit
+/// tolerance: float error in d can never shift which cells are excluded.
+inline double KsExactPValue(double d, std::size_t n1, std::size_t n2) {
+  const double c =
+      std::round(d * static_cast<double>(n1) * static_cast<double>(n2));
+  if (c <= 0.5) {
+    return 1.0;  // D >= 0 always holds
+  }
+  const double total = static_cast<double>(n1 + n2);
+  std::vector<double> prev(n2 + 1, 0.0);
+  std::vector<double> cur(n2 + 1, 0.0);
+  auto inside = [&](std::size_t i, std::size_t j) {
+    const double deviation =
+        std::fabs(static_cast<double>(i) * static_cast<double>(n2) -
+                  static_cast<double>(j) * static_cast<double>(n1));
+    return deviation < c - 0.5;
+  };
+  prev[0] = 1.0;
+  for (std::size_t j = 1; j <= n2; ++j) {
+    // First column: every step takes from sample b, with probability
+    // (n2-(j-1)) / (n1+n2-(j-1)).
+    prev[j] = inside(0, j)
+                  ? prev[j - 1] * (static_cast<double>(n2 - (j - 1)) /
+                                   (total - static_cast<double>(j - 1)))
+                  : 0.0;
+  }
+  for (std::size_t i = 1; i <= n1; ++i) {
+    for (std::size_t j = 0; j <= n2; ++j) {
+      if (!inside(i, j)) {
+        cur[j] = 0.0;
+        continue;
+      }
+      const double remaining_before_a =
+          total - static_cast<double>(i - 1) - static_cast<double>(j);
+      double reach = prev[j] * (static_cast<double>(n1 - (i - 1)) /
+                                remaining_before_a);
+      if (j > 0) {
+        const double remaining_before_b =
+            total - static_cast<double>(i) - static_cast<double>(j - 1);
+        reach += cur[j - 1] * (static_cast<double>(n2 - (j - 1)) /
+                               remaining_before_b);
+      }
+      cur[j] = reach;
+    }
+    std::swap(prev, cur);
+  }
+  const double p = 1.0 - prev[n2];
+  return std::min(1.0, std::max(0.0, p));
+}
+
+/// Product size below which KsSameDistribution prefers the exact p-value;
+/// at 200x200 the O(n1*n2) DP is still microseconds, and the asymptotic
+/// approximation is at its least trustworthy exactly there.
+inline constexpr std::size_t kKsExactMaxProduct = 40000;
+
 /// True when the KS test does NOT reject "same distribution" at level
-/// `alpha`. Tests that use this with fixed seeds are deterministic; pick
-/// seeds for which the (correct) implementation passes comfortably.
+/// `alpha`. Small samples (n1*n2 <= kKsExactMaxProduct) use the exact
+/// lattice-path p-value; larger ones the asymptotic Kolmogorov Q. Tests
+/// that use this with fixed seeds are deterministic; pick seeds for which
+/// the (correct) implementation passes comfortably.
 inline bool KsSameDistribution(const std::vector<double>& a,
                                const std::vector<double>& b,
                                double alpha = 1e-3) {
-  return KsPValue(KsStatistic(a, b), a.size(), b.size()) > alpha;
+  const double d = KsStatistic(a, b);
+  if (!a.empty() && !b.empty() && a.size() * b.size() <= kKsExactMaxProduct) {
+    return KsExactPValue(d, a.size(), b.size()) > alpha;
+  }
+  return KsPValue(d, a.size(), b.size()) > alpha;
 }
 
 }  // namespace testing

@@ -48,6 +48,9 @@ ID_FIELDS = {
     # fresh row that has it — the per-bench empty-intersection check below
     # turns that into a hard, explained failure instead of a silent pass.
     "noise_model",
+    # bench_sparse identity field: the 64-bit sparse domain size (distinct
+    # from "n", which is the record count there).
+    "domain",
 }
 
 # Measured wall-clock fields: machine-dependent, ratio-gated.
