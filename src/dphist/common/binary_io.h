@@ -19,29 +19,68 @@ namespace binio {
 /// prefix plus bytes, and a frame is valid only when it fits AND its CRC
 /// matches. Centralizing the primitives keeps those promises in one place.
 
-/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven. Vendored
-/// in ~15 lines instead of taking a zlib dependency: these codecs are the
-/// only CRC users and the container may not ship zlib headers.
-inline const std::array<std::uint32_t, 256>& Crc32Table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), slicing-by-8:
+/// table[0] is the classic bytewise table, and table[k][b] extends a CRC
+/// whose low byte is b by k more zero bytes, so eight input bytes fold
+/// into eight independent lookups per iteration — several times the
+/// bytewise throughput, which matters because every serve-path frame
+/// (request and response) is CRC'd on the single event-loop thread.
+/// Vendored instead of taking a zlib dependency: these codecs are the
+/// only CRC users and the container may not ship zlib headers. The
+/// produced values are the standard IEEE CRC-32, bit-identical to the
+/// bytewise form (wire_codec_test pins known vectors).
+inline const std::array<std::array<std::uint32_t, 256>, 8>& Crc32Tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t crc = i;
       for (int bit = 0; bit < 8; ++bit) {
         crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
       }
-      t[i] = crc;
+      t[0][i] = crc;
+    }
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
+}
+
+/// Bytewise table (kept for single-byte tail processing and any caller
+/// that wants the classic form).
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  return Crc32Tables()[0];
 }
 
 inline std::uint32_t Crc32(std::string_view bytes) {
-  const auto& table = Crc32Table();
+  const auto& t = Crc32Tables();
   std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : bytes) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    lo = __builtin_bswap32(lo);
+    hi = __builtin_bswap32(hi);
+#endif
+    crc ^= lo;
+    crc = t[7][crc & 0xFFu] ^ t[6][(crc >> 8) & 0xFFu] ^
+          t[5][(crc >> 16) & 0xFFu] ^ t[4][crc >> 24] ^
+          t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  const auto& table = t[0];
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ table[(crc ^ *p++) & 0xFFu];
   }
   return crc ^ 0xFFFFFFFFu;
 }

@@ -9,18 +9,51 @@ namespace dphist {
 Histogram::Histogram(std::vector<double> counts)
     : counts_(std::move(counts)) {}
 
+Histogram::Histogram(const Histogram& other)
+    : counts_(other.counts_),
+      prefix_(other.prefix_),
+      prefix_valid_(other.prefix_valid_.load(std::memory_order_acquire)) {}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) {
+    counts_ = other.counts_;
+    prefix_ = other.prefix_;
+    prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  }
+  return *this;
+}
+
+Histogram::Histogram(Histogram&& other) noexcept
+    : counts_(std::move(other.counts_)),
+      prefix_(std::move(other.prefix_)),
+      prefix_valid_(other.prefix_valid_.load(std::memory_order_acquire)) {
+  other.prefix_valid_.store(false, std::memory_order_release);
+}
+
+Histogram& Histogram::operator=(Histogram&& other) noexcept {
+  if (this != &other) {
+    counts_ = std::move(other.counts_);
+    prefix_ = std::move(other.prefix_);
+    prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+    other.prefix_valid_.store(false, std::memory_order_release);
+  }
+  return *this;
+}
+
 Histogram Histogram::Zeros(std::size_t num_bins) {
   return Histogram(std::vector<double>(num_bins, 0.0));
 }
 
 void Histogram::set_count(std::size_t i, double value) {
   counts_[i] = value;
-  prefix_valid_ = false;
+  prefix_valid_.store(false, std::memory_order_release);
 }
 
 void Histogram::Add(std::size_t i, double delta) {
   counts_[i] += delta;
-  prefix_valid_ = false;
+  prefix_valid_.store(false, std::memory_order_release);
 }
 
 double Histogram::Total() const {
@@ -65,11 +98,18 @@ std::vector<double> Histogram::ToDistribution() const {
 }
 
 void Histogram::EnsurePrefix() const {
-  if (prefix_valid_) {
+  // Once-init: the acquire load pairs with the release store below, so a
+  // reader that sees `true` also sees the fully built table. Concurrent
+  // first readers serialize on the mutex; exactly one builds.
+  if (prefix_valid_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(prefix_mutex_);
+  if (prefix_valid_.load(std::memory_order_relaxed)) {
     return;
   }
   prefix_ = PrefixSums(counts_);
-  prefix_valid_ = true;
+  prefix_valid_.store(true, std::memory_order_release);
 }
 
 }  // namespace dphist

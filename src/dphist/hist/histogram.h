@@ -1,7 +1,9 @@
 #ifndef DPHIST_HIST_HISTOGRAM_H_
 #define DPHIST_HIST_HISTOGRAM_H_
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "dphist/common/result.h"
@@ -13,8 +15,19 @@ namespace dphist {
 ///
 /// This is the object the paper publishes: `counts()[i]` is the (possibly
 /// noisy) number of records whose attribute falls in the i-th unit bin of
-/// the domain. Range sums are answered in O(1) from a prefix table, which is
-/// rebuilt lazily after mutation.
+/// the domain. Range sums are answered in O(1) from a prefix table, which
+/// is built at most once after the last mutation.
+///
+/// Thread safety: const accessors (including the lazily-sealing
+/// `RangeSum*`/`Total`) are safe to call concurrently from any number of
+/// threads — the prefix table is built under an internal mutex and
+/// published through an acquire/release flag, so exactly one caller builds
+/// it and every other caller either sees the finished table or waits for
+/// it (never a torn one). Mutators (`set_count`, `Add`, assignment)
+/// require exclusive access, the usual C++ const-correctness contract.
+/// Serving code seals the prefix eagerly at publish time (`SealPrefix`) so
+/// the hot read path is a single relaxed-ish atomic load plus two array
+/// reads, with no lock and no lazy state.
 class Histogram {
  public:
   /// Creates an empty histogram (zero bins).
@@ -23,6 +36,15 @@ class Histogram {
   /// Creates a histogram with the given unit-bin counts. Counts may be
   /// fractional or negative (noisy histograms are both).
   explicit Histogram(std::vector<double> counts);
+
+  /// Copy/move preserve counts and any already-built prefix table; the
+  /// internal synchronization state is fresh per object (a mutex is not
+  /// copyable). Copying or moving FROM a histogram requires the same
+  /// exclusive access as any other read racing no writer.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+  Histogram(Histogram&& other) noexcept;
+  Histogram& operator=(Histogram&& other) noexcept;
 
   /// Creates a zeroed histogram with `num_bins` bins.
   static Histogram Zeros(std::size_t num_bins);
@@ -39,10 +61,18 @@ class Histogram {
   double count(std::size_t i) const { return counts_[i]; }
 
   /// Sets the count of bin `i` and invalidates the prefix table.
+  /// Requires exclusive access (see class comment).
   void set_count(std::size_t i, double value);
 
   /// Adds `delta` to bin `i` and invalidates the prefix table.
+  /// Requires exclusive access (see class comment).
   void Add(std::size_t i, double delta);
+
+  /// Builds the prefix table now if it is not already valid. Publishing
+  /// paths call this once before a histogram becomes a shared immutable
+  /// release, so every subsequent concurrent reader takes the lock-free
+  /// fast path. Safe (and cheap) to call repeatedly or concurrently.
+  void SealPrefix() const { EnsurePrefix(); }
 
   /// Sum of all counts.
   double Total() const;
@@ -64,9 +94,13 @@ class Histogram {
   void EnsurePrefix() const;
 
   std::vector<double> counts_;
-  // Lazily built prefix sums: prefix_[i] = sum of counts_[0..i).
+  // Prefix sums, built at most once per mutation epoch:
+  // prefix_[i] = sum of counts_[0..i). Guarded by the once-init protocol:
+  // written under prefix_mutex_, published by the release-store of
+  // prefix_valid_, and immutable while prefix_valid_ is true.
   mutable std::vector<double> prefix_;
-  mutable bool prefix_valid_ = false;
+  mutable std::atomic<bool> prefix_valid_{false};
+  mutable std::mutex prefix_mutex_;
 };
 
 }  // namespace dphist

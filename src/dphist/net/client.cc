@@ -160,6 +160,63 @@ Result<WireBatchAnswer> NetClient::Query(const WireQueryRequest& query,
   return std::move(decoded.value().batch_answer);
 }
 
+Result<std::vector<WireBatchAnswer>> NetClient::QueryPipelined(
+    const WireQueryRequest& query, bool binary, std::size_t depth) {
+  if (fd_ < 0) {
+    return Status::Internal("not connected");
+  }
+  std::vector<WireBatchAnswer> answers;
+  if (depth == 0) {
+    return answers;
+  }
+  const std::string one =
+      SerializeRequest(BuildPost("/v1/query", query, binary));
+  std::string bytes;
+  bytes.reserve(one.size() * depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    bytes += one;
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return ErrnoStatus("pipelined send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  answers.reserve(depth);
+  HttpParser parser(HttpParser::Kind::kResponse);
+  char buffer[65536];
+  while (answers.size() < depth) {
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      return ErrnoStatus("pipelined recv");
+    }
+    std::string_view chunk(buffer, static_cast<std::size_t>(n));
+    while (!chunk.empty() && answers.size() < depth) {
+      std::size_t consumed = 0;
+      const HttpParser::State state = parser.Feed(chunk, &consumed);
+      chunk.remove_prefix(consumed);
+      if (state == HttpParser::State::kError) {
+        return Status::Internal("malformed response: " + parser.error());
+      }
+      if (state == HttpParser::State::kComplete) {
+        auto decoded = DecodeResponse(parser.message());
+        if (!decoded.ok()) {
+          return decoded.status();
+        }
+        if (decoded.value().type != WireType::kBatchAnswer) {
+          return Status::Internal("unexpected response message type");
+        }
+        answers.push_back(std::move(decoded.value().batch_answer));
+        parser.Reset();
+      }
+    }
+  }
+  return answers;
+}
+
 Result<WireHistogram> NetClient::Release(const WireQueryRequest& query,
                                          bool binary) {
   auto response = RoundTrip(BuildPost("/v1/release", query, binary));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
@@ -40,6 +41,18 @@ class NetClient {
   /// decodes the answer. A server-side error (typed refusal, budget
   /// exhaustion, bad request) comes back as that error's Status.
   Result<WireBatchAnswer> Query(const WireQueryRequest& query, bool binary);
+
+  /// HTTP/1.1 pipelining: writes `depth` copies of the /v1/query POST
+  /// back-to-back, then reads the `depth` responses in order — one
+  /// syscall-amortized burst instead of `depth` ping-pong round trips,
+  /// which is what exposes server-side capacity on loopback (the load
+  /// harness's throughput mode). The whole burst must fit in the kernel
+  /// socket buffers (requests out, answers back), so keep `depth`
+  /// moderate — tens, not thousands. No reconnect-and-retry: a broken
+  /// pipe mid-burst is kInternal. Any response that decodes to an error
+  /// fails the burst with that error's Status.
+  Result<std::vector<WireBatchAnswer>> QueryPipelined(
+      const WireQueryRequest& query, bool binary, std::size_t depth);
 
   /// Convenience: POSTs to /v1/release and decodes the full histogram.
   Result<WireHistogram> Release(const WireQueryRequest& query, bool binary);

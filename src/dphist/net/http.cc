@@ -172,16 +172,26 @@ void HttpParser::Reset() {
 
 namespace {
 
-void AppendHeaders(std::string& out, const HttpMessage& message) {
+void AppendHeadersOnly(std::string& out, const HttpMessage& message,
+                       std::size_t body_len) {
   for (const auto& [name, value] : message.headers) {
     out += name;
     out += ": ";
     out += value;
     out += "\r\n";
   }
-  out += "content-length: " + std::to_string(message.body.size()) + "\r\n";
+  out += "content-length: " + std::to_string(body_len) + "\r\n";
   out += "\r\n";
+}
+
+void AppendHeaders(std::string& out, const HttpMessage& message) {
+  AppendHeadersOnly(out, message, message.body.size());
   out += message.body;
+}
+
+std::string ResponseStatusLine(const HttpMessage& message) {
+  return "HTTP/1.1 " + std::to_string(message.status) + " " +
+         std::string(ReasonPhrase(message.status)) + "\r\n";
 }
 
 }  // namespace
@@ -193,9 +203,15 @@ std::string SerializeRequest(const HttpMessage& message) {
 }
 
 std::string SerializeResponse(const HttpMessage& message) {
-  std::string out = "HTTP/1.1 " + std::to_string(message.status) + " " +
-                    std::string(ReasonPhrase(message.status)) + "\r\n";
+  std::string out = ResponseStatusLine(message);
   AppendHeaders(out, message);
+  return out;
+}
+
+std::string SerializeResponseHead(const HttpMessage& message,
+                                  std::size_t body_len) {
+  std::string out = ResponseStatusLine(message);
+  AppendHeadersOnly(out, message, body_len);
   return out;
 }
 

@@ -102,6 +102,15 @@ std::string SerializeRequest(const HttpMessage& message);
 /// Content-Length emitted from `body`.
 std::string SerializeResponse(const HttpMessage& message);
 
+/// Serializes only the response head (status line + headers +
+/// `content-length: body_len` + blank line), ignoring `message.body`.
+/// Invariant: `SerializeResponse(m) == SerializeResponseHead(m,
+/// m.body.size()) + m.body` byte for byte — what lets the server write a
+/// cached body as a second scatter-gather segment without copying it into
+/// the head buffer.
+std::string SerializeResponseHead(const HttpMessage& message,
+                                  std::size_t body_len);
+
 /// Canonical reason phrase for the handful of statuses dphist emits.
 std::string_view ReasonPhrase(int status);
 

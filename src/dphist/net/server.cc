@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -13,6 +14,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "dphist/common/env.h"
 #include "dphist/net/http.h"
 #include "dphist/net/wire_codec.h"
 #include "dphist/obs/export.h"
@@ -63,10 +66,22 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-// Serializes an HTTP response carrying one codec-encoded message.
-std::string BuildResponse(int http_status, StatusCode code, bool binary,
-                          std::string body, bool close) {
-  HttpMessage response;
+/// One response queued for write, as up to two scatter-gather segments:
+/// `head` (serialized head, or the whole response when `body` is null) and
+/// an optional shared immutable `body` — a pre-encoded release frame
+/// written straight from the cache, never copied into per-connection
+/// buffers.
+struct Payload {
+  std::string head;
+  std::shared_ptr<const std::string> body;
+
+  std::size_t size() const {
+    return head.size() + (body != nullptr ? body->size() : 0);
+  }
+};
+
+void FillResponseHeaders(HttpMessage& response, int http_status,
+                         StatusCode code, bool binary, bool close) {
   response.status = http_status;
   response.headers["content-type"] =
       binary ? kContentTypeBinary : kContentTypeJson;
@@ -74,22 +89,80 @@ std::string BuildResponse(int http_status, StatusCode code, bool binary,
   if (close) {
     response.headers["connection"] = "close";
   }
-  response.body = std::move(body);
-  return SerializeResponse(response);
 }
 
-std::string BuildErrorResponse(const Status& status, bool binary, bool close) {
+// Serializes an HTTP response carrying one codec-encoded message.
+Payload BuildResponse(int http_status, StatusCode code, bool binary,
+                      std::string body, bool close) {
+  HttpMessage response;
+  FillResponseHeaders(response, http_status, code, binary, close);
+  response.body = std::move(body);
+  return Payload{SerializeResponse(response), nullptr};
+}
+
+// Like BuildResponse, but the body stays a shared immutable frame: only
+// the head is serialized, and the frame ships as the second writev
+// segment. Byte-identical on the wire to BuildResponse with a copied
+// body (the SerializeResponseHead invariant).
+Payload BuildSharedResponse(int http_status, StatusCode code, bool binary,
+                            std::shared_ptr<const std::string> body,
+                            bool close) {
+  HttpMessage response;
+  FillResponseHeaders(response, http_status, code, binary, close);
+  return Payload{SerializeResponseHead(response, body->size()),
+                 std::move(body)};
+}
+
+Payload BuildErrorResponse(const Status& status, bool binary, bool close) {
   return BuildResponse(MapStatusToHttp(status.code()), status.code(), binary,
                        binary ? EncodeError(status) : EncodeErrorJson(status),
                        close);
 }
 
-std::string BuildTextResponse(int http_status, std::string body) {
+Payload BuildTextResponse(int http_status, std::string body) {
   HttpMessage response;
   response.status = http_status;
   response.headers["content-type"] = "text/plain";
   response.body = std::move(body);
-  return SerializeResponse(response);
+  return Payload{SerializeResponse(response), nullptr};
+}
+
+// The /v1/release response body for one sealed release, in one codec.
+std::string EncodeReleaseBody(const serve::CachedRelease& release,
+                              bool binary) {
+  if (release.is_sparse()) {
+    WireSparseHistogram sparse;
+    sparse.key = release.key();
+    const auto& histogram = release.sparse_histogram();
+    sparse.domain_size = histogram.domain_size();
+    sparse.keys.reserve(histogram.entries().size());
+    sparse.counts.reserve(histogram.entries().size());
+    for (const auto& entry : histogram.entries()) {
+      sparse.keys.push_back(entry.key);
+      sparse.counts.push_back(entry.count);
+    }
+    return binary ? EncodeSparseHistogram(sparse)
+                  : EncodeSparseHistogramJson(sparse);
+  }
+  WireHistogram histogram;
+  histogram.key = release.key();
+  histogram.counts = release.histogram().counts();
+  return binary ? EncodeHistogram(histogram) : EncodeHistogramJson(histogram);
+}
+
+// The release's encoded frame: memoized on the sealed release when the
+// frame cache is on (first caller encodes, everyone after shares the
+// bytes), freshly encoded otherwise.
+std::shared_ptr<const std::string> ReleaseFrame(
+    const serve::CachedRelease& release, bool binary, bool use_cache) {
+  if (!use_cache) {
+    return std::make_shared<const std::string>(
+        EncodeReleaseBody(release, binary));
+  }
+  const auto codec = binary ? serve::SealedRelease::FrameCodec::kBinary
+                            : serve::SealedRelease::FrameCodec::kJson;
+  return release.EncodedFrame(
+      codec, [&release, binary] { return EncodeReleaseBody(release, binary); });
 }
 
 // Identity of the release a query request resolves to — the coalescing
@@ -128,9 +201,9 @@ struct NetServer::Impl {
     std::uint64_t id = 0;
     int fd = -1;
     HttpParser parser{HttpParser::Kind::kRequest};
-    std::string inbuf;    // read but not yet consumed by the parser
-    std::string outbuf;   // response bytes awaiting write
-    std::size_t out_pos = 0;
+    std::string inbuf;  // read but not yet consumed by the parser
+    std::deque<Payload> outq;  // responses awaiting write, in order
+    std::size_t out_pos = 0;   // bytes of outq.front() already written
     bool dispatched = false;   // a request is inside a handler
     bool close_after_write = false;
   };
@@ -143,7 +216,7 @@ struct NetServer::Impl {
 
   // Completions: worker -> event loop, keyed by connection id.
   std::mutex done_mutex;
-  std::vector<std::pair<std::uint64_t, std::string>> done;
+  std::vector<std::pair<std::uint64_t, Payload>> done;
 
   // --- query coalescing ---
   struct PendingQuery {
@@ -171,6 +244,8 @@ struct NetServer::Impl {
       obs::Registry::Global().GetCounter("net/coalesced_requests");
   obs::Counter& connections =
       obs::Registry::Global().GetCounter("net/connections");
+  obs::Counter& bytes_zero_copy =
+      obs::Registry::Global().GetCounter("net/bytes_zero_copy");
   obs::Distribution& request_ms =
       obs::Registry::Global().GetDistribution("net/request_ms");
   obs::Distribution& coalesce_group =
@@ -182,7 +257,7 @@ struct NetServer::Impl {
     [[maybe_unused]] const ssize_t n = write(wake_write, &byte, 1);
   }
 
-  void CompleteRequest(const PendingQuery& pending, std::string response) {
+  void CompleteRequest(const PendingQuery& pending, Payload response) {
     if (obs::Enabled()) {
       request_ms.Record(std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - pending.start)
@@ -259,12 +334,19 @@ struct NetServer::Impl {
                           pending.close));
       }
     }
-    pending_tasks.fetch_sub(1, std::memory_order_acq_rel);
+    // Wake BEFORE the decrement: the drain check in EventLoop exits (and
+    // Stop() then closes the wake pipe) as soon as pending_tasks reads 0,
+    // and the release/acquire pair on the counter is what orders this
+    // thread's pipe write before that close. A wakeup consumed ahead of
+    // the decrement only costs one poll timeout.
     Wake();
+    pending_tasks.fetch_sub(1, std::memory_order_acq_rel);
   }
 
   // One /v1/release request: publish (or hit the cache) and ship the full
-  // released histogram.
+  // released histogram — from the release's encoded frame when the frame
+  // cache is on, so the dispatched path both seeds and reuses the same
+  // memo as the inline fast lane.
   void RunRelease(PendingQuery pending) {
     if (options.handler_hook) {
       options.handler_hook();
@@ -272,46 +354,29 @@ struct NetServer::Impl {
     auto release = server->GetRelease(
         serve::TenantKey{pending.request.tenant, pending.request.dataset},
         pending.request.request);
-    std::string response;
+    Payload response;
     if (!release.ok()) {
       errors.Increment();
       response =
           BuildErrorResponse(release.status(), pending.binary, pending.close);
-    } else if (release.value()->is_sparse()) {
-      WireSparseHistogram sparse;
-      sparse.key = release.value()->key();
-      const auto& histogram = release.value()->sparse_histogram();
-      sparse.domain_size = histogram.domain_size();
-      sparse.keys.reserve(histogram.entries().size());
-      sparse.counts.reserve(histogram.entries().size());
-      for (const auto& entry : histogram.entries()) {
-        sparse.keys.push_back(entry.key);
-        sparse.counts.push_back(entry.count);
-      }
-      response = BuildResponse(200, StatusCode::kOk, pending.binary,
-                               pending.binary
-                                   ? EncodeSparseHistogram(sparse)
-                                   : EncodeSparseHistogramJson(sparse),
-                               pending.close);
     } else {
-      WireHistogram histogram;
-      histogram.key = release.value()->key();
-      histogram.counts = release.value()->histogram().counts();
-      response = BuildResponse(200, StatusCode::kOk, pending.binary,
-                               pending.binary
-                                   ? EncodeHistogram(histogram)
-                                   : EncodeHistogramJson(histogram),
-                               pending.close);
+      response = BuildSharedResponse(
+          200, StatusCode::kOk, pending.binary,
+          ReleaseFrame(*release.value(), pending.binary,
+                       options.encoded_cache),
+          pending.close);
     }
     CompleteRequest(pending, std::move(response));
-    pending_tasks.fetch_sub(1, std::memory_order_acq_rel);
+    // Same ordering contract as RunBatch: pipe write before the decrement
+    // that lets shutdown close the pipe.
     Wake();
+    pending_tasks.fetch_sub(1, std::memory_order_acq_rel);
   }
 
   // --- event-loop-side request handling ---
 
-  void Respond(Conn& conn, std::string bytes) {
-    conn.outbuf += bytes;
+  void Respond(Conn& conn, Payload payload) {
+    conn.outq.push_back(std::move(payload));
     requests.Increment();
   }
 
@@ -375,6 +440,68 @@ struct NetServer::Impl {
                             "endpoint expects a query_request message"),
                         binary, close));
       return;
+    }
+
+    // Fast lane: a release already sealed in the cache involves no
+    // publisher, no budget charge, and no journal write — nothing that
+    // can block or queue — so answer it inline on the event loop instead
+    // of paying the worker handoff and the completion-queue round trip.
+    // Sub-microsecond per request (O(1) prefix subtractions, pre-encoded
+    // release frames), so loop occupancy stays negligible. Disabled by
+    // `encoded_cache = false` (A/B benching) and by a handler_hook (tests
+    // that must observe every request on a worker).
+    if (options.encoded_cache && !options.handler_hook) {
+      const WireQueryRequest& query_request = decoded.value().query_request;
+      const serve::TenantKey tenant_key{query_request.tenant,
+                                        query_request.dataset};
+      const auto start = std::chrono::steady_clock::now();
+      if (target == "/v1/query") {
+        serve::BatchAnswer answered;
+        auto hit = server->TryAnswerCached(tenant_key, query_request.queries,
+                                           query_request.request, &answered);
+        if (!hit.ok()) {
+          // Same typed error the dispatched path would produce (bad
+          // queries, cross-tenant probe); the fast lane never masks one.
+          errors.Increment();
+          Respond(conn, BuildErrorResponse(hit.status(), binary, close));
+          return;
+        }
+        if (hit.value()) {
+          WireBatchAnswer answer;
+          answer.stale = answered.stale;
+          answer.cache_hit = answered.cache_hit;
+          answer.served = answered.served;
+          answer.answers = std::move(answered.answers);
+          Respond(conn,
+                  BuildResponse(200, StatusCode::kOk, binary,
+                                binary ? EncodeBatchAnswer(answer)
+                                       : EncodeBatchAnswerJson(answer),
+                                close));
+          if (obs::Enabled()) {
+            request_ms.Record(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+          }
+          return;
+        }
+      } else {  // /v1/release
+        auto release =
+            server->TryGetCached(tenant_key, query_request.request);
+        if (release != nullptr) {
+          Respond(conn, BuildSharedResponse(
+                            200, StatusCode::kOk, binary,
+                            ReleaseFrame(*release, binary, /*use_cache=*/true),
+                            close));
+          if (obs::Enabled()) {
+            request_ms.Record(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+          }
+          return;
+        }
+      }
+      // Not sealed yet: fall through to the dispatched path (coalescing,
+      // admission control, publish) unchanged.
     }
 
     // Admission control: the bounded in-flight queue. Refusal is typed and
@@ -445,14 +572,92 @@ struct NetServer::Impl {
       }
       if (state == HttpParser::State::kError) {
         errors.Increment();
-        conn.outbuf += BuildTextResponse(conn.parser.error_status(),
-                                         conn.parser.error() + "\n");
+        conn.outq.push_back(BuildTextResponse(conn.parser.error_status(),
+                                              conn.parser.error() + "\n"));
         conn.close_after_write = true;
         return;
       }
       HandleRequest(conn);
       conn.parser.Reset();
     }
+  }
+
+  // Writes as much of the connection's output queue as the socket will
+  // take, gathering MANY queued responses into one writev: each response
+  // contributes its serialized head and (when cached) its shared
+  // pre-encoded body as separate segments, so a pipelined burst of N
+  // responses leaves in one syscall instead of N, and the body bytes go
+  // from the cached frame to the kernel with no intermediate copy
+  // (counted in `net/bytes_zero_copy`). Returns false on a fatal socket
+  // error.
+  bool FlushConn(Conn& conn) {
+    // Segment budget per writev: two per response, comfortably under any
+    // platform IOV_MAX (POSIX guarantees >= 16; Linux gives 1024).
+    constexpr std::size_t kMaxIov = 64;
+    while (!conn.outq.empty()) {
+      iovec iov[kMaxIov];
+      std::size_t iov_count = 0;
+      std::size_t offered = 0;
+      std::size_t resume = conn.out_pos;  // only the front can be partial
+      for (const Payload& payload : conn.outq) {
+        if (iov_count + 2 > kMaxIov) {
+          break;
+        }
+        const std::size_t head_size = payload.head.size();
+        if (resume < head_size) {
+          iov[iov_count++] = {
+              const_cast<char*>(payload.head.data()) + resume,
+              head_size - resume};
+          if (payload.body != nullptr && !payload.body->empty()) {
+            iov[iov_count++] = {const_cast<char*>(payload.body->data()),
+                                payload.body->size()};
+          }
+        } else {
+          const std::size_t body_pos = resume - head_size;
+          iov[iov_count++] = {
+              const_cast<char*>(payload.body->data()) + body_pos,
+              payload.body->size() - body_pos};
+        }
+        offered += payload.size() - resume;
+        resume = 0;
+      }
+      const ssize_t n =
+          writev(conn.fd, iov, static_cast<int>(iov_count));
+      if (n < 0) {
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+      }
+      if (n == 0) {
+        return true;
+      }
+      // Retire written bytes across the queue front.
+      std::size_t remaining = static_cast<std::size_t>(n);
+      while (remaining > 0) {
+        Payload& payload = conn.outq.front();
+        const std::size_t head_size = payload.head.size();
+        const std::size_t take =
+            std::min(payload.size() - conn.out_pos, remaining);
+        if (payload.body != nullptr) {
+          const std::size_t body_before =
+              conn.out_pos > head_size ? conn.out_pos - head_size : 0;
+          const std::size_t after_pos = conn.out_pos + take;
+          const std::size_t body_after =
+              after_pos > head_size ? after_pos - head_size : 0;
+          if (body_after > body_before) {
+            bytes_zero_copy.Add(body_after - body_before);
+          }
+        }
+        conn.out_pos += take;
+        remaining -= take;
+        if (conn.out_pos == payload.size()) {
+          conn.outq.pop_front();
+          conn.out_pos = 0;
+        }
+      }
+      if (static_cast<std::size_t>(n) < offered) {
+        return true;  // kernel buffer full; resume on the next POLLOUT
+      }
+    }
+    return true;
   }
 
   void CloseConn(std::uint64_t id) {
@@ -493,11 +698,11 @@ struct NetServer::Impl {
         short events = 0;
         // Backpressure tier 2: a connection is not read while its request
         // is in a handler or its response is still flushing.
-        if (!draining && !conn.dispatched && conn.outbuf.empty() &&
+        if (!draining && !conn.dispatched && conn.outq.empty() &&
             !conn.close_after_write) {
           events |= POLLIN;
         }
-        if (conn.out_pos < conn.outbuf.size()) {
+        if (!conn.outq.empty()) {
           events |= POLLOUT;
         }
         if (events == 0) {
@@ -519,7 +724,7 @@ struct NetServer::Impl {
         while (read(wake_read, buffer, sizeof(buffer)) > 0) {
         }
       }
-      std::vector<std::pair<std::uint64_t, std::string>> completed;
+      std::vector<std::pair<std::uint64_t, Payload>> completed;
       {
         std::lock_guard<std::mutex> lock(done_mutex);
         completed.swap(done);
@@ -529,7 +734,7 @@ struct NetServer::Impl {
         if (it == conns.end()) {
           continue;  // client went away mid-request
         }
-        it->second.outbuf += response;
+        it->second.outq.push_back(std::move(response));
         it->second.dispatched = false;
       }
 
@@ -579,28 +784,32 @@ struct NetServer::Impl {
           if (n > 0) {
             conn.inbuf.append(buffer, static_cast<std::size_t>(n));
             ProcessInbuf(conn);
+            // Fast-lane responses were built inline just now: flush them
+            // before going back to poll, so a pipelined burst completes
+            // in this round instead of waiting for a POLLOUT wakeup.
+            if (!conn.outq.empty()) {
+              if (!FlushConn(conn)) {
+                to_close.push_back(id);
+                continue;
+              }
+              if (conn.outq.empty() && conn.close_after_write) {
+                to_close.push_back(id);
+                continue;
+              }
+            }
           }
         }
-        if ((pfd.revents & POLLOUT) != 0 &&
-            conn.out_pos < conn.outbuf.size()) {
-          const ssize_t n =
-              write(conn.fd, conn.outbuf.data() + conn.out_pos,
-                    conn.outbuf.size() - conn.out_pos);
-          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        if ((pfd.revents & POLLOUT) != 0 && !conn.outq.empty()) {
+          if (!FlushConn(conn)) {
             to_close.push_back(id);
             continue;
           }
-          if (n > 0) {
-            conn.out_pos += static_cast<std::size_t>(n);
-            if (conn.out_pos == conn.outbuf.size()) {
-              conn.outbuf.clear();
-              conn.out_pos = 0;
-              if (conn.close_after_write) {
-                to_close.push_back(id);
-              } else {
-                // Keep-alive: pick up any pipelined bytes already read.
-                ProcessInbuf(conn);
-              }
+          if (conn.outq.empty()) {
+            if (conn.close_after_write) {
+              to_close.push_back(id);
+            } else {
+              // Keep-alive: pick up any pipelined bytes already read.
+              ProcessInbuf(conn);
             }
           }
         }
@@ -623,6 +832,15 @@ NetServer::NetServer(serve::ReleaseServer* release_server,
                      NetServerOptions options)
     : impl_(new Impl), release_server_(release_server),
       options_(std::move(options)) {
+  // Deployment-time A/B switch; anything other than the recognized
+  // spellings leaves the constructed option alone.
+  if (const auto env = GetEnv("DPHIST_ENCODED_CACHE")) {
+    if (*env == "0" || *env == "off" || *env == "false") {
+      options_.encoded_cache = false;
+    } else if (*env == "1" || *env == "on" || *env == "true") {
+      options_.encoded_cache = true;
+    }
+  }
   impl_->server = release_server_;
   impl_->options = options_;
   impl_->pool = options_.pool != nullptr ? options_.pool

@@ -32,9 +32,20 @@ struct NetServerOptions {
   std::size_t max_inflight = 64;
   /// Maximum simultaneous connections; accept() pauses at the bound.
   std::size_t max_connections = 256;
+  /// Serve-path fast lane: answer requests whose release is already sealed
+  /// in the cache inline on the event loop (no worker handoff, no
+  /// admission charge — a sealed release cannot queue behind a publisher),
+  /// and serve /v1/release from the release's pre-encoded frame as a
+  /// zero-copy scatter-gather write. Off = every request takes the
+  /// dispatch path and every response is freshly encoded (the pre-overhaul
+  /// behavior, kept for A/B benching). Overridable with
+  /// DPHIST_ENCODED_CACHE=0|off|false / 1|on|true at construction.
+  bool encoded_cache = true;
   /// Test seam: runs on the worker at the start of every dispatched
   /// request, before the serve-layer call. Lets tests hold workers inside
-  /// handlers to saturate the admission queue deterministically.
+  /// handlers to saturate the admission queue deterministically. Setting
+  /// it also disables the inline fast lane (every request must reach a
+  /// worker for the hook to see it).
   std::function<void()> handler_hook;
 };
 
@@ -83,9 +94,22 @@ struct NetServerOptions {
 ///   GET  /statsz      obs registry snapshot, JSON lines
 ///   GET  /v1/meta     default-namespace domain size + fingerprint (JSON)
 ///
+/// Fast lane (when `encoded_cache` is on and no handler_hook is set): a
+/// request whose release is already sealed in the cache is answered
+/// inline on the event loop — one counting cache lookup, O(1) prefix
+/// subtractions per query, and for /v1/release the release's pre-encoded
+/// frame shipped as a zero-copy second `writev` segment. No worker
+/// handoff, no completion-queue round trip, no admission charge: the
+/// admission bound exists to keep publisher work from queueing
+/// unboundedly, and a sealed release involves no publisher work. Requests
+/// whose release is NOT yet cached take the dispatched path unchanged
+/// (coalescing included), so answers are byte-identical between lanes.
+///
 /// Obs: `net/requests`, `net/refused_admission`, `net/errors`,
-/// `net/coalesced_batches`, `net/coalesced_requests`, `net/connections`
-/// counters; `net/request_ms` and `net/coalesce_group` distributions.
+/// `net/coalesced_batches`, `net/coalesced_requests`, `net/connections`,
+/// `net/bytes_zero_copy` counters; `net/request_ms` and
+/// `net/coalesce_group` distributions (plus `serve/frame_cache_hits|
+/// misses` from the frame memo underneath).
 class NetServer {
  public:
   /// `release_server` must outlive this object.

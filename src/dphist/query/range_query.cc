@@ -23,14 +23,34 @@ Status ValidateQueries(const std::vector<RangeQuery>& queries,
 }
 
 Result<std::vector<double>> AnswerQueries(
-    const Histogram& histogram, const std::vector<RangeQuery>& queries) {
+    const Histogram& histogram, const std::vector<RangeQuery>& queries,
+    const AnswerQueriesOptions& options) {
   DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, histogram.size()));
-  std::vector<double> answers;
-  answers.reserve(queries.size());
-  for (const RangeQuery& q : queries) {
-    answers.push_back(histogram.RangeSumUnchecked(q.begin, q.end));
+  // Seal once on the caller so the fan-out below reads a finished prefix
+  // table through the lock-free fast path on every thread.
+  histogram.SealPrefix();
+  std::vector<double> answers(queries.size());
+  auto answer_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      answers[i] =
+          histogram.RangeSumUnchecked(queries[i].begin, queries[i].end);
+    }
+  };
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
+  // Each index writes only answers[i], so any chunking of [0, n) produces
+  // the same bytes — the deterministic-parallelism contract.
+  if (pool.thread_count() > 1 && queries.size() >= options.min_parallel) {
+    pool.ParallelForChunks(0, queries.size(), /*min_chunk=*/64, answer_range);
+  } else {
+    answer_range(0, queries.size());
   }
   return answers;
+}
+
+Result<std::vector<double>> AnswerQueries(
+    const Histogram& histogram, const std::vector<RangeQuery>& queries) {
+  return AnswerQueries(histogram, queries, AnswerQueriesOptions{});
 }
 
 }  // namespace dphist

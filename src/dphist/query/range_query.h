@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "dphist/common/parallel_defaults.h"
 #include "dphist/common/result.h"
 #include "dphist/common/status.h"
+#include "dphist/common/thread_pool.h"
 #include "dphist/hist/histogram.h"
 
 namespace dphist {
@@ -28,8 +30,26 @@ struct RangeQuery {
 Status ValidateQueries(const std::vector<RangeQuery>& queries,
                        std::size_t domain_size);
 
+/// Execution knobs for AnswerQueries.
+struct AnswerQueriesOptions {
+  /// Pool for the per-query fan-out; nullptr means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+  /// Batches smaller than this answer inline on the caller — each answer
+  /// is one O(1) prefix-sum subtraction, so fork/join only pays for
+  /// itself on large batches (same cut-over constant as the solver
+  /// stages and the serve layer).
+  std::size_t min_parallel = kDefaultMinParallelCandidates;
+};
+
 /// Evaluates every query against `histogram`. Fails if any query is out of
-/// bounds.
+/// bounds. Large batches fan out across the pool; each query index writes
+/// only its own answer slot, so the result is bit-identical at any thread
+/// count (the histogram's prefix table is sealed before the fan-out).
+Result<std::vector<double>> AnswerQueries(
+    const Histogram& histogram, const std::vector<RangeQuery>& queries,
+    const AnswerQueriesOptions& options);
+
+/// Default-options overload (global pool, standard cut-over).
 Result<std::vector<double>> AnswerQueries(
     const Histogram& histogram, const std::vector<RangeQuery>& queries);
 

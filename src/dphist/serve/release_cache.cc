@@ -4,7 +4,6 @@
 #include <tuple>
 #include <utility>
 
-#include "dphist/common/math_util.h"
 #include "dphist/obs/obs.h"
 #include "dphist/testing/failpoint.h"
 
@@ -35,6 +34,18 @@ obs::Counter& EntryCounter() {
 obs::Counter& EvictionCounter() {
   static obs::Counter& counter =
       obs::Registry::Global().GetCounter("serve/cache/evictions");
+  return counter;
+}
+
+obs::Counter& FrameHitCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/frame_cache_hits");
+  return counter;
+}
+
+obs::Counter& FrameMissCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("serve/frame_cache_misses");
   return counter;
 }
 
@@ -70,13 +81,33 @@ bool ReleaseKeyLess::operator()(const ReleaseKey& a,
                   b.epsilon, b.seed);
 }
 
-CachedRelease::CachedRelease(ReleaseKey key, Histogram histogram)
-    : key_(std::move(key)),
-      histogram_(std::move(histogram)),
-      prefix_(PrefixSums(histogram_.counts())) {}
+SealedRelease::SealedRelease(ReleaseKey key, Histogram histogram)
+    : key_(std::move(key)), histogram_(std::move(histogram)) {
+  // Seal eagerly: a release is immutable from here on, so every reader
+  // takes the histogram's lock-free prefix fast path.
+  histogram_.SealPrefix();
+}
 
-CachedRelease::CachedRelease(ReleaseKey key, sparse::SparseHistogram sparse)
+SealedRelease::SealedRelease(ReleaseKey key, sparse::SparseHistogram sparse)
     : key_(std::move(key)), sparse_(std::move(sparse)) {}
+
+std::shared_ptr<const std::string> SealedRelease::EncodedFrame(
+    FrameCodec codec, const std::function<std::string()>& encode) const {
+  FrameSlot& slot = frames_[static_cast<std::size_t>(codec)];
+  if (slot.ready.load(std::memory_order_acquire)) {
+    FrameHitCounter().Increment();
+    return slot.frame;
+  }
+  std::lock_guard<std::mutex> lock(frame_mutex_);
+  if (slot.ready.load(std::memory_order_relaxed)) {
+    FrameHitCounter().Increment();
+    return slot.frame;
+  }
+  FrameMissCounter().Increment();
+  slot.frame = std::make_shared<const std::string>(encode());
+  slot.ready.store(true, std::memory_order_release);
+  return slot.frame;
+}
 
 ReleaseCache::ReleaseCache(ReleaseCacheOptions options)
     : shard_map_(options.shards) {
@@ -176,6 +207,17 @@ std::shared_ptr<const CachedRelease> ReleaseCache::Lookup(
   const auto it = shard.entries.find(key);
   return it == shard.entries.end() ? nullptr : it->second->release;
 }
+
+std::shared_ptr<const CachedRelease> ReleaseCache::LookupServing(
+    const ReleaseKey& key) const {
+  std::shared_ptr<const CachedRelease> release = Lookup(key);
+  if (release != nullptr) {
+    HitCounter().Increment();
+  }
+  return release;
+}
+
+void ReleaseCache::CountServingHit() { HitCounter().Increment(); }
 
 bool ReleaseCache::Evict(const ReleaseKey& key) {
   Shard& shard = ShardFor(key);

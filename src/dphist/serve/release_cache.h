@@ -1,6 +1,7 @@
 #ifndef DPHIST_SERVE_RELEASE_CACHE_H_
 #define DPHIST_SERVE_RELEASE_CACHE_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -62,18 +63,27 @@ struct ReleaseKeyLess {
   bool operator()(const ReleaseKey& a, const ReleaseKey& b) const;
 };
 
-/// \brief An immutable published histogram plus its precomputed prefix-sum
-/// array, so any range query on a cached release is O(1) with no lazy
-/// state — safe to share across serving threads with no synchronization.
-class CachedRelease {
+/// \brief An immutable sealed snapshot of one published release: the
+/// histogram with its prefix-sum table sealed at construction (so any
+/// range query is O(1) with no lazy state), plus lazily-filled
+/// pre-encoded response frames per wire codec. Handed to readers as
+/// `shared_ptr<const SealedRelease>` snapshots, so the serve path never
+/// touches a shard mutex after the initial lookup and never re-encodes a
+/// hot release — safe to share across serving threads with no external
+/// synchronization.
+class SealedRelease {
  public:
-  /// Builds the prefix table eagerly (Kahan-compensated, same as the
-  /// Histogram-internal one).
-  CachedRelease(ReleaseKey key, Histogram histogram);
+  /// Index of a pre-encoded response frame; one slot per wire codec.
+  enum class FrameCodec : std::size_t { kBinary = 0, kJson = 1 };
+  static constexpr std::size_t kFrameCodecs = 2;
+
+  /// Seals the histogram's prefix table eagerly (Kahan-compensated), so
+  /// every reader takes the lock-free fast path.
+  SealedRelease(ReleaseKey key, Histogram histogram);
 
   /// A sparse release: the SparseHistogram carries its own prefix table,
   /// so range sums are O(log released-keys) instead of O(1).
-  CachedRelease(ReleaseKey key, sparse::SparseHistogram sparse);
+  SealedRelease(ReleaseKey key, sparse::SparseHistogram sparse);
 
   const ReleaseKey& key() const { return key_; }
 
@@ -101,7 +111,7 @@ class CachedRelease {
     if (is_sparse()) {
       return sparse_.RangeSumUnchecked(begin, end);
     }
-    return prefix_[end] - prefix_[begin];
+    return histogram_.RangeSumUnchecked(begin, end);
   }
 
   /// Monotone insertion index within the owning cache (0 for a release
@@ -109,15 +119,44 @@ class CachedRelease {
   /// what the degraded "serve newest cached" path orders by.
   std::uint64_t sequence() const { return sequence_; }
 
+  /// The pre-encoded response frame for `codec`, encoding it via `encode`
+  /// on first use (once-init: concurrent first callers serialize on an
+  /// internal mutex, exactly one encodes, everyone shares the result).
+  /// The returned string is immutable and outlives the release through
+  /// the shared_ptr — the zero-copy payload the net layer writes straight
+  /// to the socket. The encoder callback keeps the wire codecs out of the
+  /// serve layer (net/ supplies them), and the frame is keyed to this
+  /// sealed snapshot, so invalidation is structural: a republished or
+  /// recovered release is a *new* SealedRelease with empty frame slots —
+  /// a stale frame cannot survive its release.
+  ///
+  /// Obs: `serve/frame_cache_hits` on a filled slot,
+  /// `serve/frame_cache_misses` when this call encodes.
+  std::shared_ptr<const std::string> EncodedFrame(
+      FrameCodec codec,
+      const std::function<std::string()>& encode) const;
+
  private:
   friend class ReleaseCache;
+
+  struct FrameSlot {
+    std::atomic<bool> ready{false};
+    std::shared_ptr<const std::string> frame;
+  };
 
   ReleaseKey key_;
   Histogram histogram_;
   sparse::SparseHistogram sparse_;
-  std::vector<double> prefix_;  // prefix_[i] = sum of counts [0, i)
   std::uint64_t sequence_ = 0;
+  /// Per-codec encoded-frame memo; `ready` is the acquire/release
+  /// publication flag for `frame`, which is written once under
+  /// `frame_mutex_`.
+  mutable std::array<FrameSlot, kFrameCodecs> frames_;
+  mutable std::mutex frame_mutex_;
 };
+
+/// Pre-rename alias; new code should say SealedRelease.
+using CachedRelease = SealedRelease;
 
 /// Construction knobs for ReleaseCache.
 struct ReleaseCacheOptions {
@@ -172,6 +211,20 @@ class ReleaseCache {
 
   /// The cached release for `key`, or null when absent. Never publishes.
   std::shared_ptr<const CachedRelease> Lookup(const ReleaseKey& key) const;
+
+  /// Serving-path lookup: identical to `Lookup`, but a non-null result is
+  /// recorded as a `serve/cache/hits` — the fast lane's single shard-mutex
+  /// touch. A null result records nothing (the caller falls through to
+  /// `GetOrPublish`, which counts the miss once per publish attempt, so
+  /// hit/miss totals stay consistent with the pre-fast-lane accounting).
+  std::shared_ptr<const CachedRelease> LookupServing(
+      const ReleaseKey& key) const;
+
+  /// Records one `serve/cache/hits` for a release resolved through a plain
+  /// `Lookup` — for fast lanes that must defer the hit until after
+  /// request validation (so accounting matches the non-fast-lane path
+  /// without a second map lookup).
+  static void CountServingHit();
 
   /// Removes the ready release for `key`; returns true when one was
   /// present. An in-flight publication of the same key is unaffected (its

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 
@@ -99,7 +101,7 @@ Status ReleaseServer::AddDataset(const TenantKey& key, Histogram truth,
                                  double total_epsilon) {
   auto dataset = std::make_unique<Dataset>(key, std::move(truth),
                                            total_epsilon, options_.journal);
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  std::unique_lock<std::shared_mutex> lock(datasets_mutex_);
   auto [it, inserted] = datasets_.try_emplace(key, std::move(dataset));
   (void)it;
   if (!inserted) {
@@ -114,7 +116,7 @@ Status ReleaseServer::AddSparseDataset(const TenantKey& key,
                                        double total_epsilon) {
   auto dataset = std::make_unique<Dataset>(key, std::move(truth),
                                            total_epsilon, options_.journal);
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  std::unique_lock<std::shared_mutex> lock(datasets_mutex_);
   auto [it, inserted] = datasets_.try_emplace(key, std::move(dataset));
   (void)it;
   if (!inserted) {
@@ -126,7 +128,7 @@ Status ReleaseServer::AddSparseDataset(const TenantKey& key,
 
 Result<ReleaseServer::Dataset*> ReleaseServer::FindDataset(
     const TenantKey& key) const {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  std::shared_lock<std::shared_mutex> lock(datasets_mutex_);
   const auto it = datasets_.find(key);
   if (it != datasets_.end()) {
     return it->second.get();
@@ -147,7 +149,7 @@ Result<ReleaseServer::Dataset*> ReleaseServer::FindDataset(
 }
 
 ReleaseServer::Dataset* ReleaseServer::DefaultDataset() const {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  std::shared_lock<std::shared_mutex> lock(datasets_mutex_);
   const auto it = datasets_.find(DefaultTenantKey());
   return it == datasets_.end() ? nullptr : it->second.get();
 }
@@ -261,74 +263,86 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
   DPHIST_FAILPOINT("serve/answer_batch");
 
   BatchAnswer batch;
-  std::shared_ptr<const CachedRelease> release;
-  const bool was_cached =
-      cache_.Lookup({tenant_key.tenant, tenant_key.dataset,
-                     dataset->fingerprint, request.publisher,
-                     request.epsilon, request.seed}) != nullptr;
-
-  // Resolve the release with bounded retries on transient failure. The
-  // deadline and every backoff sleep go through the injectable clock, so
-  // the whole schedule is simulated time in tests — never a wall sleep.
-  Clock& clock = options_.clock != nullptr ? *options_.clock : Clock::Real();
-  const RetryPolicy& retry = options_.retry;
-  const std::size_t max_attempts =
-      std::max<std::size_t>(1, retry.max_attempts);
-  const bool has_deadline =
-      retry.deadline > std::chrono::nanoseconds::zero();
-  const std::chrono::steady_clock::time_point deadline =
-      has_deadline ? clock.Now() + retry.deadline
-                   : std::chrono::steady_clock::time_point{};
-  auto requested = GetRelease(tenant_key, request);
-  std::chrono::nanoseconds backoff = retry.initial_backoff;
-  for (std::size_t attempt = 1; !requested.ok() &&
-                                IsTransient(requested.status()) &&
-                                attempt < max_attempts;
-       ++attempt) {
-    if (has_deadline && clock.Now() + backoff > deadline) {
-      // Sleeping the next backoff would overrun the batch budget: give up
-      // now, typed, with the underlying error preserved for diagnosis.
-      DeadlineCounter().Increment();
-      return Status::DeadlineExceeded(
-          "AnswerBatch gave up after " + std::to_string(attempt) +
-          " attempt(s): retrying would exceed the batch deadline; last "
-          "error: " +
-          requested.status().ToString());
+  // Fast lane: one counting lookup. A sealed release needs none of the
+  // retry/degradation machinery below — it is immutable, already paid
+  // for, and lock-free to read.
+  std::shared_ptr<const CachedRelease> release = cache_.LookupServing(
+      {tenant_key.tenant, tenant_key.dataset, dataset->fingerprint,
+       request.publisher, request.epsilon, request.seed});
+  if (release != nullptr) {
+    batch.cache_hit = true;
+  } else {
+    // Resolve the release with bounded retries on transient failure. The
+    // deadline and every backoff sleep go through the injectable clock, so
+    // the whole schedule is simulated time in tests — never a wall sleep.
+    Clock& clock =
+        options_.clock != nullptr ? *options_.clock : Clock::Real();
+    const RetryPolicy& retry = options_.retry;
+    const std::size_t max_attempts =
+        std::max<std::size_t>(1, retry.max_attempts);
+    const bool has_deadline =
+        retry.deadline > std::chrono::nanoseconds::zero();
+    const std::chrono::steady_clock::time_point deadline =
+        has_deadline ? clock.Now() + retry.deadline
+                     : std::chrono::steady_clock::time_point{};
+    auto requested = GetRelease(tenant_key, request);
+    std::chrono::nanoseconds backoff = retry.initial_backoff;
+    for (std::size_t attempt = 1; !requested.ok() &&
+                                  IsTransient(requested.status()) &&
+                                  attempt < max_attempts;
+         ++attempt) {
+      if (has_deadline && clock.Now() + backoff > deadline) {
+        // Sleeping the next backoff would overrun the batch budget: give
+        // up now, typed, with the underlying error preserved.
+        DeadlineCounter().Increment();
+        return Status::DeadlineExceeded(
+            "AnswerBatch gave up after " + std::to_string(attempt) +
+            " attempt(s): retrying would exceed the batch deadline; last "
+            "error: " +
+            requested.status().ToString());
+      }
+      clock.SleepFor(backoff);
+      backoff = NextBackoff(backoff, retry);
+      RetryCounter().Increment();
+      requested = GetRelease(tenant_key, request);
     }
-    clock.SleepFor(backoff);
-    backoff = NextBackoff(backoff, retry);
-    RetryCounter().Increment();
-    requested = GetRelease(tenant_key, request);
-  }
 
-  if (requested.ok()) {
-    release = std::move(requested).value();
-    batch.cache_hit = was_cached;
-  } else if (requested.status().code() == StatusCode::kResourceExhausted) {
-    // Degrade instead of failing the batch: newest release of the same
-    // publisher if any, else the newest release of any publisher — always
-    // inside this namespace; degradation never crosses a tenant boundary.
-    release = cache_.NewestFor(tenant_key, request.publisher);
-    if (release == nullptr) {
-      release = cache_.NewestFor(tenant_key, "");
-    }
-    if (release == nullptr) {
+    if (requested.ok()) {
+      release = std::move(requested).value();
+    } else if (requested.status().code() ==
+               StatusCode::kResourceExhausted) {
+      // Degrade instead of failing the batch: newest release of the same
+      // publisher if any, else the newest release of any publisher —
+      // always inside this namespace; degradation never crosses a tenant
+      // boundary.
+      release = cache_.NewestFor(tenant_key, request.publisher);
+      if (release == nullptr) {
+        release = cache_.NewestFor(tenant_key, "");
+      }
+      if (release == nullptr) {
+        return requested.status();
+      }
+      batch.stale = true;
+      StaleBatchCounter().Increment();
+    } else {
       return requested.status();
     }
-    batch.stale = true;
-    StaleBatchCounter().Increment();
-  } else {
-    return requested.status();
   }
   batch.served = release->key();
+  AnswerInto(*release, queries, &batch.answers);
+  return batch;
+}
 
-  batch.answers.resize(queries.size());
+void ReleaseServer::AnswerInto(const CachedRelease& release,
+                               const std::vector<RangeQuery>& queries,
+                               std::vector<double>* answers) const {
+  answers->resize(queries.size());
   auto answer_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       // Chaos hook: per-query latency (a slow shard, a page fault). Pure
       // delay — answers are unaffected by construction.
       DPHIST_FAILPOINT("serve/answer_query");
-      batch.answers[i] = release->RangeSum(queries[i].begin, queries[i].end);
+      (*answers)[i] = release.RangeSum(queries[i].begin, queries[i].end);
     }
   };
   ThreadPool& pool =
@@ -339,11 +353,56 @@ Result<BatchAnswer> ReleaseServer::AnswerBatch(
   if (pool.thread_count() > 1 &&
       queries.size() >= options_.min_parallel_batch &&
       !testing::FailpointFires("serve/pool_dispatch")) {
-    pool.ParallelForChunks(0, queries.size(), /*min_chunk=*/64, answer_range);
+    pool.ParallelForChunks(0, queries.size(), /*min_chunk=*/64,
+                           answer_range);
   } else {
     answer_range(0, queries.size());
   }
-  return batch;
+}
+
+std::shared_ptr<const CachedRelease> ReleaseServer::TryGetCached(
+    const TenantKey& tenant_key, const ServeRequest& request) const {
+  auto dataset = FindDataset(tenant_key);
+  if (!dataset.ok()) {
+    return nullptr;
+  }
+  return cache_.LookupServing({tenant_key.tenant, tenant_key.dataset,
+                               dataset.value()->fingerprint,
+                               request.publisher, request.epsilon,
+                               request.seed});
+}
+
+Result<bool> ReleaseServer::TryAnswerCached(
+    const TenantKey& tenant_key, const std::vector<RangeQuery>& queries,
+    const ServeRequest& request, BatchAnswer* out) {
+  DPHIST_ASSIGN_OR_RETURN(Dataset* dataset, FindDataset(tenant_key));
+  std::shared_ptr<const CachedRelease> release = cache_.Lookup(
+      {tenant_key.tenant, tenant_key.dataset, dataset->fingerprint,
+       request.publisher, request.epsilon, request.seed});
+  if (release == nullptr) {
+    // Not sealed yet: the caller takes the full AnswerBatch path, which
+    // re-resolves and does its own hit/miss accounting — counting nothing
+    // here keeps totals identical to a fast-lane-free server.
+    return false;
+  }
+  // From here on this is the AnswerBatch cache-hit path verbatim —
+  // validation, counters, and chaos hooks included — so answers, errors,
+  // and observability are indistinguishable between the two lanes.
+  if (dataset->is_sparse()) {
+    DPHIST_RETURN_IF_ERROR(ValidateSparseQueries(queries, dataset->domain()));
+  } else {
+    DPHIST_RETURN_IF_ERROR(ValidateQueries(queries, dataset->truth.size()));
+  }
+  obs::ScopedTimer batch_timer("serve/batch");
+  BatchCounter().Increment();
+  BatchQueryCounter().Add(queries.size());
+  DPHIST_FAILPOINT("serve/answer_batch");
+  ReleaseCache::CountServingHit();
+  out->stale = false;
+  out->cache_hit = true;
+  out->served = release->key();
+  AnswerInto(*release, queries, &out->answers);
+  return true;
 }
 
 Result<BatchAnswer> ReleaseServer::AnswerBatch(
@@ -425,7 +484,7 @@ Result<RecoveryStats> ReleaseServer::Recover(const ReplayResult& replay) {
 }
 
 std::size_t ReleaseServer::dataset_count() const {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  std::shared_lock<std::shared_mutex> lock(datasets_mutex_);
   return datasets_.size();
 }
 

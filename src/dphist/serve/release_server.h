@@ -6,8 +6,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -222,6 +222,28 @@ class ReleaseServer {
   Result<std::shared_ptr<const CachedRelease>> GetRelease(
       const ServeRequest& request);
 
+  /// The already-sealed release for `request`, or null when it is not
+  /// cached (or the namespace is unknown). Never publishes, never charges,
+  /// never journals, never degrades — the serving fast lane: one
+  /// shared-lock registry read plus one shard-mutex cache lookup, after
+  /// which the caller holds an immutable snapshot and touches no server
+  /// state at all. A non-null result counts as a `serve/cache/hits`.
+  std::shared_ptr<const CachedRelease> TryGetCached(
+      const TenantKey& key, const ServeRequest& request) const;
+
+  /// Fast-lane batch answering: when the release for `request` is already
+  /// sealed in the cache, validates `queries`, answers them, fills `*out`
+  /// (with `cache_hit = true`), and returns Ok(true) — equivalent
+  /// byte-for-byte to what `AnswerBatch` would return, minus the retry and
+  /// degradation machinery that a cache hit never needs. Returns Ok(false)
+  /// when the release is not cached (the caller falls through to
+  /// `AnswerBatch`), and an error status only for caller bugs
+  /// (out-of-domain queries, cross-tenant probes) — exactly the errors
+  /// `AnswerBatch` would also report, so the fast lane never masks one.
+  Result<bool> TryAnswerCached(const TenantKey& key,
+                               const std::vector<RangeQuery>& queries,
+                               const ServeRequest& request, BatchAnswer* out);
+
   /// Answers every query in `queries` against the release for `request`
   /// in `key`'s namespace, degrading to the newest cached release on
   /// budget refusal (see class comment). Fails if any query exceeds the
@@ -290,9 +312,18 @@ class ReleaseServer {
   /// FindDataset for the default namespace.
   Dataset* DefaultDataset() const;
 
+  /// Answers `queries` against a resolved release (shared fan-out core of
+  /// AnswerBatch and TryAnswerCached; identical parallelism cut-over, so
+  /// both lanes produce bit-identical answers at any pool width).
+  void AnswerInto(const CachedRelease& release,
+                  const std::vector<RangeQuery>& queries,
+                  std::vector<double>* answers) const;
+
   ReleaseServerOptions options_;
   ReleaseCache cache_;
-  mutable std::mutex datasets_mutex_;
+  /// Read-mostly registry: serving takes shared locks; AddDataset /
+  /// AddSparseDataset (startup-time) take the exclusive lock.
+  mutable std::shared_mutex datasets_mutex_;
   std::map<TenantKey, std::unique_ptr<Dataset>, TenantKeyLess> datasets_;
 };
 

@@ -33,6 +33,11 @@ struct SparsePublishStats {
   std::uint64_t spurious_keys = 0;
   /// The suppression threshold tau the mechanism used.
   double threshold = 0.0;
+  /// Independent gap-sampling blocks the spurious-key draw was split into
+  /// (SparsePure only; 0 when no spurious draw ran). The block partition
+  /// depends only on the domain and the threshold — never on the thread
+  /// count — so releases are thread-invariant.
+  std::uint64_t gap_sample_blocks = 0;
 };
 
 class SparseHistogramPublisher {

@@ -5,11 +5,31 @@
 #include <cstddef>
 #include <vector>
 
+#include "dphist/common/thread_pool.h"
+#include "dphist/obs/obs.h"
 #include "dphist/random/distributions.h"
 
 namespace dphist {
 namespace sparse {
 namespace {
+
+obs::Counter& GapSampleBlockCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("sparse/gap_sample_blocks");
+  return counter;
+}
+
+// SplitMix64's golden-gamma increment — the same per-block substream
+// derivation as the batched noise kernel: seed + (b + 1) * gamma expands
+// (via the Rng constructor's SplitMix64 mixing) into well-separated
+// independent streams for consecutive blocks.
+constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+
+// Expected geometric draws per gap-sampling block; blocks below this are
+// not worth a fork. The partition must depend only on (absent, q), never
+// the thread count, so releases are thread-invariant.
+constexpr double kTargetDrawsPerBlock = 1024.0;
+constexpr std::uint64_t kMaxGapBlocks = 256;
 
 // The key of the j-th absent (count-zero) slot, in increasing key order,
 // given the sorted observed keys. The number of absent keys strictly below
@@ -75,22 +95,70 @@ Result<SparseHistogram> SparsePurePublisher::Publish(
 
   // Unobserved keys: each clears tau independently with probability
   // q = P[Lap(1/eps) > tau] = exp(-eps * tau) / 2 (tau >= 0), so walk the
-  // d - k absent slots with Geometric(q) gaps instead of touching each one.
-  // A surviving key's value is tau plus the memoryless Laplace tail,
+  // absent slots with Geometric(q) gaps instead of touching each one. A
+  // surviving key's value is tau plus the memoryless Laplace tail,
   // tau + Exp(eps) — distributed exactly as Lap(1/eps) given > tau.
+  //
+  // The walk is split into fixed blocks of absent slots, each drawn from
+  // its own counter-derived substream. Per-slot independence makes the
+  // blocked draw distribution-exact: restarting the geometric walk at a
+  // block boundary enumerates the same iid Bernoulli(q) successes, just
+  // from a different (still independent) stream. The partition depends
+  // only on (absent, q) — sized for ~kTargetDrawsPerBlock expected
+  // successes per block — so the release is identical at any thread
+  // count; blocks fan out across the global pool.
   std::vector<SparseEntry> spurious;
+  std::uint64_t gap_blocks = 0;
   const std::uint64_t absent = d - k;
   const double q = 0.5 * std::exp(-epsilon * tau);
   if (absent > 0 && q > 0.0) {
-    std::uint64_t next = 0;  // next candidate absent slot
-    while (next < absent) {
-      const std::int64_t gap = SampleGeometric(rng, q);
-      const std::uint64_t remaining = absent - next;
-      if (gap < 0 || static_cast<std::uint64_t>(gap) >= remaining) break;
-      const std::uint64_t slot = next + static_cast<std::uint64_t>(gap);
-      const double value = tau + SampleExponential(rng, epsilon);
-      spurious.push_back(SparseEntry{AbsentKeyAt(entries, slot), value});
-      next = slot + 1;
+    const double expected_draws = static_cast<double>(absent) * q;
+    gap_blocks = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(expected_draws / kTargetDrawsPerBlock), 1,
+        kMaxGapBlocks);
+    gap_blocks = std::min(gap_blocks, absent);
+    const std::uint64_t block_size = (absent + gap_blocks - 1) / gap_blocks;
+    // One master draw from the caller's stream keeps the publisher a pure
+    // function of (truth, epsilon, rng); every block substream derives
+    // from it.
+    const std::uint64_t master = rng.NextUint64();
+    std::vector<std::vector<SparseEntry>> per_block(gap_blocks);
+    auto sample_block = [&](std::size_t b) {
+      Rng block_rng(master + (static_cast<std::uint64_t>(b) + 1) *
+                                 kGoldenGamma);
+      const std::uint64_t lo = static_cast<std::uint64_t>(b) * block_size;
+      const std::uint64_t hi = std::min(absent, lo + block_size);
+      std::vector<SparseEntry>& out = per_block[b];
+      std::uint64_t next = lo;  // next candidate absent slot
+      while (next < hi) {
+        const std::int64_t gap = SampleGeometric(block_rng, q);
+        const std::uint64_t remaining = hi - next;
+        if (gap < 0 || static_cast<std::uint64_t>(gap) >= remaining) break;
+        const std::uint64_t slot = next + static_cast<std::uint64_t>(gap);
+        const double value = tau + SampleExponential(block_rng, epsilon);
+        out.push_back(SparseEntry{AbsentKeyAt(entries, slot), value});
+        next = slot + 1;
+      }
+    };
+    ThreadPool& pool = ThreadPool::Global();
+    if (pool.thread_count() > 1 && gap_blocks > 1) {
+      pool.ParallelFor(0, gap_blocks,
+                       [&](std::size_t b) { sample_block(b); });
+    } else {
+      for (std::uint64_t b = 0; b < gap_blocks; ++b) {
+        sample_block(b);
+      }
+    }
+    GapSampleBlockCounter().Add(gap_blocks);
+    std::size_t total = 0;
+    for (const auto& block : per_block) {
+      total += block.size();
+    }
+    spurious.reserve(total);
+    // Blocks cover increasing slot ranges and each block's output is
+    // slot-sorted, so in-order concatenation is already sorted.
+    for (auto& block : per_block) {
+      spurious.insert(spurious.end(), block.begin(), block.end());
     }
   }
 
@@ -108,6 +176,7 @@ Result<SparseHistogram> SparsePurePublisher::Publish(
     stats->suppressed_keys = suppressed;
     stats->spurious_keys = spurious.size();
     stats->threshold = tau;
+    stats->gap_sample_blocks = gap_blocks;
   }
   return SparseHistogram::Create(d, std::move(released));
 }

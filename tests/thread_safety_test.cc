@@ -15,6 +15,7 @@
 #include "dphist/algorithms/structure_first.h"
 #include "dphist/common/thread_pool.h"
 #include "dphist/data/generators.h"
+#include "dphist/hist/histogram.h"
 #include "dphist/query/workload.h"
 #include "dphist/random/rng.h"
 #include "dphist/serve/budget_ledger.h"
@@ -268,6 +269,51 @@ TEST(ThreadSafetyTest, ReleaseServerConcurrentBatchesChargeOnce) {
   ASSERT_FALSE(answers[0].empty());
   for (int t = 1; t < kThreads; ++t) {
     EXPECT_EQ(answers[t], answers[0]) << "thread " << t;
+  }
+}
+
+TEST(ThreadSafetyTest, ConcurrentRangeSumsBuildPrefixOnce) {
+  // Regression test for the lazy prefix-table race: many threads call
+  // RangeSumUnchecked on a SHARED histogram whose prefix table has never
+  // been built. The once-init must let exactly one thread build it while
+  // the rest wait (TSan catches the old unsynchronized mutable fill), and
+  // every thread must read the same sealed table.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> counts(512);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = static_cast<double>((i * 31 + round) % 97);
+    }
+    const Histogram shared(counts);
+    Histogram sealed_reference(counts);
+    sealed_reference.SealPrefix();
+
+    std::vector<std::vector<double>> sums(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        std::vector<double>& out = sums[t];
+        for (std::size_t begin = static_cast<std::size_t>(t); begin < 512;
+             begin += 17) {
+          out.push_back(shared.RangeSumUnchecked(begin, 512));
+          out.push_back(shared.RangeSumUnchecked(0, begin + 1));
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      std::vector<double> expected;
+      for (std::size_t begin = static_cast<std::size_t>(t); begin < 512;
+           begin += 17) {
+        expected.push_back(sealed_reference.RangeSumUnchecked(begin, 512));
+        expected.push_back(sealed_reference.RangeSumUnchecked(0, begin + 1));
+      }
+      EXPECT_EQ(sums[t], expected) << "thread " << t << " round " << round;
+    }
   }
 }
 
